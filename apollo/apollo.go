@@ -1,0 +1,166 @@
+// Package apollo is the public API of the Apollo reproduction: an
+// ML-assisted, real-time, low-latency storage resource observer (Rajesh et
+// al., HPDC '21). It re-exports the service facade over the internal
+// subsystems — SCoRe (the distributed Fact/Insight DAG), the Pub-Sub stream
+// fabric, the adaptive monitoring-interval controllers, the Delphi
+// predictive model, and the Apollo Query Engine.
+//
+// Quickstart:
+//
+//	svc := apollo.New(apollo.Config{Mode: apollo.IntervalSimpleAIMD})
+//	svc.RegisterMetric(apollo.HookFunc{
+//		ID: "node1.nvme0.capacity",
+//		Fn: func() (float64, error) { return readCapacity(), nil },
+//	})
+//	svc.Start()
+//	defer svc.Stop()
+//	res, _ := svc.Query("SELECT MAX(Timestamp), metric FROM node1.nvme0.capacity")
+package apollo
+
+import (
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/aqe"
+	"repro/internal/core"
+	"repro/internal/delphi"
+	"repro/internal/sched"
+	"repro/internal/score"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Core service types.
+type (
+	// Service is a running Apollo instance.
+	Service = core.Service
+	// Config configures a Service.
+	Config = core.Config
+	// IntervalMode selects the polling strategy.
+	IntervalMode = core.IntervalMode
+	// MetricOption customizes one registered metric.
+	MetricOption = core.MetricOption
+)
+
+// Telemetry types.
+type (
+	// Info is the Information tuple (timestamp, value, predicted/measured).
+	Info = telemetry.Info
+	// MetricID names a metric stream.
+	MetricID = telemetry.MetricID
+	// Kind distinguishes Facts from Insights.
+	Kind = telemetry.Kind
+	// Source distinguishes measured from predicted values.
+	Source = telemetry.Source
+)
+
+// Hook types.
+type (
+	// Hook extracts one metric from a resource.
+	Hook = score.Hook
+	// HookFunc adapts a function to Hook.
+	HookFunc = score.HookFunc
+	// ReplayHook replays a captured trace.
+	ReplayHook = score.ReplayHook
+	// Builder derives an Insight from input tuples.
+	Builder = score.Builder
+)
+
+// Adaptive-interval types.
+type (
+	// AdaptiveConfig parameterizes the AIMD controllers.
+	AdaptiveConfig = adaptive.Config
+	// Controller chooses the next polling interval.
+	Controller = adaptive.Controller
+)
+
+// Delphi types.
+type (
+	// DelphiModel is the trained predictive model.
+	DelphiModel = delphi.Model
+	// DelphiTrainOptions controls training.
+	DelphiTrainOptions = delphi.TrainOptions
+)
+
+// Query types.
+type (
+	// Result is an AQE query result.
+	Result = aqe.Result
+	// Cell is one result value.
+	Cell = aqe.Cell
+)
+
+// Clock abstraction (real or simulated time).
+type (
+	// Clock drives polling.
+	Clock = sched.Clock
+	// SimClock is a manually-advanced clock for replay and tests.
+	SimClock = sched.SimClock
+)
+
+// Trace is a captured metric series (§4.3.1 capture/replay methodology).
+type Trace = trace.Trace
+
+// Interval modes.
+const (
+	IntervalFixed       = core.IntervalFixed
+	IntervalSimpleAIMD  = core.IntervalSimpleAIMD
+	IntervalComplexAIMD = core.IntervalComplexAIMD
+	// IntervalEntropy is the permutation-entropy heuristic the paper lists
+	// as future work (§6), included as an extension.
+	IntervalEntropy = core.IntervalEntropy
+)
+
+// Tuple kinds and sources.
+const (
+	KindFact    = telemetry.KindFact
+	KindInsight = telemetry.KindInsight
+	Measured    = telemetry.Measured
+	Predicted   = telemetry.Predicted
+)
+
+// New builds an Apollo service.
+func New(cfg Config) *Service { return core.New(cfg) }
+
+// NewFact builds a measured Fact tuple.
+func NewFact(m MetricID, ts int64, v float64) Info { return telemetry.NewFact(m, ts, v) }
+
+// DefaultAdaptiveConfig mirrors the paper's evaluation setup: 1 s initial
+// interval in [1 s, 60 s], +1 s additive growth, halving on change,
+// rolling-average window 10.
+func DefaultAdaptiveConfig() AdaptiveConfig { return adaptive.DefaultConfig() }
+
+// TrainDelphi trains the Delphi model on synthetic time-series features
+// (§3.4.2). Training takes seconds; pass the model in Config.Delphi.
+func TrainDelphi(opts DelphiTrainOptions) (*DelphiModel, error) { return delphi.Train(opts) }
+
+// LoadDelphi loads a model saved with (*DelphiModel).Save.
+func LoadDelphi(path string) (*DelphiModel, error) { return delphi.Load(path) }
+
+// NewSimClock returns a simulated clock for deterministic replay.
+func NewSimClock(start time.Time) *SimClock { return sched.NewSimClock(start) }
+
+// LoadTrace reads a trace file saved with (*Trace).Save.
+func LoadTrace(path string) (*Trace, error) { return trace.Load(path) }
+
+// CaptureTrace samples a monitor hook n times into a replayable trace.
+func CaptureTrace(hook Hook, n int, tick time.Duration) (*Trace, error) {
+	return trace.Capture(hook, n, tick)
+}
+
+// TraceFromSeries wraps a raw series as a replayable trace.
+func TraceFromSeries(metric MetricID, tick time.Duration, samples []float64) *Trace {
+	return trace.FromSeries(metric, tick, samples)
+}
+
+// Aggregation builders for RegisterInsight.
+var (
+	// SumInsight totals its inputs (e.g. cluster-wide remaining capacity).
+	SumInsight Builder = score.Sum
+	// MeanInsight averages its inputs.
+	MeanInsight Builder = score.Mean
+	// MinInsight takes the smallest input.
+	MinInsight Builder = score.Min
+	// MaxInsight takes the largest input.
+	MaxInsight Builder = score.Max
+)

@@ -1,0 +1,120 @@
+package apollo_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/apollo"
+)
+
+// TestPublicAPIRoundTrip exercises the documented quickstart path end to
+// end through the facade only.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	clock := apollo.NewSimClock(time.Unix(0, 0))
+	svc := apollo.New(apollo.Config{Mode: apollo.IntervalSimpleAIMD, Clock: clock})
+	capacity := 1000.0
+	if _, err := svc.RegisterMetric(apollo.HookFunc{
+		ID: "node1.nvme0.capacity",
+		Fn: func() (float64, error) { return capacity, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := svc.Latest("node1.nvme0.capacity"); ok {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	res, err := svc.Query("SELECT MAX(Timestamp), metric FROM node1.nvme0.capacity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].F != 1000 {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+}
+
+func TestFacadeInsights(t *testing.T) {
+	clock := apollo.NewSimClock(time.Unix(0, 0))
+	svc := apollo.New(apollo.Config{Clock: clock})
+	va, _ := svc.RegisterMetric(apollo.HookFunc{ID: "a", Fn: func() (float64, error) { return 4, nil }})
+	vb, _ := svc.RegisterMetric(apollo.HookFunc{ID: "b", Fn: func() (float64, error) { return 6, nil }})
+	if _, err := svc.RegisterInsight("mean", []apollo.MetricID{"a", "b"}, apollo.MeanInsight); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Stop()
+	_ = va
+	_ = vb
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if in, ok := svc.Latest("mean"); ok && in.Value == 5 && in.Kind == apollo.KindInsight {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("mean insight never reached 5")
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	in := apollo.NewFact("m", 7, 8)
+	if in.Metric != "m" || in.Timestamp != 7 || in.Value != 8 || in.Source != apollo.Measured {
+		t.Fatalf("fact=%v", in)
+	}
+	cfg := apollo.DefaultAdaptiveConfig()
+	if cfg.Window != 10 || cfg.Initial != time.Second {
+		t.Fatalf("cfg=%+v", cfg)
+	}
+}
+
+func TestFacadeTraceRoundTrip(t *testing.T) {
+	tr := apollo.TraceFromSeries("cap", time.Second, []float64{3, 2, 1})
+	path := t.TempDir() + "/t.csv"
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := apollo.LoadTrace(path)
+	if err != nil || len(got.Samples) != 3 || got.Metric != "cap" {
+		t.Fatalf("got=%+v err=%v", got, err)
+	}
+	// CaptureTrace drives a hook; its Hook() replays through a vertex.
+	i := 0.0
+	captured, err := apollo.CaptureTrace(apollo.HookFunc{ID: "c", Fn: func() (float64, error) {
+		i++
+		return i, nil
+	}}, 4, time.Second)
+	if err != nil || len(captured.Samples) != 4 {
+		t.Fatalf("captured=%+v err=%v", captured, err)
+	}
+	h := captured.Hook()
+	if v, _ := h.Poll(); v != 1 {
+		t.Fatalf("replay=%f", v)
+	}
+}
+
+func TestFacadeDelphiTrainSaveLoad(t *testing.T) {
+	m, err := apollo.TrainDelphi(apollo.DelphiTrainOptions{Seed: 1, Epochs: 5, SeriesPerFeature: 2, SeriesLen: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/delphi.json"
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := apollo.LoadDelphi(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, trainable := m2.ParamCount()
+	if total != 50 || trainable != 14 {
+		t.Fatalf("params %d/%d", total, trainable)
+	}
+}

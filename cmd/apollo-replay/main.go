@@ -1,0 +1,108 @@
+// Command apollo-replay replays a captured metric trace through Apollo's
+// interval controllers (the §4.3.1 methodology) and reports the
+// cost/accuracy trade-off of each, optionally with Delphi gap predictions.
+// Without -trace it synthesizes the paper's HACC capacity workloads.
+//
+// Usage:
+//
+//	apollo-replay -workload irregular -minutes 30
+//	apollo-replay -trace capture.csv -delphi delphi.json
+//	apollo-replay -capture hacc.csv -workload regular -minutes 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/delphi"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file to replay (CSV; see internal/trace)")
+		capture   = flag.String("capture", "", "write the synthesized workload to this trace file and exit")
+		workload  = flag.String("workload", "irregular", "synthetic workload when no -trace: regular | irregular")
+		minutes   = flag.Int("minutes", 30, "synthetic workload length")
+		seed      = flag.Int64("seed", 42, "synthetic workload seed")
+		delphiF   = flag.String("delphi", "", "trained Delphi model for gap predictions (see delphi-train)")
+		threshold = flag.Float64("threshold", 0, "AIMD change threshold")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch {
+	case *tracePath != "":
+		var err error
+		tr, err = trace.Load(*tracePath)
+		if err != nil {
+			log.Fatalf("apollo-replay: %v", err)
+		}
+	case *workload == "regular":
+		tr = trace.FromSeries("hacc.regular.capacity", time.Second,
+			workloads.HACCRegular(time.Duration(*minutes)*time.Minute, 250e9))
+	case *workload == "irregular":
+		tr = trace.FromSeries("hacc.irregular.capacity", time.Second,
+			workloads.HACCIrregular(time.Duration(*minutes)*time.Minute, 250e9, *seed))
+	default:
+		log.Fatalf("apollo-replay: unknown workload %q", *workload)
+	}
+	if *capture != "" {
+		if err := tr.Save(*capture); err != nil {
+			log.Fatalf("apollo-replay: %v", err)
+		}
+		fmt.Printf("wrote %d samples (%v of %s) to %s\n", len(tr.Samples), tr.Duration(), tr.Metric, *capture)
+		return
+	}
+
+	fmt.Printf("replaying %s: %d samples at %v\n\n", tr.Metric, len(tr.Samples), tr.Tick)
+	cfg := adaptive.DefaultConfig()
+	cfg.Threshold = *threshold
+	simple, err := adaptive.NewSimpleAIMD(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfgC := cfg
+	cfgC.Window = 10
+	complexC, err := adaptive.NewComplexAIMD(cfgC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfgE := cfg
+	cfgE.Threshold = 0.05
+	entropyC, err := adaptive.NewEntropyAIMD(cfgE, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-14s %8s %10s\n", "controller", "cost", "accuracy")
+	for _, c := range []struct {
+		name string
+		ctrl adaptive.Controller
+	}{
+		{"fixed-5s", adaptive.NewFixed(5 * tr.Tick)},
+		{"simple-aimd", simple},
+		{"complex-aimd", complexC},
+		{"entropy", entropyC},
+	} {
+		res := adaptive.Evaluate(tr.Samples, c.ctrl, tr.Tick, *threshold)
+		fmt.Printf("%-14s %8.3f %10.3f\n", c.name, res.Cost(), res.Accuracy())
+	}
+
+	if *delphiF == "" {
+		return
+	}
+	model, err := delphi.Load(*delphiF)
+	if err != nil {
+		log.Fatalf("apollo-replay: %v", err)
+	}
+	rmse, mae, r2, err := model.Evaluate(tr.Samples)
+	if err != nil {
+		log.Fatalf("apollo-replay: %v", err)
+	}
+	fmt.Printf("\ndelphi one-step-ahead on this trace: rmse=%.4g mae=%.4g r2=%.3f\n", rmse, mae, r2)
+}

@@ -1,0 +1,151 @@
+// Command apolloctl is the middleware-side client for a running apollod:
+// it lists metric streams, pulls latest values, tails a stream, and runs
+// Apollo Query Engine SQL against the remote fabric.
+//
+// Usage:
+//
+//	apolloctl -addr 127.0.0.1:7070 topics
+//	apolloctl -addr 127.0.0.1:7070 latest comp00.nvme0.capacity
+//	apolloctl -addr 127.0.0.1:7070 watch cluster.capacity
+//	apolloctl -addr 127.0.0.1:7070 query "SELECT MAX(Timestamp), metric FROM cluster.capacity"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/aqe"
+	"repro/internal/score"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// remoteExecutor adapts one remote topic to the score.Executor interface so
+// the AQE can run client-side over the TCP fabric.
+type remoteExecutor struct {
+	bus   *stream.RemoteBus
+	topic string
+}
+
+func (r remoteExecutor) Metric() telemetry.MetricID { return telemetry.MetricID(r.topic) }
+
+func (r remoteExecutor) Latest() (telemetry.Info, bool) {
+	e, err := r.bus.Latest(r.topic)
+	if err != nil {
+		return telemetry.Info{}, false
+	}
+	var in telemetry.Info
+	if err := in.UnmarshalBinary(e.Payload); err != nil {
+		return telemetry.Info{}, false
+	}
+	return in, true
+}
+
+func (r remoteExecutor) Range(from, to int64) []telemetry.Info {
+	entries, err := r.bus.Range(r.topic, 1, 1<<62, 0)
+	if err != nil {
+		return nil
+	}
+	var out []telemetry.Info
+	for _, e := range entries {
+		var in telemetry.Info
+		if err := in.UnmarshalBinary(e.Payload); err != nil {
+			continue
+		}
+		if in.Timestamp >= from && in.Timestamp <= to {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+type remoteResolver struct{ bus *stream.RemoteBus }
+
+func (r remoteResolver) Resolve(table string) (score.Executor, error) {
+	return remoteExecutor{bus: r.bus, topic: table}, nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "apollod fabric address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "apolloctl: need a command: topics | latest <metric> | watch <metric> | query <sql>")
+		os.Exit(2)
+	}
+	bus, err := stream.NewRemoteBus(*addr)
+	if err != nil {
+		log.Fatalf("apolloctl: %v", err)
+	}
+	defer bus.Close()
+
+	switch args[0] {
+	case "topics":
+		client, err := stream.Dial(*addr)
+		if err != nil {
+			log.Fatalf("apolloctl: %v", err)
+		}
+		defer client.Close()
+		names, err := client.Topics()
+		if err != nil {
+			log.Fatalf("apolloctl: %v", err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+
+	case "latest":
+		if len(args) != 2 {
+			log.Fatal("apolloctl: latest <metric>")
+		}
+		in, ok := (remoteExecutor{bus: bus, topic: args[1]}).Latest()
+		if !ok {
+			log.Fatalf("apolloctl: no data for %q", args[1])
+		}
+		fmt.Println(in)
+
+	case "watch":
+		if len(args) != 2 {
+			log.Fatal("apolloctl: watch <metric>")
+		}
+		sub, err := stream.Subscribe(*addr, args[1], 0)
+		if err != nil {
+			log.Fatalf("apolloctl: %v", err)
+		}
+		defer sub.Close()
+		for e := range sub.C() {
+			var in telemetry.Info
+			if err := in.UnmarshalBinary(e.Payload); err != nil {
+				continue
+			}
+			fmt.Println(in)
+		}
+		if err := sub.Err(); err != nil {
+			log.Fatalf("apolloctl: %v", err)
+		}
+
+	case "query":
+		if len(args) < 2 {
+			log.Fatal(`apolloctl: query "<sql>"`)
+		}
+		eng := aqe.NewEngine(remoteResolver{bus: bus})
+		res, err := eng.Query(strings.Join(args[1:], " "))
+		if err != nil {
+			log.Fatalf("apolloctl: %v", err)
+		}
+		fmt.Println(strings.Join(res.Columns, "\t"))
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, c := range row {
+				cells[i] = c.String()
+			}
+			fmt.Println(strings.Join(cells, "\t"))
+		}
+
+	default:
+		log.Fatalf("apolloctl: unknown command %q", args[0])
+	}
+}

@@ -1,0 +1,128 @@
+// Command apollod runs an Apollo observer daemon over a simulated Ares-like
+// cluster: it deploys capacity/bandwidth/health Fact Vertices on every
+// simulated node, the Figure-2 tier-capacity insight cascade, exposes the
+// Pub-Sub fabric over TCP for apolloctl and remote vertices, and drives a
+// synthetic bursty workload so the telemetry moves.
+//
+// Usage:
+//
+//	apollod -listen 127.0.0.1:7070 -compute 4 -storage 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/apollo"
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7070", "TCP address for the Pub-Sub fabric")
+		compute  = flag.Int("compute", 4, "simulated compute nodes")
+		storage  = flag.Int("storage", 4, "simulated storage nodes")
+		mode     = flag.String("mode", "complex-aimd", "interval mode: fixed | simple-aimd | complex-aimd")
+		delphiF  = flag.String("delphi", "", "path to a trained Delphi model (see delphi-train); empty disables prediction")
+		duration = flag.Duration("duration", 0, "exit after this long (0 = run until signal)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	cfg := apollo.Config{}
+	switch *mode {
+	case "fixed":
+		cfg.Mode = apollo.IntervalFixed
+	case "simple-aimd":
+		cfg.Mode = apollo.IntervalSimpleAIMD
+	case "complex-aimd":
+		cfg.Mode = apollo.IntervalComplexAIMD
+	default:
+		log.Fatalf("apollod: unknown mode %q", *mode)
+	}
+	if *delphiF != "" {
+		m, err := apollo.LoadDelphi(*delphiF)
+		if err != nil {
+			log.Fatalf("apollod: loading delphi model: %v", err)
+		}
+		cfg.Delphi = m
+		log.Printf("delphi model loaded from %s", *delphiF)
+	}
+
+	sim := cluster.BuildAres(time.Now(), *compute, *storage)
+	svc := core.New(core.Config{
+		Mode:     core.IntervalMode(cfg.Mode),
+		Delphi:   cfg.Delphi,
+		BaseTick: time.Second,
+	})
+	var metrics int
+	for _, n := range sim.Nodes() {
+		ids, err := svc.DeployNodeMonitors(n)
+		if err != nil {
+			log.Fatalf("apollod: %v", err)
+		}
+		metrics += len(ids)
+	}
+	sink, err := svc.DeployTierCapacityInsights(sim)
+	if err != nil {
+		log.Fatalf("apollod: %v", err)
+	}
+	if err := svc.Start(); err != nil {
+		log.Fatalf("apollod: %v", err)
+	}
+	defer svc.Stop()
+	addr, err := svc.Serve(*listen)
+	if err != nil {
+		log.Fatalf("apollod: %v", err)
+	}
+	log.Printf("apollod listening on %s: %d nodes, %d fact metrics, sink insight %q",
+		addr, len(sim.Nodes()), metrics, sink)
+
+	// Synthetic bursty workload so the telemetry is alive.
+	stop := make(chan struct{})
+	go func() {
+		r := rand.New(rand.NewSource(*seed))
+		devs := sim.Devices()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(200 * time.Millisecond):
+			}
+			for i := 0; i < 1+r.Intn(4); i++ {
+				d := devs[r.Intn(len(devs))]
+				n := int64(1+r.Intn(64)) << 20
+				if r.Float64() < 0.5 {
+					if _, err := d.Write(int64(r.Intn(1<<16)), n); err == nil && r.Float64() < 0.3 {
+						d.Free(n)
+					}
+				} else {
+					d.Read(int64(r.Intn(1<<16)), n)
+				}
+			}
+			sim.Step(200 * time.Millisecond)
+		}
+	}()
+	defer close(stop)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	if *duration > 0 {
+		select {
+		case <-time.After(*duration):
+			fmt.Println("apollod: duration elapsed, shutting down")
+		case s := <-sig:
+			fmt.Printf("apollod: %v, shutting down\n", s)
+		}
+		return
+	}
+	s := <-sig
+	fmt.Printf("apollod: %v, shutting down\n", s)
+}

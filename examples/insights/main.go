@@ -1,0 +1,71 @@
+// Insights: a tour of the Table 1 I/O curations over a simulated Ares-like
+// cluster under load — the high-level knowledge Apollo serves to I/O
+// schedulers, data placement engines, and resource allocators.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/insights"
+)
+
+func main() {
+	c := cluster.BuildAres(time.Now(), 2, 2)
+
+	// Put the cluster under uneven load so the curations have signal. The
+	// 1-second accounting window below turns these into rates, so the busy
+	// device moves ~1.9 GB (95% of its 2 GB/s) and the idle one ~0.1 GB.
+	busy := c.Node("comp00").Device("nvme0")
+	busy.Write(0, 1900*cluster.MB)
+	for i := 0; i < 6; i++ {
+		busy.Read(7, 4096) // block 7 runs hot
+	}
+	idle := c.Node("comp01").Device("nvme0")
+	idle.Write(0, 100*cluster.MB)
+	worn := c.Node("stor00").Device("hdd0")
+	worn.InjectBadBlocks(worn.Snapshot().TotalBlocks / 20) // 5% bad
+	worn.Write(0, 200*cluster.GB)
+	c.Node("comp00").SetCPULoad(0.8)
+	c.Node("stor01").SetOnline(false)
+	c.Jobs().Submit("vpic", []string{"comp00", "comp01"}, 40, c.Now())
+	c.Jobs().AccountIO(1, 0, 101*cluster.GB)
+	c.Step(time.Second) // close the accounting window: rates become visible
+
+	fmt.Println("Table 1 I/O Insight curations:")
+	bt, it := busy.Snapshot(), idle.Snapshot()
+	fmt.Printf("  1  MSCA                    busy=%.4f idle=%.4f\n", insights.MSCA(bt), insights.MSCA(it))
+	fmt.Printf("  2  Interference Factor     busy=%.3f idle=%.3f (scheduler sends I/O to the idle device)\n",
+		insights.InterferenceFactor(bt), insights.InterferenceFactor(it))
+	fs := insights.FSPerformance(c.Node("stor00"))
+	fmt.Printf("  3  FS Performance          raid=%d devices=%d max_bw=%.0f MB/s\n", fs.RAIDLevel, fs.NumDevices, fs.MaxBW/1e6)
+	hot := insights.BlockHotness(busy, 3)
+	fmt.Printf("  4  Block Hotness           top block %d accessed %d times\n", hot[0].Block, hot[0].Accesses)
+	wt := worn.Snapshot()
+	fmt.Printf("  5  Device Health           worn hdd=%.3f healthy nvme=%.3f\n", insights.DeviceHealth(wt), insights.DeviceHealth(bt))
+	nh := insights.MeasureNetworkHealth(c, "comp00", "stor00")
+	fmt.Printf("  6  Network Health          %s<->%s ping %v\n", nh.NodeA, nh.NodeB, nh.Ping)
+	fmt.Printf("  7  Device Fault Tolerance  worn=%.3f\n", insights.DeviceFaultTolerance(wt))
+	fmt.Printf("  8  Degradation Rate        worn=%.3g per block\n", insights.DeviceDegradationRate(wt))
+	av := insights.AvailableNodes(c)
+	fmt.Printf("  9  Node Availability       %v (stor01 is down)\n", av.Nodes)
+	fmt.Printf(" 10  Tier Remaining          nvme=%.0f GB ssd=%.0f GB hdd=%.0f GB\n",
+		float64(insights.TierRemainingCapacity(c, cluster.TierNVMe))/float64(cluster.GB),
+		float64(insights.TierRemainingCapacity(c, cluster.TierSSD))/float64(cluster.GB),
+		float64(insights.TierRemainingCapacity(c, cluster.TierHDD))/float64(cluster.GB))
+	fmt.Printf(" 11  Energy per Transfer     comp00=%.1f J, stor00=%.1f J\n",
+		insights.EnergyPerTransfer(c.Node("comp00")), insights.EnergyPerTransfer(c.Node("stor00")))
+	st := insights.ReadSystemTime(c, "comp00")
+	fmt.Printf(" 12  System Time             %s reports %v\n", st.NodeID, st.Time.Format(time.RFC3339))
+	fmt.Printf(" 13  Device Load             busy=%.4g idle=%.4g\n", insights.DeviceLoad(bt), insights.DeviceLoad(it))
+	for _, a := range insights.JobAllocations(c) {
+		fmt.Printf(" 15  Allocation              job %d: %d nodes x %d procs, %d GB written\n",
+			a.JobID, a.NumNodes, a.ProcsPerNode, a.BytesWritten/cluster.GB)
+	}
+
+	fmt.Println("\nrankings for placement decisions:")
+	for _, ds := range insights.RankByInterference(c.DevicesByTier(cluster.TierNVMe)) {
+		fmt.Printf("  least interfered: %-16s %.3f\n", ds.Device.ID(), ds.Score)
+	}
+}

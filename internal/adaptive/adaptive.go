@@ -1,0 +1,243 @@
+// Package adaptive implements Apollo's adaptive and dynamic monitoring
+// interval (§3.4.1). Two AIMD-based controllers decide, after every poll,
+// how long to wait before the next poll:
+//
+//   - SimpleAIMD (the "simple parameterized method"): when the change in the
+//     metric value is within a user-defined threshold, the interval grows by
+//     an additive constant; otherwise it shrinks multiplicatively.
+//   - ComplexAIMD (the "adaptive parameterized method"): instead of a single
+//     change, the controller compares the latest change against a rolling
+//     average of recent changes, which handles non-continuous metrics that
+//     bounce between discrete value groupings.
+//
+// Fixed provides the static-interval baseline the paper evaluates against.
+package adaptive
+
+import (
+	"fmt"
+	"time"
+)
+
+// Controller chooses the next polling interval after each measurement.
+type Controller interface {
+	// Next records the newly measured value and returns the interval to
+	// wait before the next poll.
+	Next(value float64) time.Duration
+	// Interval returns the current interval without recording a sample.
+	Interval() time.Duration
+	// Reset restores the initial state.
+	Reset()
+}
+
+// Config holds the shared AIMD parameters.
+type Config struct {
+	// Initial is the starting interval.
+	Initial time.Duration
+	// Min and Max clamp the interval. Min must be > 0.
+	Min, Max time.Duration
+	// AdditiveStep is added to the interval when the metric is stable.
+	AdditiveStep time.Duration
+	// MultiplicativeFactor divides the interval when the metric changes
+	// beyond threshold; must be > 1.
+	MultiplicativeFactor float64
+	// Threshold is the absolute change in metric value considered "close
+	// enough" (stable).
+	Threshold float64
+	// Window is the rolling-average window for ComplexAIMD (ignored by
+	// SimpleAIMD). The paper uses 10; window 1 degenerates to SimpleAIMD.
+	Window int
+}
+
+// DefaultConfig mirrors the evaluation setup: 1s initial interval bounded to
+// [1s, 60s], +1s additive growth, halving on change, window 10.
+func DefaultConfig() Config {
+	return Config{
+		Initial:              time.Second,
+		Min:                  time.Second,
+		Max:                  60 * time.Second,
+		AdditiveStep:         time.Second,
+		MultiplicativeFactor: 2,
+		Threshold:            0,
+		Window:               10,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Initial <= 0 {
+		return fmt.Errorf("adaptive: Initial must be positive, got %v", c.Initial)
+	}
+	if c.Min <= 0 || c.Max < c.Min {
+		return fmt.Errorf("adaptive: need 0 < Min <= Max, got [%v, %v]", c.Min, c.Max)
+	}
+	if c.AdditiveStep <= 0 {
+		return fmt.Errorf("adaptive: AdditiveStep must be positive, got %v", c.AdditiveStep)
+	}
+	if c.MultiplicativeFactor <= 1 {
+		return fmt.Errorf("adaptive: MultiplicativeFactor must exceed 1, got %v", c.MultiplicativeFactor)
+	}
+	if c.Threshold < 0 {
+		return fmt.Errorf("adaptive: Threshold must be non-negative, got %v", c.Threshold)
+	}
+	return nil
+}
+
+func (c *Config) clamp(d time.Duration) time.Duration {
+	if d < c.Min {
+		return c.Min
+	}
+	if d > c.Max {
+		return c.Max
+	}
+	return d
+}
+
+// Fixed is the static-interval baseline.
+type Fixed struct {
+	d time.Duration
+}
+
+// NewFixed returns a controller that always yields d.
+func NewFixed(d time.Duration) *Fixed { return &Fixed{d: d} }
+
+// Next implements Controller.
+func (f *Fixed) Next(float64) time.Duration { return f.d }
+
+// Interval implements Controller.
+func (f *Fixed) Interval() time.Duration { return f.d }
+
+// Reset implements Controller.
+func (f *Fixed) Reset() {}
+
+// SimpleAIMD is the simple parameterized method: additive increase when the
+// last change is within Threshold, multiplicative decrease otherwise.
+type SimpleAIMD struct {
+	cfg      Config
+	interval time.Duration
+	last     float64
+	hasLast  bool
+}
+
+// NewSimpleAIMD builds the simple AIMD controller.
+func NewSimpleAIMD(cfg Config) (*SimpleAIMD, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &SimpleAIMD{cfg: cfg, interval: cfg.clamp(cfg.Initial)}, nil
+}
+
+// Next implements Controller.
+func (s *SimpleAIMD) Next(value float64) time.Duration {
+	if !s.hasLast {
+		s.last = value
+		s.hasLast = true
+		return s.interval
+	}
+	change := abs(value - s.last)
+	s.last = value
+	if change <= s.cfg.Threshold {
+		s.interval = s.cfg.clamp(s.interval + s.cfg.AdditiveStep)
+	} else {
+		s.interval = s.cfg.clamp(time.Duration(float64(s.interval) / s.cfg.MultiplicativeFactor))
+	}
+	return s.interval
+}
+
+// Interval implements Controller.
+func (s *SimpleAIMD) Interval() time.Duration { return s.interval }
+
+// Reset implements Controller.
+func (s *SimpleAIMD) Reset() {
+	s.interval = s.cfg.clamp(s.cfg.Initial)
+	s.hasLast = false
+	s.last = 0
+}
+
+// ComplexAIMD is the adaptive parameterized method: the latest change is
+// compared against the rolling average of the last Window changes, so a
+// metric that regularly bounces between discrete values (a constant *rate*
+// of change) reads as stable.
+type ComplexAIMD struct {
+	cfg      Config
+	interval time.Duration
+	last     float64
+	hasLast  bool
+	changes  []float64 // ring of recent |changes|
+	idx      int
+	filled   int
+	sum      float64
+}
+
+// NewComplexAIMD builds the windowed AIMD controller. Window < 1 is treated
+// as 1 (which makes it equivalent to SimpleAIMD per §4.3.1).
+func NewComplexAIMD(cfg Config) (*ComplexAIMD, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Window < 1 {
+		cfg.Window = 1
+	}
+	return &ComplexAIMD{cfg: cfg, interval: cfg.clamp(cfg.Initial), changes: make([]float64, cfg.Window)}, nil
+}
+
+// Next implements Controller.
+func (c *ComplexAIMD) Next(value float64) time.Duration {
+	if !c.hasLast {
+		c.last = value
+		c.hasLast = true
+		return c.interval
+	}
+	change := abs(value - c.last)
+	c.last = value
+
+	// Deviation of this change from the rolling average of prior changes.
+	var expected float64
+	if c.filled > 0 {
+		expected = c.sum / float64(c.filled)
+	}
+	deviation := abs(change - expected)
+
+	// Update the rolling window.
+	if c.filled == len(c.changes) {
+		c.sum -= c.changes[c.idx]
+	} else {
+		c.filled++
+	}
+	c.changes[c.idx] = change
+	c.sum += change
+	c.idx = (c.idx + 1) % len(c.changes)
+
+	if deviation <= c.cfg.Threshold {
+		c.interval = c.cfg.clamp(c.interval + c.cfg.AdditiveStep)
+	} else {
+		c.interval = c.cfg.clamp(time.Duration(float64(c.interval) / c.cfg.MultiplicativeFactor))
+	}
+	return c.interval
+}
+
+// Interval implements Controller.
+func (c *ComplexAIMD) Interval() time.Duration { return c.interval }
+
+// Reset implements Controller.
+func (c *ComplexAIMD) Reset() {
+	c.interval = c.cfg.clamp(c.cfg.Initial)
+	c.hasLast = false
+	c.last = 0
+	for i := range c.changes {
+		c.changes[i] = 0
+	}
+	c.idx, c.filled = 0, 0
+	c.sum = 0
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+var (
+	_ Controller = (*Fixed)(nil)
+	_ Controller = (*SimpleAIMD)(nil)
+	_ Controller = (*ComplexAIMD)(nil)
+)

@@ -1,0 +1,143 @@
+package adaptive
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// EntropyAIMD implements the paper's future-work direction: "improve the
+// adaptive interval heuristic by using a more intricate heuristic metric
+// inspired by entropy changes in physics [Cao et al., permutation
+// entropy]". Instead of comparing raw value changes, the controller tracks
+// the permutation entropy of the recent sample window — a measure of how
+// disordered the metric's dynamics are. Low entropy (predictable dynamics,
+// even if the values move) relaxes the interval additively; an entropy
+// *increase* beyond the threshold (the dynamics changed regime) tightens it
+// multiplicatively.
+type EntropyAIMD struct {
+	cfg   Config
+	order int // permutation order (embedding dimension), 3 by default
+
+	interval    time.Duration
+	window      []float64
+	count       int
+	lastEntropy float64
+	hasEntropy  bool
+}
+
+// NewEntropyAIMD builds the entropy-driven controller. cfg.Window is the
+// sample window the entropy is computed over (minimum order+1, default 16);
+// cfg.Threshold is the entropy increase (in normalized [0,1] entropy units)
+// that triggers multiplicative decrease.
+func NewEntropyAIMD(cfg Config, order int) (*EntropyAIMD, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if order < 2 {
+		order = 3
+	}
+	if order > 6 {
+		return nil, fmt.Errorf("adaptive: permutation order %d too large (max 6)", order)
+	}
+	if cfg.Window < order+1 {
+		cfg.Window = 16
+	}
+	return &EntropyAIMD{
+		cfg:      cfg,
+		order:    order,
+		interval: cfg.clamp(cfg.Initial),
+		window:   make([]float64, 0, cfg.Window),
+	}, nil
+}
+
+// Next implements Controller.
+func (e *EntropyAIMD) Next(value float64) time.Duration {
+	if len(e.window) == cap(e.window) {
+		copy(e.window, e.window[1:])
+		e.window = e.window[:len(e.window)-1]
+	}
+	e.window = append(e.window, value)
+	e.count++
+	if len(e.window) < e.order+1 {
+		return e.interval
+	}
+	h := PermutationEntropy(e.window, e.order)
+	if !e.hasEntropy {
+		e.lastEntropy = h
+		e.hasEntropy = true
+		return e.interval
+	}
+	delta := h - e.lastEntropy
+	e.lastEntropy = h
+	if delta > e.cfg.Threshold {
+		e.interval = e.cfg.clamp(time.Duration(float64(e.interval) / e.cfg.MultiplicativeFactor))
+	} else {
+		e.interval = e.cfg.clamp(e.interval + e.cfg.AdditiveStep)
+	}
+	return e.interval
+}
+
+// Interval implements Controller.
+func (e *EntropyAIMD) Interval() time.Duration { return e.interval }
+
+// Reset implements Controller.
+func (e *EntropyAIMD) Reset() {
+	e.interval = e.cfg.clamp(e.cfg.Initial)
+	e.window = e.window[:0]
+	e.count = 0
+	e.hasEntropy = false
+	e.lastEntropy = 0
+}
+
+var _ Controller = (*EntropyAIMD)(nil)
+
+// PermutationEntropy computes the normalized permutation entropy (Bandt &
+// Pompe; used for change detection by Cao et al.) of series with the given
+// embedding order: 0 for perfectly ordered dynamics (monotone ramps), 1 for
+// maximally disordered. Ties are broken by position, the standard
+// convention.
+func PermutationEntropy(series []float64, order int) float64 {
+	n := len(series) - order + 1
+	if n <= 0 || order < 2 {
+		return 0
+	}
+	counts := make(map[uint32]int)
+	perm := make([]int, order)
+	for i := 0; i < n; i++ {
+		win := series[i : i+order]
+		for j := range perm {
+			perm[j] = j
+		}
+		// Insertion-sort indices by value (stable: ties keep position order).
+		for j := 1; j < order; j++ {
+			for k := j; k > 0 && win[perm[k]] < win[perm[k-1]]; k-- {
+				perm[k], perm[k-1] = perm[k-1], perm[k]
+			}
+		}
+		// Encode the permutation as a base-`order` key.
+		var key uint32
+		for _, p := range perm {
+			key = key*uint32(order) + uint32(p)
+		}
+		counts[key]++
+	}
+	var h float64
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		h -= p * math.Log2(p)
+	}
+	// Normalize by log2(order!).
+	fact := 1.0
+	for i := 2; i <= order; i++ {
+		fact *= float64(i)
+	}
+	max := math.Log2(fact)
+	if max == 0 {
+		return 0
+	}
+	if h > max {
+		return 1
+	}
+	return h / max
+}

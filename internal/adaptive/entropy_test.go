@@ -1,0 +1,159 @@
+package adaptive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPermutationEntropyExtremes(t *testing.T) {
+	ramp := make([]float64, 64)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	if h := PermutationEntropy(ramp, 3); h != 0 {
+		t.Fatalf("ramp entropy=%f want 0", h)
+	}
+	down := make([]float64, 64)
+	for i := range down {
+		down[i] = float64(-i)
+	}
+	if h := PermutationEntropy(down, 3); h != 0 {
+		t.Fatalf("descending entropy=%f want 0", h)
+	}
+	r := rand.New(rand.NewSource(1))
+	noise := make([]float64, 4096)
+	for i := range noise {
+		noise[i] = r.Float64()
+	}
+	if h := PermutationEntropy(noise, 3); h < 0.95 {
+		t.Fatalf("noise entropy=%f want ~1", h)
+	}
+}
+
+func TestPermutationEntropyDegenerate(t *testing.T) {
+	if PermutationEntropy(nil, 3) != 0 {
+		t.Fatal("nil series")
+	}
+	if PermutationEntropy([]float64{1, 2}, 3) != 0 {
+		t.Fatal("too-short series")
+	}
+	if PermutationEntropy([]float64{1, 2, 3}, 1) != 0 {
+		t.Fatal("order 1")
+	}
+	// Constant series: one pattern, entropy 0.
+	if h := PermutationEntropy([]float64{5, 5, 5, 5, 5, 5}, 3); h != 0 {
+		t.Fatalf("constant entropy=%f", h)
+	}
+}
+
+func TestPermutationEntropyOrdersBetween(t *testing.T) {
+	// A period-2 oscillation has exactly two patterns at order 3: entropy
+	// strictly between 0 and 1.
+	osc := make([]float64, 64)
+	for i := range osc {
+		osc[i] = float64(i % 2)
+	}
+	h := PermutationEntropy(osc, 3)
+	if h <= 0 || h >= 1 {
+		t.Fatalf("oscillation entropy=%f", h)
+	}
+}
+
+func TestEntropyAIMDValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := NewEntropyAIMD(cfg, 9); err == nil {
+		t.Fatal("order 9 accepted")
+	}
+	bad := cfg
+	bad.Initial = 0
+	if _, err := NewEntropyAIMD(bad, 3); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	// Small window is widened to hold at least order+1 samples.
+	c, err := NewEntropyAIMD(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(c.window) < 6 {
+		t.Fatalf("window cap=%d", cap(c.window))
+	}
+}
+
+func TestEntropyAIMDRelaxesOnPredictableDynamics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Threshold = 0.05
+	c, err := NewEntropyAIMD(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A steep ramp: values change every sample, but the *dynamics* are
+	// perfectly ordered — the entropy controller relaxes where value-based
+	// AIMD would pin at the minimum interval.
+	for i := 0; i < 40; i++ {
+		c.Next(float64(i * 1000))
+	}
+	if c.Interval() <= cfg.Initial {
+		t.Fatalf("interval=%v did not relax on a ramp", c.Interval())
+	}
+
+	simple, _ := NewSimpleAIMD(cfg)
+	for i := 0; i < 40; i++ {
+		simple.Next(float64(i * 1000))
+	}
+	if simple.Interval() != cfg.Min {
+		t.Fatalf("simple AIMD should be pinned at min on a ramp, got %v", simple.Interval())
+	}
+}
+
+func TestEntropyAIMDTightensOnRegimeChange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Threshold = 0.05
+	cfg.Max = 120 * time.Second
+	c, err := NewEntropyAIMD(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		c.Next(float64(i))
+	}
+	relaxed := c.Interval()
+	// Regime change: ordered ramp becomes noise.
+	r := rand.New(rand.NewSource(7))
+	minSeen := relaxed
+	for i := 0; i < 16; i++ {
+		c.Next(r.Float64() * 1e6)
+		if c.Interval() < minSeen {
+			minSeen = c.Interval()
+		}
+	}
+	if minSeen >= relaxed {
+		t.Fatalf("interval never tightened after regime change (relaxed=%v)", relaxed)
+	}
+}
+
+func TestEntropyAIMDReset(t *testing.T) {
+	cfg := DefaultConfig()
+	c, _ := NewEntropyAIMD(cfg, 3)
+	for i := 0; i < 30; i++ {
+		c.Next(float64(i))
+	}
+	c.Reset()
+	if c.Interval() != cfg.Initial || len(c.window) != 0 || c.hasEntropy {
+		t.Fatalf("reset incomplete: %v %d %v", c.Interval(), len(c.window), c.hasEntropy)
+	}
+}
+
+func TestEntropyAIMDClampedAlways(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Threshold = 0.01
+	c, _ := NewEntropyAIMD(cfg, 3)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		d := c.Next(r.Float64() * math.Pow(10, float64(r.Intn(6))))
+		if d < cfg.Min || d > cfg.Max {
+			t.Fatalf("interval %v out of [%v, %v]", d, cfg.Min, cfg.Max)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package adaptive
+
+import "time"
+
+// Result summarizes a trace replay of one controller, the quantities plotted
+// in Figure 8 of the paper.
+type Result struct {
+	// Calls is the number of monitor-hook invocations the controller made.
+	Calls int
+	// MaxCalls is the number a 1-tick monitor would have made.
+	MaxCalls int
+	// Matches is the number of ticks where the controller's view of the
+	// metric equals the true value (within Tolerance).
+	Matches int
+}
+
+// Cost is Calls / MaxCalls: 1.0 means polling as often as the 1-tick
+// baseline.
+func (r Result) Cost() float64 {
+	if r.MaxCalls == 0 {
+		return 0
+	}
+	return float64(r.Calls) / float64(r.MaxCalls)
+}
+
+// Accuracy is the fraction of ticks whose held value matches the 1-tick
+// monitoring equivalent.
+func (r Result) Accuracy() float64 {
+	if r.MaxCalls == 0 {
+		return 0
+	}
+	return float64(r.Matches) / float64(r.MaxCalls)
+}
+
+// Evaluate replays trace (one sample per tick, tick = the base monitoring
+// resolution, 1 second in the paper) against ctrl. At tick 0 the controller
+// polls; afterwards it polls whenever its interval has elapsed. Between
+// polls the controller's view holds the last polled value. tolerance is the
+// absolute error within which a held value counts as matching.
+func Evaluate(trace []float64, ctrl Controller, tick time.Duration, tolerance float64) Result {
+	ctrl.Reset()
+	res := Result{MaxCalls: len(trace)}
+	if len(trace) == 0 {
+		return res
+	}
+	var held float64
+	nextPoll := 0 // tick index of next hook call
+	for i, truth := range trace {
+		if i == nextPoll {
+			held = truth
+			res.Calls++
+			d := ctrl.Next(truth)
+			steps := int(d / tick)
+			if steps < 1 {
+				steps = 1
+			}
+			nextPoll = i + steps
+		}
+		if diff := held - truth; diff <= tolerance && diff >= -tolerance {
+			res.Matches++
+		}
+	}
+	return res
+}

@@ -1,0 +1,281 @@
+package aqe
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/score"
+	"repro/internal/telemetry"
+)
+
+// Resolver maps table names to SCoRe Query Executors. score.Graph adapted by
+// GraphResolver is the standard implementation; the LDMS comparison plugs in
+// its own store.
+type Resolver interface {
+	Resolve(table string) (score.Executor, error)
+}
+
+// ErrNoSuchTable is returned when a queried table has no vertex.
+var ErrNoSuchTable = errors.New("aqe: no such table")
+
+// GraphResolver adapts a SCoRe graph to the Resolver interface.
+type GraphResolver struct {
+	Graph *score.Graph
+}
+
+// Resolve implements Resolver.
+func (r GraphResolver) Resolve(table string) (score.Executor, error) {
+	v, ok := r.Graph.Lookup(telemetry.MetricID(table))
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	return v, nil
+}
+
+// Cell is one result value.
+type Cell struct {
+	// Kind discriminates the union.
+	Kind CellKind
+	Int  int64
+	F    float64
+	Str  string
+}
+
+// CellKind tags Cell.
+type CellKind int
+
+// Cell kinds.
+const (
+	CellInt CellKind = iota
+	CellFloat
+	CellString
+)
+
+// String renders the cell.
+func (c Cell) String() string {
+	switch c.Kind {
+	case CellInt:
+		return fmt.Sprintf("%d", c.Int)
+	case CellFloat:
+		return fmt.Sprintf("%g", c.F)
+	default:
+		return c.Str
+	}
+}
+
+func intCell(v int64) Cell     { return Cell{Kind: CellInt, Int: v} }
+func floatCell(v float64) Cell { return Cell{Kind: CellFloat, F: v} }
+func strCell(s string) Cell    { return Cell{Kind: CellString, Str: s} }
+
+// Result is a query result: one row set per UNION branch, concatenated in
+// branch order.
+type Result struct {
+	Columns []string
+	Rows    [][]Cell
+}
+
+// Engine executes parsed queries against a Resolver. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	res Resolver
+	// Sequential disables branch parallelism (ablation).
+	Sequential bool
+}
+
+// NewEngine builds a query engine.
+func NewEngine(res Resolver) *Engine { return &Engine{res: res} }
+
+// Query parses and executes src.
+func (e *Engine) Query(src string) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(q)
+}
+
+// Execute runs a parsed query. UNION branches are resolved in parallel —
+// "highly parallel and decoupled access to information within the Apollo
+// service" (§3.1) — and their rows concatenated in branch order.
+func (e *Engine) Execute(q *Query) (*Result, error) {
+	if len(q.Selects) == 0 {
+		return nil, errors.New("aqe: empty query")
+	}
+	// Column headers come from the first branch; all branches must have the
+	// same arity (standard UNION semantics).
+	arity := len(q.Selects[0].Items)
+	for _, s := range q.Selects {
+		if len(s.Items) != arity {
+			return nil, errors.New("aqe: UNION branches have different arity")
+		}
+	}
+	cols := make([]string, arity)
+	for i, it := range q.Selects[0].Items {
+		cols[i] = it.Label()
+	}
+
+	branchRows := make([][][]Cell, len(q.Selects))
+	branchErrs := make([]error, len(q.Selects))
+	if e.Sequential {
+		for i := range q.Selects {
+			branchRows[i], branchErrs[i] = e.execSelect(q.Selects[i])
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i := range q.Selects {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				branchRows[i], branchErrs[i] = e.execSelect(q.Selects[i])
+			}(i)
+		}
+		wg.Wait()
+	}
+	res := &Result{Columns: cols}
+	for i := range branchRows {
+		if branchErrs[i] != nil {
+			return nil, branchErrs[i]
+		}
+		res.Rows = append(res.Rows, branchRows[i]...)
+	}
+	return res, nil
+}
+
+// execSelect evaluates one branch.
+func (e *Engine) execSelect(s SelectStmt) ([][]Cell, error) {
+	ex, err := e.res.Resolve(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	hasAgg := false
+	for _, it := range s.Items {
+		if it.Agg != AggNone {
+			hasAgg = true
+			break
+		}
+	}
+
+	// Fast path for the canonical latest-value query:
+	// every item is either MAX(Timestamp) or a bare column, no WHERE.
+	if s.Where == nil && s.Order == nil && s.Limit == 0 && hasAgg && latestOnly(s.Items) {
+		info, ok := ex.Latest()
+		if !ok {
+			return nil, nil
+		}
+		return [][]Cell{rowFor(s.Items, info)}, nil
+	}
+
+	// General path: scan the (possibly archive-backed) range, which yields
+	// entries in ascending timestamp order.
+	from, to := int64(-1<<62), int64(1<<62)
+	if s.Where != nil {
+		from, to = s.Where.From, s.Where.To
+	}
+	entries := ex.Range(from, to)
+	if !hasAgg {
+		if s.Order != nil && s.Order.Desc {
+			for i, j := 0, len(entries)-1; i < j; i, j = i+1, j-1 {
+				entries[i], entries[j] = entries[j], entries[i]
+			}
+		}
+		if s.Limit > 0 && len(entries) > s.Limit {
+			entries = entries[:s.Limit]
+		}
+		rows := make([][]Cell, 0, len(entries))
+		for _, in := range entries {
+			rows = append(rows, rowFor(s.Items, in))
+		}
+		return rows, nil
+	}
+	rows, err := aggregateRows(s.Items, entries)
+	if err != nil {
+		return nil, err
+	}
+	if s.Limit > 0 && len(rows) > s.Limit {
+		rows = rows[:s.Limit]
+	}
+	return rows, nil
+}
+
+// latestOnly reports whether the select list is satisfied by Latest():
+// aggregates only of the form MAX(Timestamp) mixed with bare columns.
+func latestOnly(items []SelectItem) bool {
+	for _, it := range items {
+		if it.Agg == AggNone {
+			continue
+		}
+		if it.Agg != AggMax || it.Col != ColTimestamp {
+			return false
+		}
+	}
+	return true
+}
+
+// rowFor renders one Information tuple through the select list.
+func rowFor(items []SelectItem, in telemetry.Info) []Cell {
+	row := make([]Cell, len(items))
+	for i, it := range items {
+		switch it.Col {
+		case ColTimestamp:
+			row[i] = intCell(in.Timestamp)
+		case ColMetric:
+			row[i] = floatCell(in.Value)
+		case ColSource:
+			row[i] = strCell(in.Source.String())
+		default:
+			row[i] = intCell(1)
+		}
+	}
+	return row
+}
+
+// aggregateRows evaluates a select list with aggregates over a scanned range,
+// producing a single row.
+func aggregateRows(items []SelectItem, entries []telemetry.Info) ([][]Cell, error) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	row := make([]Cell, len(items))
+	for i, it := range items {
+		switch it.Agg {
+		case AggNone:
+			// Bare columns alongside aggregates take the newest entry's
+			// value (the paper's query pairs MAX(Timestamp) with metric).
+			row[i] = rowFor([]SelectItem{it}, entries[len(entries)-1])[0]
+		case AggCount:
+			row[i] = intCell(int64(len(entries)))
+		case AggMax, AggMin:
+			if it.Col == ColTimestamp {
+				v := entries[0].Timestamp
+				for _, in := range entries[1:] {
+					if (it.Agg == AggMax && in.Timestamp > v) || (it.Agg == AggMin && in.Timestamp < v) {
+						v = in.Timestamp
+					}
+				}
+				row[i] = intCell(v)
+			} else {
+				v := entries[0].Value
+				for _, in := range entries[1:] {
+					if (it.Agg == AggMax && in.Value > v) || (it.Agg == AggMin && in.Value < v) {
+						v = in.Value
+					}
+				}
+				row[i] = floatCell(v)
+			}
+		case AggAvg, AggSum:
+			if it.Col != ColMetric {
+				return nil, fmt.Errorf("aqe: %s supports only the metric column", it.Agg)
+			}
+			sum := 0.0
+			for _, in := range entries {
+				sum += in.Value
+			}
+			if it.Agg == AggAvg {
+				sum /= float64(len(entries))
+			}
+			row[i] = floatCell(sum)
+		}
+	}
+	return [][]Cell{row}, nil
+}

@@ -1,0 +1,102 @@
+// Package aqe is the Apollo Query Engine (§3.1, §4.4): it parses a small
+// SQL dialect — the resource-query language of the paper's evaluation — and
+// resolves each SELECT branch in parallel against the Query Executors of
+// SCoRe vertices. The canonical middleware query is
+//
+//	SELECT MAX(Timestamp), metric FROM pfs_capacity
+//	UNION
+//	SELECT MAX(Timestamp), metric FROM node_1_memory_capacity
+//	...
+//
+// where query complexity = number of queried tables (UNION branches).
+package aqe
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokComma
+	tokLParen
+	tokRParen
+	tokStar
+	tokOp // >= <= = > <
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// ErrSyntax wraps all parse errors.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string { return fmt.Sprintf("aqe: syntax error at %d: %s", e.Pos, e.Msg) }
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == ';':
+			i++ // trailing semicolons are permitted and ignored
+		case c == '>', c == '<', c == '=':
+			op := string(c)
+			if (c == '>' || c == '<') && i+1 < len(src) && src[i+1] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokOp, op, i})
+			i++
+		case unicode.IsDigit(c) || (c == '-' && i+1 < len(src) && unicode.IsDigit(rune(src[i+1]))):
+			start := i
+			i++
+			for i < len(src) && (unicode.IsDigit(rune(src[i])) || src[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{tokNumber, src[start:i], start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_' || src[i] == '.' || src[i] == '-') {
+				i++
+			}
+			toks = append(toks, token{tokIdent, src[start:i], start})
+		default:
+			return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+// keyword matching is case-insensitive.
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

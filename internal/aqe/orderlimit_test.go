@@ -1,0 +1,99 @@
+package aqe
+
+import "testing"
+
+func TestOrderByDescLimit(t *testing.T) {
+	e := NewEngine(fixture())
+	res, err := e.Query("SELECT Timestamp, metric FROM pfs_capacity ORDER BY Timestamp DESC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+	if res.Rows[0][0].Int != 500 || res.Rows[1][0].Int != 400 {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+}
+
+func TestOrderByAscExplicit(t *testing.T) {
+	e := NewEngine(fixture())
+	res, err := e.Query("SELECT Timestamp FROM pfs_capacity ORDER BY Timestamp ASC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || res.Rows[0][0].Int != 100 || res.Rows[2][0].Int != 300 {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+}
+
+func TestOrderByWithWhere(t *testing.T) {
+	e := NewEngine(fixture())
+	res, err := e.Query("SELECT Timestamp FROM pfs_capacity WHERE Timestamp BETWEEN 200 AND 500 ORDER BY Timestamp DESC LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 500 {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+}
+
+func TestLimitWithoutOrder(t *testing.T) {
+	e := NewEngine(fixture())
+	res, err := e.Query("SELECT metric FROM pfs_capacity LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].F != 990 {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+}
+
+func TestLimitLargerThanRows(t *testing.T) {
+	e := NewEngine(fixture())
+	res, err := e.Query("SELECT metric FROM pfs_capacity LIMIT 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+}
+
+func TestOrderLimitInUnion(t *testing.T) {
+	e := NewEngine(fixture())
+	res, err := e.Query(`SELECT Timestamp, metric FROM pfs_capacity ORDER BY Timestamp DESC LIMIT 1
+		UNION SELECT Timestamp, metric FROM node_1_memory LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].Int != 500 || res.Rows[1][1].F != 42 {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+}
+
+func TestOrderLimitErrors(t *testing.T) {
+	bad := []string{
+		"SELECT metric FROM t ORDER Timestamp",
+		"SELECT metric FROM t ORDER BY metric",
+		"SELECT metric FROM t LIMIT 0",
+		"SELECT metric FROM t LIMIT x",
+		"SELECT metric FROM t ORDER BY",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestAggregateWithLimit(t *testing.T) {
+	e := NewEngine(fixture())
+	res, err := e.Query("SELECT COUNT(*) FROM pfs_capacity WHERE Timestamp >= 0 LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 5 {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+}

@@ -1,0 +1,266 @@
+// Package archive implements the per-vertex Archiver of SCoRe: an
+// append-only log that persists Information tuples evicted from a vertex's
+// in-memory queue. The Query Executor falls back to the persisted log for
+// entries no longer held in memory.
+//
+// The log is a sequence of fixed-framing records, each the CRC-guarded
+// binary encoding from package telemetry, optionally split across size-capped
+// segment files so old segments can be pruned.
+package archive
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// DefaultSegmentBytes is the size threshold after which a new segment file is
+// started.
+const DefaultSegmentBytes = 4 << 20
+
+// Log is an append-only archive of Information tuples for one vertex. It is
+// safe for concurrent use.
+type Log struct {
+	mu           sync.Mutex
+	dir          string
+	segmentBytes int64
+	cur          *os.File
+	curW         *bufio.Writer
+	curSize      int64
+	curIndex     int
+	appended     uint64
+	closed       bool
+}
+
+// Options configures a Log.
+type Options struct {
+	// SegmentBytes caps each segment file; zero means DefaultSegmentBytes.
+	SegmentBytes int64
+}
+
+// Open creates or reopens a Log rooted at dir. Existing segments are kept and
+// appends continue in a fresh segment after the highest existing index.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	l := &Log{dir: dir, segmentBytes: opts.SegmentBytes}
+	segs, err := l.segments()
+	if err != nil {
+		return nil, err
+	}
+	next := 0
+	if len(segs) > 0 {
+		next = segs[len(segs)-1] + 1
+	}
+	if err := l.openSegment(next); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func segmentName(i int) string { return fmt.Sprintf("segment-%08d.log", i) }
+
+// segments returns the sorted indices of existing segment files.
+func (l *Log) segments() ([]int, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	var out []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "segment-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, "segment-"), ".log")
+		i, err := strconv.Atoi(num)
+		if err != nil {
+			continue
+		}
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+func (l *Log) openSegment(i int) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(i)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("archive: %w", err)
+	}
+	l.cur = f
+	l.curW = bufio.NewWriter(f)
+	l.curSize = st.Size()
+	l.curIndex = i
+	return nil
+}
+
+// Append persists one tuple. It buffers; call Sync to force bytes to the OS.
+func (l *Log) Append(info telemetry.Info) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("archive: log closed")
+	}
+	b, err := info.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if l.curSize+int64(len(b)) > l.segmentBytes && l.curSize > 0 {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := l.curW.Write(b); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	l.curSize += int64(len(b))
+	l.appended++
+	return nil
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.curW.Flush(); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	if err := l.cur.Close(); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	return l.openSegment(l.curIndex + 1)
+}
+
+// Appended returns the number of tuples appended since Open.
+func (l *Log) Appended() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// Sync flushes buffered appends to the OS.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	if err := l.curW.Flush(); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	return l.cur.Sync()
+}
+
+// Close flushes and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.curW.Flush(); err != nil {
+		l.cur.Close()
+		return fmt.Errorf("archive: %w", err)
+	}
+	return l.cur.Close()
+}
+
+// Replay streams every archived tuple, oldest first, to fn. Replay stops at
+// the first error from fn or a corrupt record (a partially-written tail
+// record terminates replay without error). Replay flushes pending appends
+// first so a Log can replay its own writes.
+func (l *Log) Replay(fn func(telemetry.Info) error) error {
+	l.mu.Lock()
+	if !l.closed {
+		if err := l.curW.Flush(); err != nil {
+			l.mu.Unlock()
+			return fmt.Errorf("archive: %w", err)
+		}
+	}
+	segs, err := l.segments()
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, i := range segs {
+		if err := replayFile(filepath.Join(l.dir, segmentName(i)), fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Range replays only tuples whose Timestamp lies in [from, to].
+func (l *Log) Range(from, to int64, fn func(telemetry.Info) error) error {
+	return l.Replay(func(info telemetry.Info) error {
+		if info.Timestamp < from || info.Timestamp > to {
+			return nil
+		}
+		return fn(info)
+	})
+}
+
+func replayFile(path string, fn func(telemetry.Info) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(bufio.NewReader(f))
+	if err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	for len(data) > 0 {
+		info, n, err := telemetry.DecodeInfo(data)
+		if err != nil {
+			// A torn tail record ends replay of this segment silently;
+			// this matches crash-recovery semantics of an append-only log.
+			return nil
+		}
+		if err := fn(info); err != nil {
+			return err
+		}
+		data = data[n:]
+	}
+	return nil
+}
+
+// Prune removes all segments except the active one, returning how many files
+// were deleted. SCoRe uses it to bound archive growth for long-lived
+// vertices.
+func (l *Log) Prune() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs, err := l.segments()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, i := range segs {
+		if i == l.curIndex {
+			continue
+		}
+		if err := os.Remove(filepath.Join(l.dir, segmentName(i))); err != nil {
+			return n, fmt.Errorf("archive: %w", err)
+		}
+		n++
+	}
+	return n, nil
+}

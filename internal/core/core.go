@@ -1,0 +1,343 @@
+// Package core assembles Apollo, the paper's primary contribution: an
+// ML-assisted, real-time, low-latency storage resource observer. A Service
+// owns the Pub-Sub fabric (stream broker), the SCoRe DAG of Fact and Insight
+// vertices, the Apollo Query Engine, the adaptive-interval controllers, and
+// optionally the Delphi predictive model; middleware libraries talk to it
+// through Query/Latest/Subscribe or the middleware.CapacityView adapter.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/aqe"
+	"repro/internal/archive"
+	"repro/internal/delphi"
+	"repro/internal/middleware"
+	"repro/internal/sched"
+	"repro/internal/score"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// IntervalMode selects the polling-interval strategy for registered metrics.
+type IntervalMode int
+
+// Interval modes (§3.4.1).
+const (
+	// IntervalFixed polls at Config.Adaptive.Initial forever.
+	IntervalFixed IntervalMode = iota
+	// IntervalSimpleAIMD uses the simple parameterized method.
+	IntervalSimpleAIMD
+	// IntervalComplexAIMD uses the adaptive parameterized method
+	// (rolling-average window).
+	IntervalComplexAIMD
+	// IntervalEntropy uses the permutation-entropy heuristic the paper
+	// proposes as future work (§6).
+	IntervalEntropy
+)
+
+// String names the mode.
+func (m IntervalMode) String() string {
+	switch m {
+	case IntervalFixed:
+		return "fixed"
+	case IntervalSimpleAIMD:
+		return "simple-aimd"
+	case IntervalComplexAIMD:
+		return "complex-aimd"
+	case IntervalEntropy:
+		return "entropy"
+	default:
+		return "mode(?)"
+	}
+}
+
+// Config configures an Apollo service.
+type Config struct {
+	// Clock drives all polling; nil means the real clock.
+	Clock sched.Clock
+	// Retention bounds each metric's broker topic (0: default).
+	Retention int
+	// Mode picks the interval controller for registered metrics.
+	Mode IntervalMode
+	// Adaptive parameterizes the controllers (zero value: defaults).
+	Adaptive adaptive.Config
+	// Delphi, if non-nil, enables predicted values between polls.
+	Delphi *delphi.Model
+	// BaseTick is the target resolution Delphi restores (default 1s).
+	BaseTick time.Duration
+	// ArchiveDir, if set, persists evicted queue entries per metric.
+	ArchiveDir string
+	// HistorySize bounds per-vertex in-memory queues (0: default).
+	HistorySize int
+}
+
+// Service is a running Apollo instance.
+type Service struct {
+	cfg    Config
+	broker *stream.Broker
+	graph  *score.Graph
+	engine *aqe.Engine
+
+	mu       sync.Mutex
+	archives []*archive.Log
+	server   *stream.Server
+	started  bool
+	stopped  bool
+}
+
+// New builds an Apollo service.
+func New(cfg Config) *Service {
+	if cfg.Clock == nil {
+		cfg.Clock = sched.RealClock{}
+	}
+	if cfg.BaseTick <= 0 {
+		cfg.BaseTick = time.Second
+	}
+	if cfg.Adaptive == (adaptive.Config{}) {
+		cfg.Adaptive = adaptive.DefaultConfig()
+	}
+	s := &Service{
+		cfg:    cfg,
+		broker: stream.NewBroker(cfg.Retention),
+		graph:  score.NewGraph(),
+	}
+	s.engine = aqe.NewEngine(aqe.GraphResolver{Graph: s.graph})
+	return s
+}
+
+// Graph exposes the SCoRe DAG (for advanced wiring and the benches).
+func (s *Service) Graph() *score.Graph { return s.graph }
+
+// Broker exposes the Pub-Sub fabric.
+func (s *Service) Broker() *stream.Broker { return s.broker }
+
+// Clock returns the service clock.
+func (s *Service) Clock() sched.Clock { return s.cfg.Clock }
+
+// newController builds the configured interval controller.
+func (s *Service) newController() (adaptive.Controller, error) {
+	switch s.cfg.Mode {
+	case IntervalFixed:
+		return adaptive.NewFixed(s.cfg.Adaptive.Initial), nil
+	case IntervalSimpleAIMD:
+		return adaptive.NewSimpleAIMD(s.cfg.Adaptive)
+	case IntervalComplexAIMD:
+		return adaptive.NewComplexAIMD(s.cfg.Adaptive)
+	case IntervalEntropy:
+		return adaptive.NewEntropyAIMD(s.cfg.Adaptive, 3)
+	default:
+		return nil, fmt.Errorf("core: unknown interval mode %d", s.cfg.Mode)
+	}
+}
+
+// MetricOption customizes one registered metric.
+type MetricOption func(*score.FactConfig)
+
+// WithController overrides the service-level interval controller.
+func WithController(c adaptive.Controller) MetricOption {
+	return func(fc *score.FactConfig) { fc.Controller = c }
+}
+
+// WithoutDelphi disables prediction for this metric even when the service
+// has a model.
+func WithoutDelphi() MetricOption {
+	return func(fc *score.FactConfig) { fc.Delphi = nil }
+}
+
+// WithPublishUnchanged disables the only-on-change filter for this metric.
+func WithPublishUnchanged() MetricOption {
+	return func(fc *score.FactConfig) { fc.PublishUnchanged = true }
+}
+
+// RegisterMetric deploys a Fact Vertex for hook. Safe before or after Start;
+// vertices registered after Start are started immediately.
+func (s *Service) RegisterMetric(hook score.Hook, opts ...MetricOption) (*score.FactVertex, error) {
+	ctrl, err := s.newController()
+	if err != nil {
+		return nil, err
+	}
+	fc := score.FactConfig{
+		Hook:        hook,
+		Bus:         s.broker,
+		Controller:  ctrl,
+		Clock:       s.cfg.Clock,
+		HistorySize: s.cfg.HistorySize,
+		BaseTick:    s.cfg.BaseTick,
+	}
+	if s.cfg.Delphi != nil {
+		fc.Delphi = delphi.NewOnline(s.cfg.Delphi)
+	}
+	if s.cfg.ArchiveDir != "" {
+		log, err := archive.Open(filepath.Join(s.cfg.ArchiveDir, string(hook.Metric())), archive.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.archives = append(s.archives, log)
+		s.mu.Unlock()
+		fc.Archive = log
+	}
+	for _, o := range opts {
+		o(&fc)
+	}
+	v, err := score.NewFactVertex(fc)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.graph.RegisterFact(v); err != nil {
+		return nil, err
+	}
+	if s.isStarted() {
+		if err := v.Start(); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// RegisterInsight deploys an Insight Vertex deriving id from inputs.
+func (s *Service) RegisterInsight(id telemetry.MetricID, inputs []telemetry.MetricID, b score.Builder) (*score.InsightVertex, error) {
+	v, err := score.NewInsightVertex(score.InsightConfig{
+		Metric:      id,
+		Inputs:      inputs,
+		Builder:     b,
+		Bus:         s.broker,
+		Clock:       s.cfg.Clock,
+		HistorySize: s.cfg.HistorySize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.graph.RegisterInsight(v); err != nil {
+		return nil, err
+	}
+	if s.isStarted() {
+		if err := v.Start(); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// Unregister removes a vertex at runtime (§3.1).
+func (s *Service) Unregister(id telemetry.MetricID) bool { return s.graph.Unregister(id) }
+
+func (s *Service) isStarted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.started && !s.stopped
+}
+
+// Start launches every registered vertex.
+func (s *Service) Start() error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return errors.New("core: service already started")
+	}
+	s.started = true
+	s.mu.Unlock()
+	return s.graph.StartAll()
+}
+
+// Stop terminates all vertices, the TCP endpoint, and archives.
+func (s *Service) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	server := s.server
+	archives := s.archives
+	s.mu.Unlock()
+	s.graph.StopAll()
+	if server != nil {
+		server.Close()
+	}
+	s.broker.Close()
+	for _, a := range archives {
+		a.Close()
+	}
+}
+
+// Serve exposes the Pub-Sub fabric over TCP so remote vertices and clients
+// can attach; it returns the bound address.
+func (s *Service) Serve(addr string) (string, error) {
+	srv, err := stream.Serve(s.broker, addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.server = srv
+	s.mu.Unlock()
+	return srv.Addr(), nil
+}
+
+// Query runs an AQE query (SELECT ... [UNION ...]).
+func (s *Service) Query(sql string) (*aqe.Result, error) { return s.engine.Query(sql) }
+
+// Engine exposes the query engine.
+func (s *Service) Engine() *aqe.Engine { return s.engine }
+
+// Latest returns the newest tuple of a metric from its vertex queue.
+func (s *Service) Latest(id telemetry.MetricID) (telemetry.Info, bool) {
+	v, ok := s.graph.Lookup(id)
+	if !ok {
+		return telemetry.Info{}, false
+	}
+	return v.Latest()
+}
+
+// Range returns tuples of a metric in [from, to].
+func (s *Service) Range(id telemetry.MetricID, from, to int64) []telemetry.Info {
+	v, ok := s.graph.Lookup(id)
+	if !ok {
+		return nil
+	}
+	return v.Range(from, to)
+}
+
+// Subscribe streams decoded tuples of a metric until ctx ends.
+func (s *Service) Subscribe(ctx context.Context, id telemetry.MetricID) (<-chan telemetry.Info, error) {
+	raw, err := s.broker.Subscribe(ctx, string(id), 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan telemetry.Info, 64)
+	go func() {
+		defer close(out)
+		for e := range raw {
+			var in telemetry.Info
+			if err := in.UnmarshalBinary(e.Payload); err != nil {
+				continue
+			}
+			select {
+			case out <- in:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+// CapacityView adapts the service to the middleware engines: device IDs map
+// to "<deviceID>.capacity" metrics, answered from the vertex queue (which
+// includes Delphi-predicted values between polls).
+func (s *Service) CapacityView() middleware.CapacityView {
+	return func(deviceID string) (int64, bool) {
+		in, ok := s.Latest(telemetry.MetricID(deviceID + ".capacity"))
+		if !ok {
+			return 0, false
+		}
+		return int64(in.Value), true
+	}
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/cluster"
+	"repro/internal/sched"
+	"repro/internal/score"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+func constHook(id telemetry.MetricID, v float64) score.Hook {
+	return score.HookFunc{ID: id, Fn: func() (float64, error) { return v, nil }}
+}
+
+func TestIntervalModeString(t *testing.T) {
+	if IntervalFixed.String() != "fixed" || IntervalSimpleAIMD.String() != "simple-aimd" ||
+		IntervalComplexAIMD.String() != "complex-aimd" || IntervalEntropy.String() != "entropy" ||
+		IntervalMode(9).String() != "mode(?)" {
+		t.Fatal("mode names")
+	}
+}
+
+func TestServiceLifecycle(t *testing.T) {
+	s := New(Config{Clock: sched.NewSimClock(time.Unix(0, 0))})
+	if _, err := s.RegisterMetric(constHook("m", 42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err == nil {
+		t.Fatal("double start")
+	}
+	waitFor(t, func() bool {
+		_, ok := s.Latest("m")
+		return ok
+	})
+	in, _ := s.Latest("m")
+	if in.Value != 42 {
+		t.Fatalf("latest=%v", in)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never met")
+}
+
+func TestRegisterAfterStart(t *testing.T) {
+	s := New(Config{Clock: sched.NewSimClock(time.Unix(0, 0))})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if _, err := s.RegisterMetric(constHook("late", 7)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		_, ok := s.Latest("late")
+		return ok
+	})
+}
+
+func TestModes(t *testing.T) {
+	for _, mode := range []IntervalMode{IntervalFixed, IntervalSimpleAIMD, IntervalComplexAIMD, IntervalEntropy} {
+		s := New(Config{Mode: mode, Clock: sched.NewSimClock(time.Unix(0, 0))})
+		if _, err := s.RegisterMetric(constHook("m", 1)); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+	}
+	s := New(Config{Mode: IntervalMode(99), Clock: sched.NewSimClock(time.Unix(0, 0))})
+	if _, err := s.RegisterMetric(constHook("m", 1)); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestMetricOptions(t *testing.T) {
+	s := New(Config{Clock: sched.NewSimClock(time.Unix(0, 0))})
+	ctrl := adaptive.NewFixed(5 * time.Second)
+	v, err := s.RegisterMetric(constHook("m", 1), WithController(ctrl), WithoutDelphi(), WithPublishUnchanged())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poll twice with the same value: change filter disabled keeps
+	// publishing.
+	v.PollOnce()
+	v.PollOnce()
+	if st := v.Stats(); st.Published != 2 {
+		t.Fatalf("published=%d", st.Published)
+	}
+}
+
+func TestQueryThroughAQE(t *testing.T) {
+	s := New(Config{Clock: sched.NewSimClock(time.Unix(0, 0))})
+	va, _ := s.RegisterMetric(constHook("pfs_capacity", 500))
+	vb, _ := s.RegisterMetric(constHook("node_1_memory", 64))
+	va.PollOnce()
+	vb.PollOnce()
+	res, err := s.Query("SELECT MAX(Timestamp), metric FROM pfs_capacity UNION SELECT MAX(Timestamp), metric FROM node_1_memory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][1].F != 500 || res.Rows[1][1].F != 64 {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+}
+
+func TestInsightRegistration(t *testing.T) {
+	clock := sched.NewSimClock(time.Unix(0, 0))
+	s := New(Config{Clock: clock})
+	s.RegisterMetric(constHook("a", 10))
+	s.RegisterMetric(constHook("b", 20))
+	if _, err := s.RegisterInsight("sum", []telemetry.MetricID{"a", "b"}, score.Sum); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	waitFor(t, func() bool {
+		in, ok := s.Latest("sum")
+		return ok && in.Value == 30
+	})
+	if !s.Unregister("sum") {
+		t.Fatal("unregister failed")
+	}
+	if s.Unregister("sum") {
+		t.Fatal("double unregister succeeded")
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	s := New(Config{Clock: sched.NewSimClock(time.Unix(0, 0))})
+	v, _ := s.RegisterMetric(constHook("m", 3))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := s.Subscribe(ctx, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.PollOnce()
+	select {
+	case in := <-ch:
+		if in.Value != 3 || in.Metric != "m" {
+			t.Fatalf("in=%v", in)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscription stalled")
+	}
+}
+
+func TestRangeAndMissingMetric(t *testing.T) {
+	clock := sched.NewSimClock(time.Unix(0, 0))
+	s := New(Config{Clock: clock})
+	h := &score.ReplayHook{ID: "m", Trace: []float64{1, 2, 3}}
+	v, _ := s.RegisterMetric(h)
+	for i := 0; i < 3; i++ {
+		v.PollOnce()
+		clock.Advance(time.Second)
+	}
+	all := s.Range("m", 0, 1<<62)
+	if len(all) != 3 {
+		t.Fatalf("range=%v", all)
+	}
+	if got := s.Range("ghost", 0, 1); got != nil {
+		t.Fatal("ghost range")
+	}
+	if _, ok := s.Latest("ghost"); ok {
+		t.Fatal("ghost latest")
+	}
+}
+
+func TestArchiveDirWiring(t *testing.T) {
+	clock := sched.NewSimClock(time.Unix(0, 0))
+	s := New(Config{Clock: clock, ArchiveDir: t.TempDir(), HistorySize: 2})
+	h := &score.ReplayHook{ID: "m", Trace: []float64{1, 2, 3, 4, 5}}
+	v, err := s.RegisterMetric(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		v.PollOnce()
+		clock.Advance(time.Second)
+	}
+	// History holds 2; archive holds the 3 evicted. Range must see all 5.
+	if all := s.Range("m", 0, 1<<62); len(all) != 5 {
+		t.Fatalf("range=%d", len(all))
+	}
+	s.Stop()
+}
+
+func TestServeTCP(t *testing.T) {
+	s := New(Config{Clock: sched.NewSimClock(time.Unix(0, 0))})
+	v, _ := s.RegisterMetric(constHook("m", 9))
+	v.PollOnce()
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	bus, err := stream.NewRemoteBus(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bus.Close()
+	e, err := bus.Latest("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in telemetry.Info
+	if err := in.UnmarshalBinary(e.Payload); err != nil {
+		t.Fatal(err)
+	}
+	if in.Value != 9 {
+		t.Fatalf("remote latest=%v", in)
+	}
+}
+
+func TestDeployNodeMonitors(t *testing.T) {
+	c := cluster.BuildAres(time.Unix(0, 0), 1, 0)
+	s := New(Config{Clock: sched.NewSimClock(time.Unix(0, 0))})
+	ids, err := s.DeployNodeMonitors(c.Node("comp00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 devices x 3 hooks + 4 node hooks = 10.
+	if len(ids) != 10 {
+		t.Fatalf("ids=%v", ids)
+	}
+	for _, id := range ids {
+		if _, ok := s.Graph().Lookup(id); !ok {
+			t.Fatalf("metric %s not registered", id)
+		}
+	}
+}
+
+func TestDeployTierCapacityInsights(t *testing.T) {
+	c := cluster.BuildAres(time.Unix(0, 0), 2, 1)
+	clock := sched.NewSimClock(time.Unix(0, 0))
+	s := New(Config{Clock: clock})
+	sink, err := s.DeployTierCapacityInsights(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	// Total capacity: 2 compute (96 GB RAM + 250 GB NVMe) + 1 storage
+	// (150 GB SSD + 1 TB HDD).
+	want := float64(2*(96+250)*cluster.GB + (150*cluster.GB + cluster.TB))
+	waitFor(t, func() bool {
+		in, ok := s.Latest(sink)
+		return ok && in.Value == want
+	})
+	// The DAG has height 2 (device -> node -> cluster).
+	if h := s.Graph().Height(); h != 2 {
+		t.Fatalf("height=%d", h)
+	}
+}
+
+func TestCapacityView(t *testing.T) {
+	c := cluster.BuildAres(time.Unix(0, 0), 1, 0)
+	s := New(Config{Clock: sched.NewSimClock(time.Unix(0, 0))})
+	d := c.Node("comp00").Device("nvme0")
+	v, _ := s.RegisterMetric(score.HookFunc{
+		ID: telemetry.MetricID(d.ID() + ".capacity"),
+		Fn: func() (float64, error) { return float64(d.Remaining()), nil },
+	})
+	v.PollOnce()
+	view := s.CapacityView()
+	rem, ok := view(d.ID())
+	if !ok || rem != 250*cluster.GB {
+		t.Fatalf("rem=%d ok=%v", rem, ok)
+	}
+	if _, ok := view("ghost"); ok {
+		t.Fatal("ghost view ok")
+	}
+}

@@ -1,0 +1,65 @@
+package delphi
+
+import "math"
+
+// WindowSize is the input window of every Delphi model (the paper trains
+// with "a window size of five").
+const WindowSize = 5
+
+// normalize maps a raw window to zero-mean, unit-scale model space and
+// returns the (loc, scale) needed to map predictions back. A degenerate
+// window (constant) gets scale 1 so the models see all-zeros and predict 0,
+// which denormalizes to the constant — exactly right.
+func normalize(window []float64) (norm []float64, loc, scale float64) {
+	return Normalize(window)
+}
+
+// Normalize is the exported window normalization used throughout Delphi;
+// comparison baselines (the Fig. 11 LSTMs) share it so errors are measured
+// in the same units.
+func Normalize(window []float64) (norm []float64, loc, scale float64) {
+	loc = 0
+	for _, v := range window {
+		loc += v
+	}
+	loc /= float64(len(window))
+	scale = 0
+	for _, v := range window {
+		if d := math.Abs(v - loc); d > scale {
+			scale = d
+		}
+	}
+	if scale < 1e-12 {
+		scale = 1
+	}
+	norm = make([]float64, len(window))
+	for i, v := range window {
+		norm[i] = (v - loc) / scale
+	}
+	return norm, loc, scale
+}
+
+// Windows slices a series into (window, next-value) supervised pairs in
+// normalized space. Targets share each window's normalization so the model
+// learns shape, not magnitude.
+func Windows(series []float64, window int) (xs [][]float64, ys []float64) {
+	if window < 1 || len(series) <= window {
+		return nil, nil
+	}
+	for i := 0; i+window < len(series); i++ {
+		w := series[i : i+window]
+		norm, loc, scale := normalize(w)
+		xs = append(xs, norm)
+		ys = append(ys, (series[i+window]-loc)/scale)
+	}
+	return xs, ys
+}
+
+// toTargets wraps scalar targets for nn.Sequential.Fit.
+func toTargets(ys []float64) [][]float64 {
+	out := make([][]float64, len(ys))
+	for i, y := range ys {
+		out[i] = []float64{y}
+	}
+	return out
+}

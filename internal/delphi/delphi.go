@@ -1,0 +1,286 @@
+package delphi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/nn"
+)
+
+// NumStacked is how many pre-trained feature models are stacked under the
+// trainable combiner. The paper reports Delphi at 50 parameters total with
+// 14 trainable; that pins the architecture to six frozen Dense(5,1) feature
+// models (6 x 6 = 36 frozen) under a Dense(13,1) combiner (14 trainable)
+// whose inputs are the six frozen predictions, the five normalized window
+// values, the window mean, and the window slope. The two remaining features
+// (random walk, constant) carry no learnable shape — the combiner's direct
+// window taps cover them, which is what the paper's "trainable layer that
+// could learn any other missing features" does.
+const NumStacked = 6
+
+// combinerInputs = 6 frozen predictions + 5 window values + mean + slope.
+const combinerInputs = NumStacked + WindowSize + 2
+
+// StackedFeatures returns the six features that get a dedicated frozen
+// model, in stacking order.
+func StackedFeatures() []Feature {
+	return []Feature{TrendUp, TrendDown, Seasonal, LevelShift, Sawtooth, Spike}
+}
+
+// Model is the Delphi predictor: frozen per-feature models plus a trainable
+// combiner.
+type Model struct {
+	features []*nn.Dense // frozen Dense(WindowSize,1) models
+	combiner *nn.Dense   // trainable Dense(combinerInputs,1)
+}
+
+// ErrNotTrained is returned by Load/Predict paths on malformed models.
+var ErrNotTrained = errors.New("delphi: model not trained")
+
+// TrainOptions controls feature-model and combiner training.
+type TrainOptions struct {
+	// SeriesPerFeature is how many synthetic series each feature model is
+	// trained on.
+	SeriesPerFeature int
+	// SeriesLen is the length of each synthetic series.
+	SeriesLen int
+	// Epochs per model.
+	Epochs int
+	// Noise level for synthetic data.
+	Noise float64
+	// Seed makes training deterministic.
+	Seed int64
+	// OnProgress, if set, receives a line per trained model.
+	OnProgress func(msg string)
+}
+
+func (o *TrainOptions) fill() {
+	if o.SeriesPerFeature == 0 {
+		o.SeriesPerFeature = 8
+	}
+	if o.SeriesLen == 0 {
+		o.SeriesLen = 256
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 40
+	}
+	if o.Noise == 0 {
+		o.Noise = 0.2
+	}
+}
+
+// Train builds a full Delphi model: first each feature model is trained on
+// its own synthetic dataset and frozen, then the combiner is trained on a
+// composite dataset "comprised of the different features" (§3.4.2).
+func Train(opts TrainOptions) (*Model, error) {
+	opts.fill()
+	m := &Model{}
+	for idx, f := range StackedFeatures() {
+		var xs [][]float64
+		var ys []float64
+		for s := 0; s < opts.SeriesPerFeature; s++ {
+			series := f.Generate(opts.SeriesLen, opts.Noise, opts.Seed+int64(idx*1000+s))
+			wx, wy := Windows(series, WindowSize)
+			xs = append(xs, wx...)
+			ys = append(ys, wy...)
+		}
+		if len(xs) == 0 {
+			return nil, fmt.Errorf("delphi: no training windows for %s", f)
+		}
+		layer := nn.NewDense(WindowSize, 1, nn.Identity, opts.Seed+int64(idx))
+		seq := nn.NewSequential(layer)
+		loss, err := seq.Fit(xs, toTargets(ys), nn.FitOptions{
+			Epochs: opts.Epochs, BatchSize: 32,
+			Optimizer: nn.NewAdam(0.01), Shuffle: true, Seed: opts.Seed + int64(idx),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("delphi: training %s model: %w", f, err)
+		}
+		layer.Frozen = true
+		m.features = append(m.features, layer)
+		if opts.OnProgress != nil {
+			opts.OnProgress(fmt.Sprintf("feature model %-12s loss=%.5f", f, loss))
+		}
+	}
+	// Combiner on the composite dataset.
+	m.combiner = nn.NewDense(combinerInputs, 1, nn.Identity, opts.Seed+99)
+	series := Composite(opts.SeriesPerFeature*opts.SeriesLen, opts.Noise, opts.Seed+7)
+	wx, wy := Windows(series, WindowSize)
+	cx := make([][]float64, len(wx))
+	for i, w := range wx {
+		cx[i] = m.combinerInput(w)
+	}
+	seq := nn.NewSequential(m.combiner)
+	loss, err := seq.Fit(cx, toTargets(wy), nn.FitOptions{
+		Epochs: opts.Epochs, BatchSize: 32,
+		Optimizer: nn.NewAdam(0.01), Shuffle: true, Seed: opts.Seed + 99,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("delphi: training combiner: %w", err)
+	}
+	if opts.OnProgress != nil {
+		opts.OnProgress(fmt.Sprintf("combiner loss=%.5f", loss))
+	}
+	return m, nil
+}
+
+// combinerInput assembles the combiner feature vector from a normalized
+// window.
+func (m *Model) combinerInput(norm []float64) []float64 {
+	in := make([]float64, 0, combinerInputs)
+	for _, f := range m.features {
+		in = append(in, f.Forward(norm)[0])
+	}
+	in = append(in, norm...)
+	mean := 0.0
+	for _, v := range norm {
+		mean += v
+	}
+	mean /= float64(len(norm))
+	slope := norm[len(norm)-1] - norm[0]
+	in = append(in, mean, slope)
+	return in
+}
+
+// Predict forecasts the next value of a metric from its last WindowSize
+// measurements (raw units; normalization is handled internally).
+func (m *Model) Predict(window []float64) (float64, error) {
+	if len(window) != WindowSize {
+		return 0, fmt.Errorf("delphi: window size %d, want %d", len(window), WindowSize)
+	}
+	if len(m.features) != NumStacked || m.combiner == nil {
+		return 0, ErrNotTrained
+	}
+	norm, loc, scale := normalize(window)
+	pred := m.combiner.Forward(m.combinerInput(norm))[0]
+	return pred*scale + loc, nil
+}
+
+// ParamCount reports (total, trainable) parameters: (50, 14).
+func (m *Model) ParamCount() (total, trainable int) {
+	layers := make([]nn.Layer, 0, len(m.features)+1)
+	for _, f := range m.features {
+		layers = append(layers, f)
+	}
+	if m.combiner != nil {
+		layers = append(layers, m.combiner)
+	}
+	return nn.ParamCount(layers)
+}
+
+// Evaluate runs the model over a series and returns RMSE, MAE, and R2 of
+// one-step-ahead predictions in raw units.
+func (m *Model) Evaluate(series []float64) (rmse, mae, r2 float64, err error) {
+	if len(series) <= WindowSize {
+		return 0, 0, 0, errors.New("delphi: series too short to evaluate")
+	}
+	var preds, truth []float64
+	for i := 0; i+WindowSize < len(series); i++ {
+		p, err := m.Predict(series[i : i+WindowSize])
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		preds = append(preds, p)
+		truth = append(truth, series[i+WindowSize])
+	}
+	return scoreSeries(preds, truth)
+}
+
+// scoreSeries computes RMSE, MAE, R2 of predictions against truth.
+func scoreSeries(preds, truth []float64) (rmse, mae, r2 float64, err error) {
+	if len(preds) == 0 || len(preds) != len(truth) {
+		return 0, 0, 0, errors.New("delphi: empty evaluation")
+	}
+	n := float64(len(preds))
+	mean := 0.0
+	for _, t := range truth {
+		mean += t
+	}
+	mean /= n
+	var sse, sae, sst float64
+	for i := range preds {
+		d := preds[i] - truth[i]
+		sse += d * d
+		if d < 0 {
+			d = -d
+		}
+		sae += d
+		t := truth[i] - mean
+		sst += t * t
+	}
+	rmse = math.Sqrt(sse / n)
+	mae = sae / n
+	if sst == 0 {
+		if sse == 0 {
+			r2 = 1
+		}
+	} else {
+		r2 = 1 - sse/sst
+	}
+	return rmse, mae, r2, nil
+}
+
+// Serialization ---------------------------------------------------------
+
+type modelJSON struct {
+	Features []denseJSON `json:"features"`
+	Combiner denseJSON   `json:"combiner"`
+}
+
+type denseJSON struct {
+	W []float64 `json:"w"`
+	B []float64 `json:"b"`
+}
+
+// Save writes the model to a JSON file.
+func (m *Model) Save(path string) error {
+	if len(m.features) != NumStacked || m.combiner == nil {
+		return ErrNotTrained
+	}
+	var mj modelJSON
+	for _, f := range m.features {
+		mj.Features = append(mj.Features, denseJSON{W: f.W, B: f.B})
+	}
+	mj.Combiner = denseJSON{W: m.combiner.W, B: m.combiner.B}
+	b, err := json.Marshal(mj)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Load reads a model saved with Save.
+func Load(path string) (*Model, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var mj modelJSON
+	if err := json.Unmarshal(b, &mj); err != nil {
+		return nil, err
+	}
+	if len(mj.Features) != NumStacked {
+		return nil, fmt.Errorf("%w: expected %d feature models, found %d", ErrNotTrained, NumStacked, len(mj.Features))
+	}
+	m := &Model{}
+	for i, fj := range mj.Features {
+		if len(fj.W) != WindowSize || len(fj.B) != 1 {
+			return nil, fmt.Errorf("%w: feature %d shape", ErrNotTrained, i)
+		}
+		d := nn.NewDense(WindowSize, 1, nn.Identity, 0)
+		copy(d.W, fj.W)
+		copy(d.B, fj.B)
+		d.Frozen = true
+		m.features = append(m.features, d)
+	}
+	if len(mj.Combiner.W) != combinerInputs || len(mj.Combiner.B) != 1 {
+		return nil, fmt.Errorf("%w: combiner shape", ErrNotTrained)
+	}
+	m.combiner = nn.NewDense(combinerInputs, 1, nn.Identity, 0)
+	copy(m.combiner.W, mj.Combiner.W)
+	copy(m.combiner.B, mj.Combiner.B)
+	return m, nil
+}

@@ -1,0 +1,153 @@
+// Package delphi implements Apollo's predictive model (§3.4.2): a stack of
+// tiny pre-trained "feature models", each specialized on one of the key
+// time-series features of Lin et al., frozen and combined by a single
+// trainable dense layer that learns to weigh their predictions (plus any
+// missing feature and noise). Delphi predicts intermediate metric values
+// between monitor-hook polls so Apollo can relax its polling interval
+// without losing resolution.
+package delphi
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Feature identifies one of the eight synthetic time-series features the
+// paper trains on (after Lin et al., "Pattern Recognition in Time Series").
+type Feature int
+
+// The eight features.
+const (
+	TrendUp Feature = iota
+	TrendDown
+	Seasonal
+	LevelShift
+	Sawtooth
+	Spike
+	RandomWalk
+	Constant
+	numFeatures
+)
+
+// Features lists all eight features in order.
+func Features() []Feature {
+	out := make([]Feature, numFeatures)
+	for i := range out {
+		out[i] = Feature(i)
+	}
+	return out
+}
+
+// String names the feature.
+func (f Feature) String() string {
+	switch f {
+	case TrendUp:
+		return "trend-up"
+	case TrendDown:
+		return "trend-down"
+	case Seasonal:
+		return "seasonal"
+	case LevelShift:
+		return "level-shift"
+	case Sawtooth:
+		return "sawtooth"
+	case Spike:
+		return "spike"
+	case RandomWalk:
+		return "random-walk"
+	case Constant:
+		return "constant"
+	default:
+		return fmt.Sprintf("feature(%d)", int(f))
+	}
+}
+
+// Generate synthesizes a series of n points exhibiting the feature. The
+// noise parameter (0..) scales additive Gaussian noise relative to the
+// signal amplitude. Deterministic for a given seed.
+func (f Feature) Generate(n int, noise float64, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	amp := 1 + 9*r.Float64() // signal amplitude in [1,10)
+	switch f {
+	case TrendUp:
+		slope := amp / float64(n)
+		for i := range out {
+			out[i] = slope * float64(i)
+		}
+	case TrendDown:
+		slope := amp / float64(n)
+		for i := range out {
+			out[i] = amp - slope*float64(i)
+		}
+	case Seasonal:
+		period := float64(8 + r.Intn(24))
+		phase := r.Float64() * 2 * math.Pi
+		for i := range out {
+			out[i] = amp * math.Sin(2*math.Pi*float64(i)/period+phase)
+		}
+	case LevelShift:
+		level := amp * r.Float64()
+		hold := 10 + r.Intn(20)
+		for i := range out {
+			if i%hold == 0 {
+				level = amp * r.Float64()
+			}
+			out[i] = level
+		}
+	case Sawtooth:
+		period := 8 + r.Intn(24)
+		for i := range out {
+			out[i] = amp * float64(i%period) / float64(period)
+		}
+	case Spike:
+		base := amp * r.Float64() * 0.2
+		for i := range out {
+			out[i] = base
+			if r.Float64() < 0.05 {
+				out[i] = base + amp
+			}
+		}
+	case RandomWalk:
+		v := 0.0
+		for i := range out {
+			v += (r.Float64()*2 - 1) * amp * 0.05
+			out[i] = v
+		}
+	case Constant:
+		c := amp * (r.Float64()*2 - 1)
+		for i := range out {
+			out[i] = c
+		}
+	default:
+		panic(fmt.Sprintf("delphi: unknown feature %d", int(f)))
+	}
+	if noise > 0 {
+		for i := range out {
+			out[i] += r.NormFloat64() * noise * amp * 0.05
+		}
+	}
+	return out
+}
+
+// Composite mixes segments of all eight features into one long series, the
+// training signal for Delphi's trainable combiner layer.
+func Composite(n int, noise float64, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]float64, 0, n)
+	for len(out) < n {
+		f := Feature(r.Intn(int(numFeatures)))
+		seg := f.Generate(40+r.Intn(80), noise, r.Int63())
+		// Offset each segment to continue from the current level so the
+		// composite has no artificial cliffs beyond what LevelShift makes.
+		if len(out) > 0 && len(seg) > 0 {
+			delta := out[len(out)-1] - seg[0]
+			for i := range seg {
+				seg[i] += delta
+			}
+		}
+		out = append(out, seg...)
+	}
+	return out[:n]
+}

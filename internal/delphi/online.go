@@ -1,0 +1,137 @@
+package delphi
+
+// Online wraps a trained Model for streaming use inside a Monitor Hook or
+// Insight Builder: it keeps the last WindowSize measured values of one
+// metric and forecasts values between polls. Until enough history exists it
+// falls back to last-value-hold, which is what a non-Delphi Apollo reports
+// implicitly between polls anyway.
+//
+// Online is not safe for concurrent use; each vertex owns its own instance
+// (vertices are single-goroutine actors).
+type Online struct {
+	model  *Model
+	window [WindowSize]float64
+	n      int
+}
+
+// NewOnline wraps model (which may be nil; then Predict always falls back).
+func NewOnline(model *Model) *Online { return &Online{model: model} }
+
+// Observe records a measured value.
+func (o *Online) Observe(v float64) {
+	if o.n < WindowSize {
+		o.window[o.n] = v
+		o.n++
+		return
+	}
+	copy(o.window[:], o.window[1:])
+	o.window[WindowSize-1] = v
+}
+
+// Ready reports whether a full window of measurements exists.
+func (o *Online) Ready() bool { return o.n == WindowSize && o.model != nil }
+
+// Predict forecasts the next value. Before the window fills (or without a
+// model) it returns the last observed value and ok=false; with no
+// observations at all it returns (0, false).
+//
+// Predictions are clamped to the window's envelope expanded by one window
+// span: a one-step forecast farther out than that is extrapolation noise,
+// and the clamp keeps closed-loop use (feeding predictions back as
+// pseudo-observations) from diverging.
+func (o *Online) Predict() (v float64, ok bool) {
+	if !o.Ready() {
+		if o.n == 0 {
+			return 0, false
+		}
+		return o.window[o.n-1], false
+	}
+	p, err := o.model.Predict(o.window[:])
+	if err != nil {
+		return o.window[WindowSize-1], false
+	}
+	lo, hi := o.window[0], o.window[0]
+	for _, w := range o.window[1:] {
+		if w < lo {
+			lo = w
+		}
+		if w > hi {
+			hi = w
+		}
+	}
+	span := hi - lo
+	if p > hi+span {
+		p = hi + span
+	}
+	if p < lo-span {
+		p = lo - span
+	}
+	return p, true
+}
+
+// PredictAhead forecasts steps values into the future by feeding predictions
+// back as pseudo-observations (the window itself is not mutated).
+func (o *Online) PredictAhead(steps int) []float64 {
+	out := make([]float64, 0, steps)
+	if steps < 1 {
+		return out
+	}
+	if !o.Ready() {
+		v, _ := o.Predict()
+		for i := 0; i < steps; i++ {
+			out = append(out, v)
+		}
+		return out
+	}
+	var w [WindowSize]float64
+	copy(w[:], o.window[:])
+	for i := 0; i < steps; i++ {
+		p, err := o.model.Predict(w[:])
+		if err != nil {
+			p = w[WindowSize-1]
+		}
+		out = append(out, p)
+		copy(w[:], w[1:])
+		w[WindowSize-1] = p
+	}
+	return out
+}
+
+// PredictTicks forecasts the metric at the `steps` base-tick instants that
+// lie between the poll that was just observed and the next poll. The model
+// observes at poll cadence, so its one-step-ahead forecast targets the next
+// poll; the intermediate ticks interpolate linearly toward it. (Feeding the
+// model's poll-cadence trajectory directly to base ticks would replay the
+// whole inter-poll change at every tick.)
+func (o *Online) PredictTicks(steps int) []float64 {
+	out := make([]float64, 0, steps)
+	if steps < 1 {
+		return out
+	}
+	next, ok := o.Predict()
+	var last float64
+	if o.n > 0 {
+		last = o.window[minInt(o.n, WindowSize)-1]
+	}
+	if !ok {
+		for i := 0; i < steps; i++ {
+			out = append(out, last)
+		}
+		return out
+	}
+	for i := 0; i < steps; i++ {
+		frac := float64(i+1) / float64(steps+1)
+		out = append(out, last+(next-last)*frac)
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Reset clears observation history.
+func (o *Online) Reset() { o.n = 0 }

@@ -1,0 +1,222 @@
+package figures
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/adaptive"
+)
+
+func quick() Options { return Options{Quick: true, Seed: 1} }
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, tb *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d)=%q: %v", row, col, tb.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestAllGeneratorsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure generation is seconds-long even in quick mode")
+	}
+	for _, g := range All() {
+		g := g
+		t.Run("fig"+g.ID, func(t *testing.T) {
+			tb, err := g.Fn(quick())
+			if err != nil {
+				t.Fatalf("fig %s: %v", g.ID, err)
+			}
+			if tb.ID != g.ID {
+				t.Fatalf("table id %q != generator id %q", tb.ID, g.ID)
+			}
+			if len(tb.Rows) == 0 || len(tb.Columns) == 0 {
+				t.Fatalf("fig %s produced empty table", g.ID)
+			}
+			for _, row := range tb.Rows {
+				if len(row) != len(tb.Columns) {
+					t.Fatalf("fig %s: row arity %d != %d columns", g.ID, len(row), len(tb.Columns))
+				}
+			}
+			out := tb.String()
+			if !strings.Contains(out, tb.Title) {
+				t.Fatalf("rendering lost the title: %s", out)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if g, ok := ByID("8"); !ok || g.ID != "8" {
+		t.Fatal("ByID(8) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID(nope) succeeded")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Columns: []string{"a", "bb"}, Notes: []string{"n1"}}
+	tb.AddRow("1", "2")
+	out := tb.String()
+	for _, want := range []string{"demo", "a", "bb", "1", "2", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+}
+
+// Shape assertions: the headline claims of the paper must hold in the
+// reproduction (quick mode).
+
+func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	tb, err := Fig4(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hookPct := cell(t, tb, 0, 1)
+	publishPct := cell(t, tb, 0, 3)
+	if hookPct < 80 {
+		t.Fatalf("fact vertex hook share %f%%, paper says ~97.5%%", hookPct)
+	}
+	if publishPct > 10 {
+		t.Fatalf("fact vertex publish share %f%%, paper says ~1.8%%", publishPct)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	tb, err := Fig8(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: (regular, irregular) x (fixed, simple, complex).
+	get := func(workload, model string) (cost, acc float64) {
+		for i, row := range tb.Rows {
+			if row[0] == workload && row[1] == model {
+				return cell(t, tb, i, 2), cell(t, tb, i, 3)
+			}
+		}
+		t.Fatalf("row %s/%s missing", workload, model)
+		return 0, 0
+	}
+	// Regular workload: fixed 5s matches the write period -> high accuracy
+	// at 0.2 cost.
+	fixedCost, fixedAcc := get("regular", "fixed-5s")
+	if fixedAcc < 0.95 || fixedCost > 0.25 {
+		t.Fatalf("regular fixed-5s cost=%f acc=%f", fixedCost, fixedAcc)
+	}
+	// Irregular: complex AIMD more accurate than simple, at >= cost.
+	sCost, sAcc := get("irregular", "simple-aimd")
+	cCost, cAcc := get("irregular", "complex-aimd")
+	if cAcc <= sAcc {
+		t.Fatalf("complex acc %f <= simple acc %f on irregular", cAcc, sAcc)
+	}
+	if cCost < sCost {
+		t.Fatalf("complex cost %f < simple cost %f (paper: accuracy has an associated cost)", cCost, sCost)
+	}
+	// All adaptive models cost less than the 1s baseline.
+	if sCost >= 1 || cCost >= 1 {
+		t.Fatalf("adaptive cost >= baseline: %f %f", sCost, cCost)
+	}
+}
+
+func TestFig9Fig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	for _, fig := range []func(Options) (*Table, error){Fig9, Fig10} {
+		tb, err := fig(quick())
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseCalls := cell(t, tb, 0, 1)
+		adaptCalls := cell(t, tb, 1, 1)
+		delphiCalls := cell(t, tb, 2, 1)
+		if adaptCalls >= baseCalls || delphiCalls >= baseCalls {
+			t.Fatalf("%s: adaptive approaches did not reduce hook calls: %v", tb.ID, tb.Rows)
+		}
+		// Delphi restores near-baseline resolution at the adaptive cost.
+		adaptRes := cell(t, tb, 1, 3)
+		delphiRes := cell(t, tb, 2, 3)
+		if delphiRes <= adaptRes || delphiRes < 0.9 {
+			t.Fatalf("%s: delphi resolution %f (adaptive %f)", tb.ID, delphiRes, adaptRes)
+		}
+		baseAcc := cell(t, tb, 0, 4)
+		delphiAcc := cell(t, tb, 2, 4)
+		if baseAcc != 1 {
+			t.Fatalf("%s: 1s baseline accuracy %f", tb.ID, baseAcc)
+		}
+		if delphiAcc < 0.7 {
+			t.Fatalf("%s: delphi accuracy %f too low ('minimal loss of data')", tb.ID, delphiAcc)
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	tb, err := Fig12a(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tb.Rows {
+		if speedup := cell(t, tb, i, 3); speedup <= 1 {
+			t.Fatalf("row %d: apollo not faster than ldms (speedup %f)", i, speedup)
+		}
+	}
+}
+
+func TestFig13aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	tb, err := Fig13a(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(i int) time.Duration {
+		d, err := time.ParseDuration(tb.Rows[i][1])
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		return d
+	}
+	pfs, rr, ap := parse(0), parse(1), parse(2)
+	if rr >= pfs || ap >= rr {
+		t.Fatalf("ordering broken: pfs=%v rr=%v apollo=%v", pfs, rr, ap)
+	}
+}
+
+func TestEvaluateWithDelphiNoModel(t *testing.T) {
+	trace := []float64{1, 2, 3, 4, 5, 6}
+	run := evaluateWithDelphi(trace, adaptive.NewFixed(time.Second), nil, 0)
+	if run.HookCalls != 6 || run.Accuracy != 1 {
+		t.Fatalf("run=%+v", run)
+	}
+	empty := evaluateWithDelphi(nil, adaptive.NewFixed(time.Second), nil, 0)
+	if empty.HookCalls != 0 {
+		t.Fatalf("empty=%+v", empty)
+	}
+}
+
+func TestResourceQueryComplexity(t *testing.T) {
+	q := resourceQuery(3, 16, 0)
+	if strings.Count(q, "SELECT") != 3 {
+		t.Fatalf("query=%q", q)
+	}
+	if !strings.Contains(q, "pfs_capacity") {
+		t.Fatalf("query=%q", q)
+	}
+}

@@ -1,0 +1,235 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hooks"
+	"repro/internal/middleware"
+	"repro/internal/score"
+	"repro/internal/telemetry"
+	"repro/internal/workloads"
+)
+
+// mwFixture is one freshly-built middleware environment (engine runs mutate
+// device occupancy, so each policy gets its own).
+type mwFixture struct {
+	cluster *cluster.Cluster
+	env     middleware.Env
+	svc     *core.Service
+}
+
+// newMWFixture builds the §4.4 hierarchy with the paper's buffering budget:
+// "up to 96GB in NVMe drives and 1TB in Burst Buffers" — four 24 GB NVMe
+// buffering targets, four 256 GB burst-buffer SSDs (remote), and a parallel
+// file system modeled as one aggregate 1 GB/s HDD-tier device. VPIC's
+// 1.31 TB necessarily overflows the fast tiers, which is where the policies
+// diverge. With apolloView, an Apollo service monitors every buffer's
+// capacity and the view polls the device's Fact Vertex when its sample is
+// stale, then reads the vertex queue — placement pays the real Apollo
+// access path.
+func newMWFixture(opts Options, apolloView bool) (*mwFixture, error) {
+	c := cluster.New(time.Unix(0, 0))
+	var buffers []*middleware.Target
+	for i := 0; i < 4; i++ {
+		n, err := c.AddNode(cluster.NodeSpec{
+			ID: fmt.Sprintf("comp%02d", i),
+			Devices: []cluster.DeviceSpec{{
+				Name: "nvme0", Tier: cluster.TierNVMe, Capacity: 24 * cluster.GB,
+				MaxBandwidth: 2e9, Latency: 20 * time.Microsecond, Concurrency: 16,
+			}},
+			MemTotal: 96 * cluster.GB,
+		})
+		if err != nil {
+			return nil, err
+		}
+		buffers = append(buffers, &middleware.Target{Dev: n.Device("nvme0")})
+	}
+	for i := 0; i < 4; i++ {
+		n, err := c.AddNode(cluster.NodeSpec{
+			ID: fmt.Sprintf("stor%02d", i),
+			Devices: []cluster.DeviceSpec{{
+				Name: "ssd0", Tier: cluster.TierSSD, Capacity: 256 * cluster.GB,
+				MaxBandwidth: 500e6, Latency: 80 * time.Microsecond, Concurrency: 8,
+			}},
+			MemTotal: 32 * cluster.GB,
+		})
+		if err != nil {
+			return nil, err
+		}
+		buffers = append(buffers, &middleware.Target{
+			Dev: n.Device("ssd0"), Remote: true, NetLatency: 200 * time.Microsecond,
+		})
+	}
+	pfsNode, err := c.AddNode(cluster.NodeSpec{
+		ID: "pfs",
+		Devices: []cluster.DeviceSpec{{
+			Name: "pfs0", Tier: cluster.TierHDD, Capacity: 20 * cluster.TB,
+			MaxBandwidth: 1e9, Latency: 4 * time.Millisecond, Concurrency: 32,
+		}},
+		MemTotal: 32 * cluster.GB,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pfs := &middleware.Target{Dev: pfsNode.Device("pfs0"), Remote: true, NetLatency: 200 * time.Microsecond}
+	fix := &mwFixture{cluster: c, env: middleware.Env{Buffers: buffers, PFS: pfs}}
+	if !apolloView {
+		return fix, nil
+	}
+
+	svc := core.New(core.Config{Mode: core.IntervalFixed})
+	vertices := make(map[string]*score.FactVertex, len(buffers))
+	for _, b := range buffers {
+		v, err := svc.RegisterMetric(hooks.DeviceRemaining(b.Dev))
+		if err != nil {
+			return nil, err
+		}
+		v.PollOnce()
+		vertices[b.Dev.ID()] = v
+	}
+	fix.svc = svc
+	fix.env.View = func(devID string) (int64, bool) {
+		v, ok := vertices[devID]
+		if !ok {
+			return 0, false
+		}
+		// During a placement burst Apollo's adaptive interval tightens to
+		// its floor, and one placement moves gigabytes (~1 s of simulated
+		// device time), so the sub-millisecond monitoring path is fresh at
+		// placement granularity: model it as poll-then-read through the
+		// real vertex queue.
+		v.PollOnce()
+		in, ok := svc.Latest(telemetry.MetricID(devID + ".capacity"))
+		if !ok {
+			return 0, false
+		}
+		return int64(in.Value), true
+	}
+	return fix, nil
+}
+
+func (fx *mwFixture) close() {
+	if fx.svc != nil {
+		fx.svc.Stop()
+	}
+}
+
+// runMW executes one engine+policy combination on a fresh fixture.
+func runMW(opts Options, k workloads.Kernel, engine string, policy middleware.Policy) (middleware.Report, error) {
+	fix, err := newMWFixture(opts, policy == middleware.ApolloAware)
+	if err != nil {
+		return middleware.Report{}, err
+	}
+	defer fix.close()
+	switch engine {
+	case "hdpe":
+		h := &middleware.HDPE{Env: fix.env}
+		return h.Run(k, policy)
+	case "hdfe":
+		h := &middleware.HDFE{Env: fix.env}
+		return h.Run(k, policy)
+	default:
+		return middleware.Report{}, fmt.Errorf("figures: unknown engine %q", engine)
+	}
+}
+
+// scaleKernel keeps the full kernel: the engines coalesce chunks, so even
+// the 1.3 TB VPIC run costs only hundreds of simulated placements. (The
+// volume must overflow the fast tiers for the stall dynamics to appear.)
+func scaleKernel(_ Options, k workloads.Kernel) workloads.Kernel { return k }
+
+// figMW renders the three-policy comparison for one engine and kernel.
+func figMW(opts Options, id, title, engine string, k workloads.Kernel) (*Table, error) {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"policy", "io_time", "stalls", "bytes_to_pfs_gb", "query_overhead"},
+	}
+	var base, rrTime, apTime time.Duration
+	for _, policy := range []middleware.Policy{middleware.PFSOnly, middleware.RoundRobin, middleware.ApolloAware} {
+		rep, err := runMW(opts, k, engine, policy)
+		if err != nil {
+			return nil, err
+		}
+		switch policy {
+		case middleware.PFSOnly:
+			base = rep.IOTime
+		case middleware.RoundRobin:
+			rrTime = rep.IOTime
+		default:
+			apTime = rep.IOTime
+		}
+		t.AddRow(policy.String(), rep.IOTime.Round(time.Millisecond).String(),
+			fmt.Sprint(rep.Stalls), f(float64(rep.BytesToPFS)/float64(cluster.GB)),
+			rep.QueryOverhead.Round(time.Microsecond).String())
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("hierarchy speedup over PFS: %.2fx (round-robin), %.2fx (apollo); apollo vs round-robin: %+.1f%%",
+			float64(base)/float64(rrTime), float64(base)/float64(apTime),
+			100*(float64(rrTime)-float64(apTime))/float64(rrTime)))
+	return t, nil
+}
+
+// Fig13a: HDPE on the VPIC-IO write kernel. Paper: HDPE 2.3x over PFS;
+// Apollo +18% over round-robin.
+func Fig13a(opts Options) (*Table, error) {
+	return figMW(opts, "13a", "Apollo + Data Placement Engine on VPIC-IO (write)",
+		"hdpe", scaleKernel(opts, workloads.VPIC))
+}
+
+// Fig13b: HDFE on the Montage read kernel. Paper: HDFE 33% over PFS;
+// Apollo +16% over round-robin.
+func Fig13b(opts Options) (*Table, error) {
+	return figMW(opts, "13b", "Apollo + Data Prefetching Engine on Montage (read)",
+		"hdfe", scaleKernel(opts, workloads.Montage))
+}
+
+// Fig13c: HDRE writing VPIC (3x replication costs write time) and reading
+// BD-CATS (replicas improve read time); Apollo ~+12% on both via capacity-
+// and latency-aware replica-set selection.
+func Fig13c(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "13c",
+		Title:   "Apollo + Data Replication Engine: VPIC write / BD-CATS read",
+		Columns: []string{"policy", "vpic_write_time", "bdcats_read_time", "write_stalls"},
+	}
+	k := scaleKernel(opts, workloads.Kernel{Name: "vpic-rep", BytesPerProcPerStep: 8 << 20, Steps: 16, Procs: 2560})
+	for _, policy := range []middleware.Policy{middleware.PFSOnly, middleware.RoundRobin, middleware.ApolloAware} {
+		fix, err := newMWFixture(opts, policy == middleware.ApolloAware)
+		if err != nil {
+			return nil, err
+		}
+		h := &middleware.HDRE{Env: fix.env}
+		for i := 0; i < 4; i++ {
+			nvme := fix.cluster.Nodes()[i].Device("nvme0")
+			ssd := fix.cluster.Nodes()[4+i].Device("ssd0")
+			h.Sets = append(h.Sets, &middleware.ReplicaSet{
+				Name: fmt.Sprintf("set%d", i),
+				Targets: []*middleware.Target{
+					{Dev: nvme},
+					{Dev: ssd, Remote: true, NetLatency: 200 * time.Microsecond},
+				},
+				NetLatency: time.Duration(i) * 100 * time.Microsecond,
+			})
+		}
+		w, err := h.RunWrite(k, policy)
+		if err != nil {
+			fix.close()
+			return nil, err
+		}
+		r, err := h.RunRead(k, policy)
+		if err != nil {
+			fix.close()
+			return nil, err
+		}
+		fix.close()
+		t.AddRow(policy.String(), w.IOTime.Round(time.Millisecond).String(),
+			r.IOTime.Round(time.Millisecond).String(), fmt.Sprint(w.Stalls))
+	}
+	t.Notes = append(t.Notes,
+		"paper: HDRE increases VPIC write time (3x data) but decreases BD-CATS read time; Apollo improves both by ~12% over round-robin")
+	return t, nil
+}

@@ -1,0 +1,310 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/aqe"
+	"repro/internal/core"
+	"repro/internal/hooks"
+	"repro/internal/ldms"
+	"repro/internal/sched"
+	"repro/internal/score"
+	"repro/internal/telemetry"
+)
+
+// fig12Deployment populates an Apollo service and an LDMS store with the
+// same telemetry: pfs_capacity plus per-node memory-capacity and
+// availability tables, history samples each.
+type fig12Deployment struct {
+	apollo  *aqe.Engine
+	ldmsEng *aqe.Engine
+	svc     *core.Service
+	nodes   int
+}
+
+func deployFig12(opts Options, nodes int) (*fig12Deployment, error) {
+	clock := sched.NewSimClock(time.Unix(0, 0))
+	svc := core.New(core.Config{Clock: clock, Mode: core.IntervalFixed})
+	store := ldms.NewStore()
+	// The paper's LDMS stores into MySQL or flat files; ScanPenalty models
+	// the per-row cost of that backend (100ns/row is charitable — a real
+	// RDBMS point query costs far more).
+	store.ScanPenalty = 100 * time.Nanosecond
+	history := opts.pick(200, 300)
+
+	tables := []string{"pfs_capacity"}
+	for n := 1; n <= nodes; n++ {
+		tables = append(tables,
+			fmt.Sprintf("node_%d_memory_capacity", n),
+			fmt.Sprintf("node_%d_availability", n))
+	}
+	var vertices []*score.FactVertex
+	for ti, table := range tables {
+		val := float64(1000 + ti)
+		hook := score.HookFunc{ID: telemetry.MetricID(table), Fn: func() (float64, error) { return val, nil }}
+		v, err := svc.RegisterMetric(hook, core.WithPublishUnchanged())
+		if err != nil {
+			return nil, err
+		}
+		vertices = append(vertices, v)
+	}
+	for i := 0; i < history; i++ {
+		for ti, v := range vertices {
+			v.PollOnce()
+			store.Insert(tables[ti], clock.Now().UnixNano(), float64(1000+ti))
+		}
+		clock.Advance(time.Second)
+	}
+	return &fig12Deployment{
+		apollo:  svc.Engine(),
+		ldmsEng: aqe.NewEngine(ldms.Resolver{Store: store}),
+		svc:     svc,
+		nodes:   nodes,
+	}, nil
+}
+
+// resourceQuery builds the §4.4.1 resource query at the given complexity.
+func resourceQuery(complexity, nodes, round int) string {
+	q := "SELECT MAX(Timestamp), metric FROM pfs_capacity"
+	for i := 1; i < complexity; i++ {
+		n := (round+i)%nodes + 1
+		table := fmt.Sprintf("node_%d_memory_capacity", n)
+		if i%2 == 0 {
+			table = fmt.Sprintf("node_%d_availability", n)
+		}
+		q += " UNION SELECT MAX(Timestamp), metric FROM " + table
+	}
+	return q
+}
+
+// measureQueries returns the average execution latency of count queries.
+func measureQueries(eng *aqe.Engine, complexity, nodes, count int) (time.Duration, error) {
+	var total time.Duration
+	for r := 0; r < count; r++ {
+		q, err := aqe.Parse(resourceQuery(complexity, nodes, r))
+		if err != nil {
+			return 0, err
+		}
+		t0 := time.Now()
+		if _, err := eng.Execute(q); err != nil {
+			return 0, err
+		}
+		total += time.Since(t0)
+	}
+	return total / time.Duration(count), nil
+}
+
+// Fig12a reproduces the latency-scaling study: average resource-query
+// latency at complexity 3 while the middleware manages 1..16 nodes. The
+// paper finds Apollo ~3.5x lower latency than LDMS.
+func Fig12a(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "12a",
+		Title:   "Average request latency when scaling nodes (complexity 3)",
+		Columns: []string{"nodes", "apollo_us", "ldms_us", "speedup"},
+	}
+	nodeCounts := []int{1, 2, 4, 8, 16}
+	if opts.Quick {
+		nodeCounts = []int{1, 4, 16}
+	}
+	queries := opts.pick(30, 300)
+	for _, nodes := range nodeCounts {
+		dep, err := deployFig12(opts, nodes)
+		if err != nil {
+			return nil, err
+		}
+		apolloLat, err := measureQueries(dep.apollo, 3, nodes, queries)
+		if err != nil {
+			return nil, err
+		}
+		ldmsLat, err := measureQueries(dep.ldmsEng, 3, nodes, queries)
+		if err != nil {
+			return nil, err
+		}
+		dep.svc.Stop()
+		t.AddRow(fmt.Sprint(nodes),
+			f(float64(apolloLat.Nanoseconds())/1e3),
+			f(float64(ldmsLat.Nanoseconds())/1e3),
+			f(float64(ldmsLat)/float64(apolloLat)))
+	}
+	t.Notes = append(t.Notes,
+		"paper: Apollo latency ~3.5x lower than LDMS; SCoRe answers from timestamp-indexed in-memory queues, LDMS scans its store")
+	return t, nil
+}
+
+// Fig12b reproduces the query-complexity study at 16 nodes: complexity
+// (number of UNIONed tables) sweeps 1..8.
+func Fig12b(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "12b",
+		Title:   "Query execution time when scaling complexity (16 nodes)",
+		Columns: []string{"complexity", "apollo_us", "ldms_us", "speedup"},
+	}
+	nodes := 16
+	dep, err := deployFig12(opts, nodes)
+	if err != nil {
+		return nil, err
+	}
+	defer dep.svc.Stop()
+	complexities := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	if opts.Quick {
+		complexities = []int{1, 4, 8}
+	}
+	queries := opts.pick(30, 300)
+	for _, cx := range complexities {
+		apolloLat, err := measureQueries(dep.apollo, cx, nodes, queries)
+		if err != nil {
+			return nil, err
+		}
+		ldmsLat, err := measureQueries(dep.ldmsEng, cx, nodes, queries)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(cx),
+			f(float64(apolloLat.Nanoseconds())/1e3),
+			f(float64(ldmsLat.Nanoseconds())/1e3),
+			f(float64(ldmsLat)/float64(apolloLat)))
+	}
+	t.Notes = append(t.Notes,
+		"paper: Apollo resolves UNION branches in parallel across vertices, flattening the complexity curve")
+	return t, nil
+}
+
+// Fig12c reproduces the per-process CPU overhead comparison at 16 nodes,
+// complexity 3: both services monitor the same costed hooks at the same
+// fixed interval for a real-time window while a client issues resource
+// queries; per-process busy time is reported. The paper: Apollo costs only
+// ~7% more CPU than LDMS while delivering 3.5x lower latency.
+func Fig12c(opts Options) (*Table, error) {
+	const hookCost = 100 * time.Microsecond
+	interval := 5 * time.Millisecond
+	window := time.Duration(opts.pick(300, 1500)) * time.Millisecond
+	nodes := opts.pick(4, 16)
+
+	newHook := func(n int) score.Hook {
+		id := telemetry.MetricID(fmt.Sprintf("node_%d_memory_capacity", n))
+		return hooks.WithCost(score.HookFunc{ID: id, Fn: func() (float64, error) { return float64(n), nil }}, hookCost)
+	}
+
+	// Apollo: fact vertices with the costed hooks at a fixed interval.
+	acfg := core.Config{Mode: core.IntervalFixed}
+	acfg.Adaptive = apolloFixedInterval(interval)
+	svc := core.New(acfg)
+	var vertices []*score.FactVertex
+	for n := 1; n <= nodes; n++ {
+		v, err := svc.RegisterMetric(newHook(n), core.WithPublishUnchanged())
+		if err != nil {
+			return nil, err
+		}
+		vertices = append(vertices, v)
+	}
+	if err := svc.Start(); err != nil {
+		return nil, err
+	}
+	// Query client at complexity 3 against Apollo during the window.
+	stopQ := make(chan struct{})
+	doneQ := make(chan struct{})
+	var apolloQueryBusy time.Duration
+	go func() {
+		defer close(doneQ)
+		r := 0
+		for {
+			select {
+			case <-stopQ:
+				return
+			default:
+			}
+			q := "SELECT MAX(Timestamp), metric FROM " + fmt.Sprintf("node_%d_memory_capacity", r%nodes+1) +
+				" UNION SELECT MAX(Timestamp), metric FROM " + fmt.Sprintf("node_%d_memory_capacity", (r+1)%nodes+1) +
+				" UNION SELECT MAX(Timestamp), metric FROM " + fmt.Sprintf("node_%d_memory_capacity", (r+2)%nodes+1)
+			t0 := time.Now()
+			svc.Query(q)
+			apolloQueryBusy += time.Since(t0)
+			r++
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	time.Sleep(window)
+	close(stopQ)
+	<-doneQ
+	var apolloBusy time.Duration
+	var apolloPolls uint64
+	for _, v := range vertices {
+		st := v.Stats()
+		apolloBusy += st.Total()
+		apolloPolls += st.Polls
+	}
+	svc.Stop()
+
+	// LDMS: fixed-interval samplers over the centralized store, queried by
+	// the same client through AQE.
+	lsvc := ldms.NewService()
+	for n := 1; n <= nodes; n++ {
+		lsvc.AddSampler(newHook(n), interval, nil)
+	}
+	if err := lsvc.Start(); err != nil {
+		return nil, err
+	}
+	leng := aqe.NewEngine(ldms.Resolver{Store: lsvc.Store})
+	stopQ2 := make(chan struct{})
+	doneQ2 := make(chan struct{})
+	var ldmsQueryBusy time.Duration
+	go func() {
+		defer close(doneQ2)
+		r := 0
+		for {
+			select {
+			case <-stopQ2:
+				return
+			default:
+			}
+			q := "SELECT MAX(Timestamp), metric FROM " + fmt.Sprintf("node_%d_memory_capacity", r%nodes+1) +
+				" UNION SELECT MAX(Timestamp), metric FROM " + fmt.Sprintf("node_%d_memory_capacity", (r+1)%nodes+1) +
+				" UNION SELECT MAX(Timestamp), metric FROM " + fmt.Sprintf("node_%d_memory_capacity", (r+2)%nodes+1)
+			t0 := time.Now()
+			leng.Execute(mustParse(q))
+			ldmsQueryBusy += time.Since(t0)
+			r++
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	time.Sleep(window)
+	close(stopQ2)
+	<-doneQ2
+	ldmsPolls := lsvc.Polls()
+	lsvc.Stop()
+	// LDMS sampler busy time: polls carry the same hook cost; store inserts
+	// are cheap appends.
+	ldmsBusy := time.Duration(ldmsPolls) * hookCost
+
+	t := &Table{
+		ID:      "12c",
+		Title:   "Average CPU busy time per process over the measurement window",
+		Columns: []string{"service", "monitor_cpu_%", "query_cpu_%", "polls"},
+	}
+	pct := func(d time.Duration) string { return f(100 * float64(d) / float64(window)) }
+	t.AddRow("apollo", pct(apolloBusy), pct(apolloQueryBusy), fmt.Sprint(apolloPolls))
+	t.AddRow("ldms", pct(ldmsBusy), pct(ldmsQueryBusy), fmt.Sprint(ldmsPolls))
+	t.Notes = append(t.Notes,
+		"paper: Apollo's overhead is ~7% above LDMS (the Pub-Sub machinery) while query latency is 3.5x lower")
+	return t, nil
+}
+
+// apolloFixedInterval builds an adaptive.Config whose fixed mode polls at d.
+func apolloFixedInterval(d time.Duration) adaptive.Config {
+	cfg := adaptive.DefaultConfig()
+	cfg.Initial = d
+	cfg.Min = d
+	return cfg
+}
+
+// mustParse parses a known-good query.
+func mustParse(q string) *aqe.Query {
+	p, err := aqe.Parse(q)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,73 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/insights"
+)
+
+// Table1 regenerates the paper's Table 1: every I/O Insight curation
+// computed live over a loaded fixture cluster, with the formalization each
+// row uses. (Rows 11 and 14 are the same curation in the paper; both map to
+// EnergyPerTransfer here.)
+func Table1(opts Options) (*Table, error) {
+	c := cluster.BuildAres(time.Unix(1000, 0), 2, 2)
+
+	// Load the fixture so every curation has signal.
+	busy := c.Node("comp00").Device("nvme0")
+	if _, err := busy.Write(0, 1900*cluster.MB); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := busy.Read(7, 4096); err != nil {
+			return nil, err
+		}
+	}
+	worn := c.Node("stor00").Device("hdd0")
+	worn.InjectBadBlocks(worn.Snapshot().TotalBlocks / 20)
+	if _, err := worn.Write(0, 10*cluster.GB); err != nil {
+		return nil, err
+	}
+	c.Node("comp00").SetCPULoad(0.8)
+	c.Node("stor01").SetOnline(false)
+	jobID := c.Jobs().Submit("vpic", []string{"comp00", "comp01"}, 40, c.Now())
+	c.Jobs().AccountIO(jobID, 0, 101*cluster.GB)
+	c.Step(time.Second)
+
+	bt := busy.Snapshot()
+	wt := worn.Snapshot()
+	t := &Table{
+		ID:      "t1",
+		Title:   "I/O Insight curations computed over the fixture cluster (paper Table 1)",
+		Columns: []string{"row", "curation", "value"},
+	}
+	t.AddRow("1", "MSCA (busy nvme)", f(insights.MSCA(bt)))
+	t.AddRow("2", "Interference Factor (busy nvme)", f(insights.InterferenceFactor(bt)))
+	fs := insights.FSPerformance(c.Node("stor00"))
+	t.AddRow("3", "FS Performance (stor00)",
+		fmt.Sprintf("raid=%d devices=%d bw=%.0fMB/s", fs.RAIDLevel, fs.NumDevices, fs.MaxBW/1e6))
+	hot := insights.BlockHotness(busy, 1)
+	t.AddRow("4", "Block Hotness (hottest)", fmt.Sprintf("block=%d accesses=%d", hot[0].Block, hot[0].Accesses))
+	t.AddRow("5", "Device Health (worn hdd)", f(insights.DeviceHealth(wt)))
+	nh := insights.MeasureNetworkHealth(c, "comp00", "stor00")
+	t.AddRow("6", "Network Health (comp00-stor00)", nh.Ping.Round(time.Microsecond).String())
+	t.AddRow("7", "Device Fault Tolerance (worn hdd)", f(insights.DeviceFaultTolerance(wt)))
+	t.AddRow("8", "Device Degradation Rate (worn hdd)", f(insights.DeviceDegradationRate(wt)))
+	av := insights.AvailableNodes(c)
+	t.AddRow("9", "Node Availability List", fmt.Sprintf("%v", av.Nodes))
+	t.AddRow("10", "Tier Remaining Capacity (nvme)",
+		fmt.Sprintf("%.1f GB", float64(insights.TierRemainingCapacity(c, cluster.TierNVMe))/float64(cluster.GB)))
+	t.AddRow("11/14", "Energy per Transfer (comp00)", f(insights.EnergyPerTransfer(c.Node("comp00")))+" J")
+	st := insights.ReadSystemTime(c, "comp00")
+	t.AddRow("12", "System Time (comp00)", st.Time.UTC().Format(time.RFC3339))
+	t.AddRow("13", "Device Load (busy nvme)", f(insights.DeviceLoad(bt)))
+	allocs := insights.JobAllocations(c)
+	t.AddRow("15", "Allocation Characteristics",
+		fmt.Sprintf("job=%d nodes=%d procs=%d written=%dGB",
+			allocs[0].JobID, allocs[0].NumNodes, allocs[0].ProcsPerNode, allocs[0].BytesWritten/cluster.GB))
+	t.Notes = append(t.Notes,
+		"fixture: busy nvme at ~95% bandwidth, hdd with 5% bad blocks, stor01 offline, one 2x40-proc job")
+	return t, nil
+}

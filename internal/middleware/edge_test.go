@@ -1,0 +1,139 @@
+package middleware
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/workloads"
+)
+
+// tinyKernel finishes fast but still exercises each code path.
+var tinyKernel = workloads.Kernel{Name: "tiny", BytesPerProcPerStep: 1 << 20, Steps: 2, Procs: 64}
+
+func TestHDPENoBuffersFallsBackToPFS(t *testing.T) {
+	_, env := newEnv(t)
+	env.Buffers = nil
+	h := &HDPE{Env: env}
+	rep, err := h.Run(tinyKernel, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BytesToPFS != tinyKernel.TotalBytes() {
+		t.Fatalf("pfs bytes=%d want %d", rep.BytesToPFS, tinyKernel.TotalBytes())
+	}
+}
+
+func TestHDPEApolloWithoutViewWritesThrough(t *testing.T) {
+	// No capacity view: the Apollo policy cannot see capacities and must
+	// write through to the PFS rather than gamble on a full target.
+	_, env := newEnv(t)
+	env.View = nil
+	h := &HDPE{Env: env}
+	rep, err := h.Run(tinyKernel, ApolloAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stalls != 0 {
+		t.Fatalf("stalls=%d", rep.Stalls)
+	}
+	if rep.BytesToPFS != tinyKernel.TotalBytes() {
+		t.Fatalf("pfs bytes=%d", rep.BytesToPFS)
+	}
+}
+
+func TestHDPEViewCostCharged(t *testing.T) {
+	_, env := newEnv(t)
+	env.ViewCost = 50 * time.Microsecond
+	h := &HDPE{Env: env}
+	rep, err := h.Run(tinyKernel, ApolloAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QueryOverhead < 50*time.Microsecond {
+		t.Fatalf("query overhead=%v", rep.QueryOverhead)
+	}
+}
+
+func TestHDFEPathologicallySmallCaches(t *testing.T) {
+	// Caches smaller than one chunk: every placement falls back to PFS
+	// reads without deadlocking.
+	c := cluster.New(time.Unix(0, 0))
+	n, err := c.AddNode(cluster.NodeSpec{
+		ID: "tiny",
+		Devices: []cluster.DeviceSpec{{
+			Name: "cache", Tier: cluster.TierNVMe, Capacity: 512, // bytes!
+			MaxBandwidth: 1e9, Latency: time.Microsecond, Concurrency: 1,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfsNode, err := c.AddNode(cluster.NodeSpec{
+		ID: "pfs",
+		Devices: []cluster.DeviceSpec{{
+			Name: "hdd", Tier: cluster.TierHDD, Capacity: cluster.TB,
+			MaxBandwidth: 100e6, Latency: time.Millisecond, Concurrency: 4,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Env{
+		Buffers: []*Target{{Dev: n.Device("cache")}},
+		PFS:     &Target{Dev: pfsNode.Device("hdd")},
+	}
+	env.View = DirectView(c.Devices())
+	h := &HDFE{Env: env}
+	rep, err := h.Run(tinyKernel, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BytesToPFS == 0 {
+		t.Fatal("no PFS fallback recorded")
+	}
+}
+
+func TestHDREPFSOnlyReadsAndWrites(t *testing.T) {
+	_, h := hdreEnv(t)
+	w, err := h.RunWrite(tinyKernel, PFSOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := h.RunRead(tinyKernel, PFSOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.BytesToPFS != tinyKernel.TotalBytes() || r.BytesToPFS != tinyKernel.TotalBytes() {
+		t.Fatalf("w=%d r=%d", w.BytesToPFS, r.BytesToPFS)
+	}
+	if w.Stalls != 0 || r.Stalls != 0 {
+		t.Fatal("pfs-only stalled")
+	}
+}
+
+func TestHDREValidation(t *testing.T) {
+	h := &HDRE{}
+	if _, err := h.RunWrite(tinyKernel, RoundRobin); err == nil {
+		t.Fatal("missing PFS accepted")
+	}
+	if _, err := h.RunRead(tinyKernel, RoundRobin); err == nil {
+		t.Fatal("missing PFS accepted for reads")
+	}
+}
+
+func TestReportPolicyRecorded(t *testing.T) {
+	_, env := newEnv(t)
+	h := &HDPE{Env: env}
+	for _, p := range []Policy{PFSOnly, RoundRobin, ApolloAware} {
+		_, env = newEnv(t)
+		h = &HDPE{Env: env}
+		rep, err := h.Run(tinyKernel, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Policy != p {
+			t.Fatalf("policy=%v want %v", rep.Policy, p)
+		}
+	}
+}

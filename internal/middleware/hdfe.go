@@ -1,0 +1,123 @@
+package middleware
+
+import (
+	"time"
+
+	"repro/internal/workloads"
+)
+
+// HDFE is the Hierarchical Data Prefetching Engine: it prefetches data from
+// the PFS into fast prefetching caches ahead of the application's reads.
+// The default round-robin cache choice can evict still-needed data when a
+// cache is full, causing data stalls (the application re-reads from the
+// PFS); the Apollo-aware policy places prefetched data only into caches with
+// enough remaining capacity.
+type HDFE struct {
+	Env Env
+
+	rr int
+}
+
+// Run reads the kernel through the prefetching engine.
+func (h *HDFE) Run(k workloads.Kernel, policy Policy) (Report, error) {
+	if err := h.Env.validate(); err != nil {
+		return Report{}, err
+	}
+	rep := Report{Policy: policy}
+	chunk, perStep := kernelChunks(k)
+	for step := 0; step < k.Steps; step++ {
+		rep.IOTime += h.runStep(policy, chunk, perStep, &rep)
+	}
+	return rep, nil
+}
+
+func (h *HDFE) runStep(policy Policy, chunk int64, perStep int, rep *Report) time.Duration {
+	busy := make(map[*Target]time.Duration)
+	var serial time.Duration
+	for c := 0; c < perStep; c++ {
+		if policy == PFSOnly || len(h.Env.Buffers) == 0 {
+			svc, _ := h.Env.PFS.Dev.Read(int64(c), chunk)
+			rep.BytesToPFS += chunk
+			busy[h.Env.PFS] += h.Env.PFS.effectiveTime(svc)
+			continue
+		}
+		cache := h.pickCache(policy, chunk, rep)
+		// Prefetch: PFS -> cache (overlapped with compute in the real
+		// system; here it charges the cache's write path).
+		if _, err := cache.Dev.Write(0, chunk); err != nil {
+			// Cache full: round-robin blindly evicts; the evicted data is
+			// needed later, so a stall re-reads it from the PFS (§4.4.2).
+			rep.Stalls++
+			cache.Dev.Free(chunk)
+			if _, werr := cache.Dev.Write(0, chunk); werr != nil {
+				// Pathologically small cache: read straight from PFS.
+				svc, _ := h.Env.PFS.Dev.Read(int64(c), chunk)
+				rep.BytesToPFS += chunk
+				busy[h.Env.PFS] += h.Env.PFS.effectiveTime(svc)
+				continue
+			}
+			svcP, _ := h.Env.PFS.Dev.Read(int64(c), chunk)
+			rep.BytesToPFS += chunk
+			serial += h.Env.PFS.effectiveTime(svcP)
+		}
+		// Application reads from the cache.
+		svc, _ := cache.Dev.Read(0, chunk)
+		busy[cache] += cache.effectiveTime(svc)
+	}
+	var max time.Duration
+	for _, d := range busy {
+		if d > max {
+			max = d
+		}
+	}
+	return max + serial
+}
+
+func (h *HDFE) pickCache(policy Policy, chunk int64, rep *Report) *Target {
+	if policy == RoundRobin {
+		t := h.Env.Buffers[h.rr%len(h.Env.Buffers)]
+		h.rr++
+		return t
+	}
+	// ApolloAware: fastest tier with capacity, spread across its caches.
+	var eligible []*Target
+	bestTier := -1
+	for _, t := range h.Env.Buffers {
+		t0 := time.Now()
+		rem, ok := h.queryCapacity(t)
+		rep.QueryOverhead += time.Since(t0)
+		if !ok || rem < chunk {
+			continue
+		}
+		tier := int(t.Dev.Spec().Tier)
+		switch {
+		case bestTier == -1 || tier < bestTier:
+			bestTier = tier
+			eligible = eligible[:0]
+			eligible = append(eligible, t)
+		case tier == bestTier:
+			eligible = append(eligible, t)
+		}
+	}
+	if len(eligible) > 0 {
+		t := eligible[h.rr%len(eligible)]
+		h.rr++
+		return t
+	}
+	// All full: evict from the slowest cache (cheapest loss).
+	t := h.Env.Buffers[len(h.Env.Buffers)-1]
+	t.Dev.Free(chunk)
+	return t
+}
+
+func (h *HDFE) queryCapacity(t *Target) (int64, bool) {
+	if h.Env.ViewCost > 0 {
+		deadline := time.Now().Add(h.Env.ViewCost)
+		for time.Now().Before(deadline) {
+		}
+	}
+	if h.Env.View == nil {
+		return 0, false
+	}
+	return h.Env.View(t.Dev.ID())
+}

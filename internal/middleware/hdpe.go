@@ -1,0 +1,173 @@
+package middleware
+
+import (
+	"time"
+
+	"repro/internal/workloads"
+)
+
+// HDPE is the Hierarchical Data Placement Engine: it accepts write requests
+// from an application and decides which storage layer each lands on. The
+// default round-robin policy can hit full buffering targets, which must be
+// flushed to the PFS before the new data can be ingested (§4.4.2); the
+// Apollo-aware policy keeps an insight of per-target remaining capacity
+// sorted by bandwidth and only places where the data fits.
+type HDPE struct {
+	Env Env
+	// FlushFraction is how much of a full target gets flushed to the PFS
+	// on a stall (default 0.25).
+	FlushFraction float64
+
+	rr int // round-robin cursor
+}
+
+// Run writes the kernel through the placement engine and reports the
+// simulated I/O time. Targets keep their occupancy across steps, so later
+// steps see the pressure earlier steps created.
+func (h *HDPE) Run(k workloads.Kernel, policy Policy) (Report, error) {
+	if err := h.Env.validate(); err != nil {
+		return Report{}, err
+	}
+	if h.FlushFraction <= 0 || h.FlushFraction > 1 {
+		h.FlushFraction = 0.25
+	}
+	rep := Report{Policy: policy}
+	chunk, perStep := kernelChunks(k)
+	for step := 0; step < k.Steps; step++ {
+		stepTime := h.runStep(policy, chunk, perStep, &rep)
+		rep.IOTime += stepTime
+	}
+	return rep, nil
+}
+
+// runStep places one step's chunks; step time is the max across targets of
+// the time each target spends (targets serve in parallel), plus stall costs
+// which serialize.
+func (h *HDPE) runStep(policy Policy, chunk int64, perStep int, rep *Report) time.Duration {
+	busy := make(map[*Target]time.Duration)
+	var serial time.Duration
+	for c := 0; c < perStep; c++ {
+		tgt := h.pick(policy, chunk, rep)
+		if tgt == h.Env.PFS {
+			svc, _ := h.writeChunk(h.Env.PFS, chunk, rep)
+			busy[h.Env.PFS] += svc
+			continue
+		}
+		svc, stalled := h.writeChunk(tgt, chunk, rep)
+		busy[tgt] += svc
+		if stalled {
+			serial += h.flush(tgt, chunk, busy, rep)
+			// Retry after flush; if it still fails, spill to PFS.
+			if svc2, stalled2 := h.writeChunk(tgt, chunk, rep); !stalled2 {
+				busy[tgt] += svc2
+			} else {
+				svc3, _ := h.writeChunk(h.Env.PFS, chunk, rep)
+				busy[h.Env.PFS] += svc3
+			}
+		}
+	}
+	var max time.Duration
+	for _, d := range busy {
+		if d > max {
+			max = d
+		}
+	}
+	return max + serial
+}
+
+// pick selects a target per policy.
+func (h *HDPE) pick(policy Policy, chunk int64, rep *Report) *Target {
+	if policy == PFSOnly || len(h.Env.Buffers) == 0 {
+		return h.Env.PFS
+	}
+	switch policy {
+	case RoundRobin:
+		t := h.Env.Buffers[h.rr%len(h.Env.Buffers)]
+		h.rr++
+		return t
+	default:
+		// ApolloAware: greedy "fastest non-full tier" (§4.4.1) — find the
+		// fastest tier with room, then spread across its eligible targets
+		// so they serve in parallel (the insight keeps targets "in a list
+		// sorted by bandwidth", §4.4.2).
+		var eligible []*Target
+		bestTier := -1
+		for _, t := range h.Env.Buffers {
+			t0 := time.Now()
+			rem, ok := h.queryCapacity(t)
+			rep.QueryOverhead += time.Since(t0)
+			if !ok || rem < chunk {
+				continue
+			}
+			tier := int(t.Dev.Spec().Tier)
+			switch {
+			case bestTier == -1 || tier < bestTier:
+				bestTier = tier
+				eligible = eligible[:0]
+				eligible = append(eligible, t)
+			case tier == bestTier:
+				eligible = append(eligible, t)
+			}
+		}
+		if len(eligible) == 0 {
+			return h.Env.PFS // everything full: write through
+		}
+		t := eligible[h.rr%len(eligible)]
+		h.rr++
+		return t
+	}
+}
+
+func (h *HDPE) queryCapacity(t *Target) (int64, bool) {
+	if h.Env.ViewCost > 0 {
+		deadline := time.Now().Add(h.Env.ViewCost)
+		for time.Now().Before(deadline) {
+		}
+	}
+	if h.Env.View == nil {
+		return 0, false
+	}
+	return h.Env.View(t.Dev.ID())
+}
+
+// writeChunk attempts the write, reporting (serviceTime, stalled).
+func (h *HDPE) writeChunk(t *Target, chunk int64, rep *Report) (time.Duration, bool) {
+	svc, err := t.Dev.Write(0, chunk)
+	if err != nil {
+		return 0, true
+	}
+	if t == h.Env.PFS {
+		rep.BytesToPFS += chunk
+	}
+	return t.effectiveTime(svc), false
+}
+
+// flush drains FlushFraction of a full target to the PFS. The requesting
+// chunk stalls (the data stall of §4.4.2) until room for it exists — that
+// slice of the drain serializes — while the rest of the drain occupies the
+// target and the PFS in the parallel pool, so total PFS service time is
+// conserved even when the PFS is the bottleneck.
+func (h *HDPE) flush(t *Target, chunk int64, busy map[*Target]time.Duration, rep *Report) time.Duration {
+	rep.Stalls++
+	n := int64(float64(t.Dev.Spec().Capacity) * h.FlushFraction)
+	if n < chunk {
+		n = chunk
+	}
+	if used := t.Dev.Used(); n > used {
+		n = used
+	}
+	t.Dev.Free(n)
+	rep.BytesToPFS += n
+	svcR, _ := t.Dev.Read(0, n)
+	svcW, err := h.Env.PFS.Dev.Write(0, n)
+	if err != nil {
+		// PFS full: model as pure time, the PFS is effectively unbounded
+		// for the kernel sizes of the evaluation.
+		svcW = time.Duration(float64(n) / h.Env.PFS.Dev.Spec().MaxBandwidth * float64(time.Second))
+	}
+	busy[t] += t.effectiveTime(svcR)
+	busy[h.Env.PFS] += h.Env.PFS.effectiveTime(svcW)
+	// The requester waits for chunk-worth of the drain to land on the PFS.
+	wait := time.Duration(float64(svcW) * float64(chunk) / float64(n))
+	return h.Env.PFS.effectiveTime(wait)
+}

@@ -1,0 +1,137 @@
+// Package middleware implements the three Hermes-ecosystem middleware
+// libraries of §4.4.2 — a Hierarchical Data Placement Engine (HDPE), a
+// Hierarchical Data Prefetching Engine (HDFE), and a Hierarchical Data
+// Replication Engine (HDRE) — against the simulated cluster, each with three
+// policies: direct-to-PFS, the default round-robin distribution, and the
+// Apollo-aware policy that consults remaining-capacity telemetry before
+// every operation.
+package middleware
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/workloads"
+)
+
+// Policy selects how an engine distributes data across its targets.
+type Policy int
+
+// Policies of the Fig. 13 comparison.
+const (
+	// PFSOnly bypasses the hierarchy: every byte goes to the PFS.
+	PFSOnly Policy = iota
+	// RoundRobin is the engines' default distribution policy.
+	RoundRobin
+	// ApolloAware consults capacity telemetry before placing.
+	ApolloAware
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PFSOnly:
+		return "pfs-only"
+	case RoundRobin:
+		return "round-robin"
+	case ApolloAware:
+		return "apollo"
+	default:
+		return "policy(?)"
+	}
+}
+
+// CapacityView answers "how many bytes remain on this device" from
+// telemetry. The Apollo-backed implementation (provided by the core service)
+// answers from SCoRe; tests can answer directly from the device.
+type CapacityView func(deviceID string) (remaining int64, ok bool)
+
+// DirectView reads capacities straight from the devices (zero-staleness
+// oracle, useful for tests and upper-bound comparisons).
+func DirectView(devs []*cluster.Device) CapacityView {
+	byID := make(map[string]*cluster.Device, len(devs))
+	for _, d := range devs {
+		byID[d.ID()] = d
+	}
+	return func(id string) (int64, bool) {
+		d, ok := byID[id]
+		if !ok {
+			return 0, false
+		}
+		return d.Remaining(), true
+	}
+}
+
+// Target is one buffering/prefetching/replication destination.
+type Target struct {
+	Dev *cluster.Device
+	// Remote adds one network round trip per operation.
+	Remote bool
+	// Latency of the network hop when Remote.
+	NetLatency time.Duration
+}
+
+// effectiveTime is the service time of moving n bytes to/from the target.
+func (t *Target) effectiveTime(svc time.Duration) time.Duration {
+	if t.Remote {
+		return svc + t.NetLatency
+	}
+	return svc
+}
+
+// Report summarizes one engine run — the quantities behind Fig. 13.
+type Report struct {
+	Policy Policy
+	// IOTime is the simulated end-to-end I/O time of the kernel.
+	IOTime time.Duration
+	// Stalls counts operations that hit a full target (flush, eviction, or
+	// replication stall).
+	Stalls int
+	// BytesToPFS counts bytes that had to touch the PFS.
+	BytesToPFS int64
+	// QueryOverhead is the time spent asking the capacity view.
+	QueryOverhead time.Duration
+}
+
+// Env binds an engine to cluster resources.
+type Env struct {
+	// Buffers are the fast targets (memory, NVMe, burst buffer),
+	// fastest first.
+	Buffers []*Target
+	// PFS is the parallel-file-system device (HDD tier).
+	PFS *Target
+	// View answers capacity queries for the ApolloAware policy.
+	View CapacityView
+	// ViewCost is charged per capacity query (the <1% query overhead the
+	// paper reports); zero is allowed.
+	ViewCost time.Duration
+}
+
+// errNoTargets is returned when an engine has nothing to place on.
+var errNoTargets = errors.New("middleware: no targets configured")
+
+// validate checks the environment.
+func (e *Env) validate() error {
+	if e.PFS == nil || e.PFS.Dev == nil {
+		return errors.New("middleware: PFS target required")
+	}
+	for _, b := range e.Buffers {
+		if b == nil || b.Dev == nil {
+			return errors.New("middleware: nil buffer target")
+		}
+	}
+	return nil
+}
+
+// chunkOf splits one step of a kernel into per-process chunks, coalesced so
+// a simulation step stays O(procs/coalesce).
+const coalesce = 64
+
+func kernelChunks(k workloads.Kernel) (chunkBytes int64, chunksPerStep int) {
+	groups := k.Procs / coalesce
+	if groups < 1 {
+		groups = 1
+	}
+	return k.BytesPerProcPerStep * int64(k.Procs) / int64(groups), groups
+}

@@ -1,0 +1,227 @@
+package middleware
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/workloads"
+)
+
+// newEnv builds a fresh hierarchy: NVMe buffers on compute nodes, SSD burst
+// buffers on storage nodes (remote), and one HDD PFS (remote). Fresh per
+// run because engine runs mutate device occupancy.
+func newEnv(t testing.TB) (*cluster.Cluster, Env) {
+	t.Helper()
+	c := cluster.BuildAres(time.Unix(0, 0), 2, 2)
+	var buffers []*Target
+	for _, n := range []string{"comp00", "comp01"} {
+		buffers = append(buffers, &Target{Dev: c.Node(n).Device("nvme0")})
+	}
+	for _, n := range []string{"stor00", "stor01"} {
+		buffers = append(buffers, &Target{Dev: c.Node(n).Device("ssd0"), Remote: true, NetLatency: 200 * time.Microsecond})
+	}
+	pfs := &Target{Dev: c.Node("stor00").Device("hdd0"), Remote: true, NetLatency: 200 * time.Microsecond}
+	env := Env{Buffers: buffers, PFS: pfs}
+	env.View = DirectView(c.Devices())
+	return c, env
+}
+
+// testKernel overflows the 800 GB of fast buffers (writes ~1.3 TB).
+var testKernel = workloads.Kernel{Name: "vpic-test", BytesPerProcPerStep: 32 << 20, Steps: 16, Procs: 2560}
+
+func TestPolicyString(t *testing.T) {
+	if PFSOnly.String() != "pfs-only" || RoundRobin.String() != "round-robin" || ApolloAware.String() != "apollo" {
+		t.Fatal("policy names")
+	}
+	if Policy(9).String() != "policy(?)" {
+		t.Fatal("unknown policy")
+	}
+}
+
+func TestEnvValidate(t *testing.T) {
+	h := &HDPE{}
+	if _, err := h.Run(testKernel, PFSOnly); err == nil {
+		t.Fatal("missing PFS accepted")
+	}
+	_, env := newEnv(t)
+	env.Buffers = append(env.Buffers, nil)
+	h2 := &HDPE{Env: env}
+	if _, err := h2.Run(testKernel, PFSOnly); err == nil {
+		t.Fatal("nil buffer accepted")
+	}
+}
+
+func TestDirectView(t *testing.T) {
+	c, _ := newEnv(t)
+	view := DirectView(c.Devices())
+	rem, ok := view("comp00.nvme0")
+	if !ok || rem != 250*cluster.GB {
+		t.Fatalf("rem=%d ok=%v", rem, ok)
+	}
+	if _, ok := view("ghost"); ok {
+		t.Fatal("ghost device resolved")
+	}
+}
+
+func runHDPE(t *testing.T, policy Policy) Report {
+	t.Helper()
+	_, env := newEnv(t)
+	h := &HDPE{Env: env}
+	rep, err := h.Run(testKernel, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestHDPEHierarchyBeatsPFS(t *testing.T) {
+	pfs := runHDPE(t, PFSOnly)
+	rr := runHDPE(t, RoundRobin)
+	ap := runHDPE(t, ApolloAware)
+	if rr.IOTime >= pfs.IOTime {
+		t.Fatalf("round-robin (%v) not faster than pfs-only (%v)", rr.IOTime, pfs.IOTime)
+	}
+	if ap.IOTime >= rr.IOTime {
+		t.Fatalf("apollo (%v) not faster than round-robin (%v)", ap.IOTime, rr.IOTime)
+	}
+	if ap.Stalls >= rr.Stalls {
+		t.Fatalf("apollo stalls (%d) not fewer than round-robin (%d)", ap.Stalls, rr.Stalls)
+	}
+	if pfs.Stalls != 0 {
+		t.Fatalf("pfs-only stalls=%d", pfs.Stalls)
+	}
+}
+
+func TestHDPEApolloQueryOverheadSmall(t *testing.T) {
+	ap := runHDPE(t, ApolloAware)
+	if ap.QueryOverhead <= 0 {
+		t.Fatal("no query overhead recorded")
+	}
+	// The paper reports <1% overhead from querying Apollo; our view is in-
+	// process so it must be far below the simulated I/O time.
+	if float64(ap.QueryOverhead) > 0.01*float64(ap.IOTime) {
+		t.Fatalf("query overhead %v vs io %v", ap.QueryOverhead, ap.IOTime)
+	}
+}
+
+func runHDFE(t *testing.T, policy Policy) Report {
+	t.Helper()
+	_, env := newEnv(t)
+	h := &HDFE{Env: env}
+	rep, err := h.Run(workloads.Kernel{Name: "montage-test", BytesPerProcPerStep: 10 << 20, Steps: 16, Procs: 2560, Read: true}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestHDFEPrefetchingBeatsPFS(t *testing.T) {
+	pfs := runHDFE(t, PFSOnly)
+	rr := runHDFE(t, RoundRobin)
+	ap := runHDFE(t, ApolloAware)
+	if rr.IOTime >= pfs.IOTime {
+		t.Fatalf("round-robin (%v) not faster than pfs-only (%v)", rr.IOTime, pfs.IOTime)
+	}
+	if ap.IOTime > rr.IOTime {
+		t.Fatalf("apollo (%v) slower than round-robin (%v)", ap.IOTime, rr.IOTime)
+	}
+	if ap.Stalls > rr.Stalls {
+		t.Fatalf("apollo stalls=%d rr=%d", ap.Stalls, rr.Stalls)
+	}
+}
+
+// hdreEnv builds replica sets across storage SSDs and compute NVMes.
+func hdreEnv(t testing.TB) (*cluster.Cluster, *HDRE) {
+	t.Helper()
+	c := cluster.BuildAres(time.Unix(0, 0), 4, 4)
+	var sets []*ReplicaSet
+	for i := 0; i < 4; i++ {
+		nvme := c.Nodes()[i].Device("nvme0")
+		ssd := c.Nodes()[4+i].Device("ssd0")
+		sets = append(sets, &ReplicaSet{
+			Name:       c.Nodes()[4+i].ID,
+			Targets:    []*Target{{Dev: nvme}, {Dev: ssd, Remote: true, NetLatency: 200 * time.Microsecond}},
+			NetLatency: time.Duration(i) * 100 * time.Microsecond,
+		})
+	}
+	pfs := &Target{Dev: c.Node("stor00").Device("hdd0"), Remote: true, NetLatency: 200 * time.Microsecond}
+	h := &HDRE{
+		Env:  Env{PFS: pfs, View: DirectView(c.Devices())},
+		Sets: sets,
+	}
+	return c, h
+}
+
+// Smaller kernel for replication (3x write amplification).
+var repKernel = workloads.Kernel{Name: "vpic-rep", BytesPerProcPerStep: 8 << 20, Steps: 16, Procs: 2560}
+
+func TestHDREWritePenaltyReadBenefit(t *testing.T) {
+	// Replication makes writes slower than PFS-only would NOT hold in the
+	// paper either (buffers are faster) but writes 3x data; reads improve.
+	_, h1 := hdreEnv(t)
+	wPFS, err := h1.RunWrite(repKernel, PFSOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPFS, err := h1.RunRead(repKernel, PFSOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, h2 := hdreEnv(t)
+	wRR, err := h2.RunWrite(repKernel, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rRR, err := h2.RunRead(repKernel, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, h3 := hdreEnv(t)
+	wAp, err := h3.RunWrite(repKernel, ApolloAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAp, err := h3.RunRead(repKernel, ApolloAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reads from replicas beat reads from the PFS (Fig. 13c: BD-CATS
+	// improves).
+	if rRR.IOTime >= rPFS.IOTime || rAp.IOTime >= rPFS.IOTime {
+		t.Fatalf("replica reads not faster: rr=%v ap=%v pfs=%v", rRR.IOTime, rAp.IOTime, rPFS.IOTime)
+	}
+	// Apollo's write path avoids stalls vs round-robin.
+	if wAp.Stalls > wRR.Stalls {
+		t.Fatalf("apollo write stalls=%d rr=%d", wAp.Stalls, wRR.Stalls)
+	}
+	if wAp.IOTime > wRR.IOTime {
+		t.Fatalf("apollo write (%v) slower than rr (%v)", wAp.IOTime, wRR.IOTime)
+	}
+	_ = wPFS
+}
+
+func TestHDREReplicationLevelDefault(t *testing.T) {
+	_, h := hdreEnv(t)
+	if _, err := h.RunWrite(workloads.Kernel{BytesPerProcPerStep: 1 << 20, Steps: 1, Procs: 64}, RoundRobin); err != nil {
+		t.Fatal(err)
+	}
+	if h.ReplicationLevel != 3 {
+		t.Fatalf("default replication level=%d", h.ReplicationLevel)
+	}
+}
+
+func TestKernelChunks(t *testing.T) {
+	chunk, n := kernelChunks(workloads.Kernel{BytesPerProcPerStep: 1 << 20, Procs: 128})
+	if n != 2 || chunk != 64<<20 {
+		t.Fatalf("chunk=%d n=%d", chunk, n)
+	}
+	// Fewer procs than the coalescing factor: one chunk with everything.
+	chunk, n = kernelChunks(workloads.Kernel{BytesPerProcPerStep: 1 << 20, Procs: 8})
+	if n != 1 || chunk != 8<<20 {
+		t.Fatalf("small chunk=%d n=%d", chunk, n)
+	}
+}

@@ -1,0 +1,104 @@
+package nn
+
+import "math"
+
+// Dense is a fully-connected layer y = act(Wx + b). Setting Frozen marks the
+// layer untrainable, which is how Delphi stacks its pre-trained feature
+// models with fixed weights (§3.4.2).
+type Dense struct {
+	In, Out int
+	W       []float64 // Out*In, row-major: W[o*In+i]
+	B       []float64 // Out
+	Act     Activation
+	Frozen  bool
+
+	gw, gb []float64 // gradient accumulators
+	x      []float64 // cached input
+	y      []float64 // cached activated output
+}
+
+// NewDense builds a dense layer with Glorot-uniform initialization from the
+// given seed (deterministic for reproducibility).
+func NewDense(in, out int, act Activation, seed int64) *Dense {
+	if act == nil {
+		act = Identity
+	}
+	d := &Dense{
+		In: in, Out: out,
+		W: make([]float64, out*in), B: make([]float64, out),
+		Act: act,
+		gw:  make([]float64, out*in), gb: make([]float64, out),
+		y: make([]float64, out),
+	}
+	r := rng(seed)
+	limit := math.Sqrt(6.0 / float64(in+out))
+	for i := range d.W {
+		d.W[i] = (r.Float64()*2 - 1) * limit
+	}
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(errDimension("dense input", len(x), d.In))
+	}
+	d.x = x
+	for o := 0; o < d.Out; o++ {
+		sum := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		d.y[o] = d.Act.Apply(sum)
+	}
+	out := make([]float64, d.Out)
+	copy(out, d.y)
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dy []float64) []float64 {
+	if len(dy) != d.Out {
+		panic(errDimension("dense grad", len(dy), d.Out))
+	}
+	dx := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		dz := dy[o] * d.Act.DerivFromOutput(d.y[o])
+		d.gb[o] += dz
+		row := d.W[o*d.In : (o+1)*d.In]
+		grow := d.gw[o*d.In : (o+1)*d.In]
+		for i := 0; i < d.In; i++ {
+			grow[i] += dz * d.x[i]
+			dx[i] += dz * row[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dense) Params() [][]float64 { return [][]float64{d.W, d.B} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() [][]float64 { return [][]float64{d.gw, d.gb} }
+
+// ZeroGrads implements Layer.
+func (d *Dense) ZeroGrads() {
+	for i := range d.gw {
+		d.gw[i] = 0
+	}
+	for i := range d.gb {
+		d.gb[i] = 0
+	}
+}
+
+// Trainable implements Layer.
+func (d *Dense) Trainable() bool { return !d.Frozen }
+
+// InSize implements Layer.
+func (d *Dense) InSize() int { return d.In }
+
+// OutSize implements Layer.
+func (d *Dense) OutSize() int { return d.Out }
+
+var _ Layer = (*Dense)(nil)

@@ -1,0 +1,281 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Sequential chains layers into a model trained with MSE loss.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a model from layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Predict runs a forward pass.
+func (m *Sequential) Predict(x []float64) []float64 {
+	out := x
+	for _, l := range m.Layers {
+		out = l.Forward(out)
+	}
+	return out
+}
+
+// Predict1 runs a forward pass on a model with a single output.
+func (m *Sequential) Predict1(x []float64) float64 { return m.Predict(x)[0] }
+
+// TrainBatch performs one optimizer step over the batch with MSE loss and
+// returns the mean loss. xs[i] must match the first layer's input size and
+// ys[i] the last layer's output size.
+func (m *Sequential) TrainBatch(xs, ys [][]float64, opt Optimizer) (float64, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0, ErrEmptyDataset
+	}
+	for _, l := range m.Layers {
+		l.ZeroGrads()
+	}
+	loss := 0.0
+	for i := range xs {
+		pred := m.Predict(xs[i])
+		if len(pred) != len(ys[i]) {
+			return 0, errDimension("target", len(ys[i]), len(pred))
+		}
+		dy := make([]float64, len(pred))
+		for j := range pred {
+			diff := pred[j] - ys[i][j]
+			loss += diff * diff
+			dy[j] = 2 * diff / float64(len(pred))
+		}
+		for li := len(m.Layers) - 1; li >= 0; li-- {
+			dy = m.Layers[li].Backward(dy)
+		}
+	}
+	opt.Step(m.Layers, len(xs))
+	return loss / float64(len(xs)), nil
+}
+
+// FitOptions controls Fit.
+type FitOptions struct {
+	Epochs    int
+	BatchSize int
+	Optimizer Optimizer
+	// Shuffle permutes sample order each epoch with the given seed.
+	Shuffle bool
+	Seed    int64
+	// OnEpoch, if set, receives (epoch, meanLoss) after each epoch.
+	OnEpoch func(epoch int, loss float64)
+}
+
+// Fit trains the model for the configured epochs and returns the final
+// epoch's mean loss.
+func (m *Sequential) Fit(xs, ys [][]float64, opts FitOptions) (float64, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0, ErrEmptyDataset
+	}
+	if opts.Epochs < 1 {
+		opts.Epochs = 1
+	}
+	if opts.BatchSize < 1 {
+		opts.BatchSize = 32
+	}
+	if opts.Optimizer == nil {
+		opts.Optimizer = NewAdam(1e-3)
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	r := rng(opts.Seed)
+	var last float64
+	for e := 0; e < opts.Epochs; e++ {
+		if opts.Shuffle {
+			r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		}
+		total, batches := 0.0, 0
+		for start := 0; start < len(idx); start += opts.BatchSize {
+			end := start + opts.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			bx := make([][]float64, 0, end-start)
+			by := make([][]float64, 0, end-start)
+			for _, i := range idx[start:end] {
+				bx = append(bx, xs[i])
+				by = append(by, ys[i])
+			}
+			loss, err := m.TrainBatch(bx, by, opts.Optimizer)
+			if err != nil {
+				return 0, err
+			}
+			total += loss
+			batches++
+		}
+		last = total / float64(batches)
+		if opts.OnEpoch != nil {
+			opts.OnEpoch(e, last)
+		}
+	}
+	return last, nil
+}
+
+// MSE returns the mean squared error of the model over a dataset of
+// single-output samples.
+func (m *Sequential) MSE(xs [][]float64, ys []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range xs {
+		d := m.Predict1(xs[i]) - ys[i]
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// RMSE is the root of MSE.
+func (m *Sequential) RMSE(xs [][]float64, ys []float64) float64 { return math.Sqrt(m.MSE(xs, ys)) }
+
+// MAE returns the mean absolute error over single-output samples.
+func (m *Sequential) MAE(xs [][]float64, ys []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range xs {
+		sum += math.Abs(m.Predict1(xs[i]) - ys[i])
+	}
+	return sum / float64(len(xs))
+}
+
+// R2 returns the coefficient of determination over single-output samples.
+func (m *Sequential) R2(xs [][]float64, ys []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	ssRes, ssTot := 0.0, 0.0
+	for i := range xs {
+		d := ys[i] - m.Predict1(xs[i])
+		ssRes += d * d
+		t := ys[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// ParamCount reports (total, trainable) parameters.
+func (m *Sequential) ParamCount() (int, int) { return ParamCount(m.Layers) }
+
+// Serialization -------------------------------------------------------------
+
+type layerJSON struct {
+	Type   string    `json:"type"` // "dense" or "lstm"
+	In     int       `json:"in"`
+	Out    int       `json:"out"`
+	Act    string    `json:"act,omitempty"`
+	Frozen bool      `json:"frozen,omitempty"`
+	W      []float64 `json:"w,omitempty"`
+	B      []float64 `json:"b,omitempty"`
+	Wx     []float64 `json:"wx,omitempty"`
+	Wh     []float64 `json:"wh,omitempty"`
+}
+
+type modelJSON struct {
+	Layers []layerJSON `json:"layers"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Sequential) MarshalJSON() ([]byte, error) {
+	out := modelJSON{}
+	for _, l := range m.Layers {
+		switch v := l.(type) {
+		case *Dense:
+			out.Layers = append(out.Layers, layerJSON{
+				Type: "dense", In: v.In, Out: v.Out, Act: v.Act.Name(),
+				Frozen: v.Frozen, W: v.W, B: v.B,
+			})
+		case *LSTM:
+			out.Layers = append(out.Layers, layerJSON{
+				Type: "lstm", In: v.In, Out: v.Hidden,
+				Frozen: v.Frozen, Wx: v.Wx, Wh: v.Wh, B: v.B,
+			})
+		default:
+			return nil, fmt.Errorf("nn: cannot serialize layer %T", l)
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Sequential) UnmarshalJSON(b []byte) error {
+	var in modelJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	m.Layers = nil
+	for _, lj := range in.Layers {
+		switch lj.Type {
+		case "dense":
+			act, err := ActivationByName(lj.Act)
+			if err != nil {
+				return err
+			}
+			d := NewDense(lj.In, lj.Out, act, 0)
+			if len(lj.W) != lj.In*lj.Out || len(lj.B) != lj.Out {
+				return fmt.Errorf("nn: dense weight shape mismatch")
+			}
+			copy(d.W, lj.W)
+			copy(d.B, lj.B)
+			d.Frozen = lj.Frozen
+			m.Layers = append(m.Layers, d)
+		case "lstm":
+			l := NewLSTM(lj.In, lj.Out, 0)
+			if len(lj.Wx) != len(l.Wx) || len(lj.Wh) != len(l.Wh) || len(lj.B) != len(l.B) {
+				return fmt.Errorf("nn: lstm weight shape mismatch")
+			}
+			copy(l.Wx, lj.Wx)
+			copy(l.Wh, lj.Wh)
+			copy(l.B, lj.B)
+			l.Frozen = lj.Frozen
+			m.Layers = append(m.Layers, l)
+		default:
+			return fmt.Errorf("nn: unknown layer type %q", lj.Type)
+		}
+	}
+	return nil
+}
+
+// Save writes the model to a JSON file.
+func (m *Sequential) Save(path string) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Load reads a model from a JSON file.
+func Load(path string) (*Sequential, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Sequential
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,137 @@
+package queue
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// History is a bounded, timestamp-ordered window of the most recent
+// Information tuples of one metric. The SCoRe Query Executor parses it with
+// timestamp-based indexing (binary search); entries evicted from the window
+// are handed to an eviction callback so the Archiver can persist them.
+//
+// Writers must append tuples in non-decreasing timestamp order (Facts are
+// ordered by timestamp, making them linearizable — §3.1 of the paper).
+type History struct {
+	mu      sync.RWMutex
+	buf     []telemetry.Info
+	head    int // index of oldest entry
+	count   int
+	onEvict func(telemetry.Info)
+	dropped uint64 // out-of-order appends rejected
+}
+
+// NewHistory returns a history window holding up to capacity entries.
+// onEvict, if non-nil, is called synchronously with each entry displaced by
+// Append once the window is full.
+func NewHistory(capacity int, onEvict func(telemetry.Info)) *History {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &History{buf: make([]telemetry.Info, capacity), onEvict: onEvict}
+}
+
+// Append adds info to the window. Appends whose timestamp precedes the
+// newest stored entry are rejected (the queue is timestamp-linearized) and
+// counted; Append reports whether the entry was stored.
+func (h *History) Append(info telemetry.Info) bool {
+	h.mu.Lock()
+	if h.count > 0 {
+		newest := h.buf[(h.head+h.count-1)%len(h.buf)]
+		if info.Timestamp < newest.Timestamp {
+			h.dropped++
+			h.mu.Unlock()
+			return false
+		}
+	}
+	var evicted telemetry.Info
+	hasEvict := false
+	if h.count == len(h.buf) {
+		evicted = h.buf[h.head]
+		hasEvict = true
+		h.head = (h.head + 1) % len(h.buf)
+		h.count--
+	}
+	h.buf[(h.head+h.count)%len(h.buf)] = info
+	h.count++
+	h.mu.Unlock()
+	if hasEvict && h.onEvict != nil {
+		h.onEvict(evicted)
+	}
+	return true
+}
+
+// Len returns the number of stored entries.
+func (h *History) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.count
+}
+
+// Dropped returns how many out-of-order appends have been rejected.
+func (h *History) Dropped() uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.dropped
+}
+
+// Latest returns the newest entry, reporting false when empty. This is the
+// hot path for middleware queries (SELECT MAX(Timestamp), metric FROM t).
+func (h *History) Latest() (telemetry.Info, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.count == 0 {
+		return telemetry.Info{}, false
+	}
+	return h.buf[(h.head+h.count-1)%len(h.buf)], true
+}
+
+// at returns the i-th oldest entry. Caller holds h.mu.
+func (h *History) at(i int) telemetry.Info {
+	return h.buf[(h.head+i)%len(h.buf)]
+}
+
+// Range returns a copy of all entries with Timestamp in [from, to],
+// inclusive, in timestamp order. Binary search locates the window bounds.
+func (h *History) Range(from, to int64) []telemetry.Info {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.count == 0 || from > to {
+		return nil
+	}
+	lo := sort.Search(h.count, func(i int) bool { return h.at(i).Timestamp >= from })
+	hi := sort.Search(h.count, func(i int) bool { return h.at(i).Timestamp > to })
+	if lo >= hi {
+		return nil
+	}
+	out := make([]telemetry.Info, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, h.at(i))
+	}
+	return out
+}
+
+// Before returns the newest entry with Timestamp <= ts, reporting false when
+// no such entry is retained.
+func (h *History) Before(ts int64) (telemetry.Info, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	idx := sort.Search(h.count, func(i int) bool { return h.at(i).Timestamp > ts })
+	if idx == 0 {
+		return telemetry.Info{}, false
+	}
+	return h.at(idx - 1), true
+}
+
+// Snapshot returns a copy of the full window in timestamp order.
+func (h *History) Snapshot() []telemetry.Info {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]telemetry.Info, h.count)
+	for i := 0; i < h.count; i++ {
+		out[i] = h.at(i)
+	}
+	return out
+}

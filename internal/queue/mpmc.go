@@ -1,0 +1,176 @@
+// Package queue provides the in-memory queue structures backing each SCoRe
+// vertex: a bounded lock-free MPMC ring (the hot publish path), a mutex-based
+// ring used as an ablation baseline, and a timestamp-indexed history buffer
+// serving the Query Executor's timestamp-based indexing.
+package queue
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Queue is the minimal contract shared by the lock-free and mutex rings, so
+// SCoRe vertices (and the ablation benches) can swap implementations.
+type Queue interface {
+	// TryPush enqueues info, reporting false when the queue is full.
+	TryPush(info telemetry.Info) bool
+	// TryPop dequeues the oldest entry, reporting false when empty.
+	TryPop() (telemetry.Info, bool)
+	// Len returns the approximate number of queued entries.
+	Len() int
+	// Cap returns the fixed capacity.
+	Cap() int
+}
+
+// cell is one slot of the Vyukov bounded MPMC queue. The sequence field
+// encodes both the slot's turn and whether it holds data.
+type cell struct {
+	seq  atomic.Uint64
+	info telemetry.Info
+}
+
+// MPMC is a bounded multi-producer multi-consumer lock-free queue based on
+// Dmitry Vyukov's bounded MPMC algorithm. Capacity is rounded up to a power
+// of two. The zero value is not usable; call NewMPMC.
+type MPMC struct {
+	mask    uint64
+	cells   []cell
+	_pad0   [64]byte // keep enqueue/dequeue cursors on separate cache lines
+	enqueue atomic.Uint64
+	_pad1   [64]byte
+	dequeue atomic.Uint64
+	_pad2   [64]byte
+}
+
+// NewMPMC returns a lock-free queue with capacity rounded up to the next
+// power of two (minimum 2).
+func NewMPMC(capacity int) *MPMC {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	q := &MPMC{mask: uint64(n - 1), cells: make([]cell, n)}
+	for i := range q.cells {
+		q.cells[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+// TryPush implements Queue.
+func (q *MPMC) TryPush(info telemetry.Info) bool {
+	pos := q.enqueue.Load()
+	for {
+		c := &q.cells[pos&q.mask]
+		seq := c.seq.Load()
+		switch diff := int64(seq) - int64(pos); {
+		case diff == 0:
+			if q.enqueue.CompareAndSwap(pos, pos+1) {
+				c.info = info
+				c.seq.Store(pos + 1)
+				return true
+			}
+			pos = q.enqueue.Load()
+		case diff < 0:
+			return false // full
+		default:
+			pos = q.enqueue.Load()
+		}
+	}
+}
+
+// TryPop implements Queue.
+func (q *MPMC) TryPop() (telemetry.Info, bool) {
+	pos := q.dequeue.Load()
+	for {
+		c := &q.cells[pos&q.mask]
+		seq := c.seq.Load()
+		switch diff := int64(seq) - int64(pos+1); {
+		case diff == 0:
+			if q.dequeue.CompareAndSwap(pos, pos+1) {
+				info := c.info
+				c.seq.Store(pos + q.mask + 1)
+				return info, true
+			}
+			pos = q.dequeue.Load()
+		case diff < 0:
+			return telemetry.Info{}, false // empty
+		default:
+			pos = q.dequeue.Load()
+		}
+	}
+}
+
+// Len implements Queue. The result is approximate under concurrency.
+func (q *MPMC) Len() int {
+	n := int64(q.enqueue.Load()) - int64(q.dequeue.Load())
+	if n < 0 {
+		n = 0
+	}
+	if n > int64(len(q.cells)) {
+		n = int64(len(q.cells))
+	}
+	return int(n)
+}
+
+// Cap implements Queue.
+func (q *MPMC) Cap() int { return len(q.cells) }
+
+// Mutex is a bounded FIFO protected by a sync.Mutex. It exists as the
+// ablation baseline for the lock-free ring (DESIGN.md §4).
+type Mutex struct {
+	mu    sync.Mutex
+	buf   []telemetry.Info
+	head  int
+	count int
+}
+
+// NewMutex returns a mutex-guarded ring with the exact given capacity
+// (minimum 1).
+func NewMutex(capacity int) *Mutex {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Mutex{buf: make([]telemetry.Info, capacity)}
+}
+
+// TryPush implements Queue.
+func (q *Mutex) TryPush(info telemetry.Info) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.count == len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = info
+	q.count++
+	return true
+}
+
+// TryPop implements Queue.
+func (q *Mutex) TryPop() (telemetry.Info, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.count == 0 {
+		return telemetry.Info{}, false
+	}
+	info := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return info, true
+}
+
+// Len implements Queue.
+func (q *Mutex) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// Cap implements Queue.
+func (q *Mutex) Cap() int { return len(q.buf) }
+
+var (
+	_ Queue = (*MPMC)(nil)
+	_ Queue = (*Mutex)(nil)
+)

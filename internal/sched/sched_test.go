@@ -1,0 +1,206 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLoopFiresOnce(t *testing.T) {
+	l := NewLoop(nil)
+	l.RunAsync()
+	defer l.Stop()
+	done := make(chan struct{})
+	var once sync.Once
+	if _, err := l.Add(time.Millisecond, func(time.Time) time.Duration {
+		once.Do(func() { close(done) })
+		return 0 // one-shot
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	waitFor(t, func() bool { return l.Pending() == 0 })
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never met")
+}
+
+func TestLoopRepeats(t *testing.T) {
+	l := NewLoop(nil)
+	l.RunAsync()
+	defer l.Stop()
+	var n atomic.Int32
+	l.Add(time.Millisecond, func(time.Time) time.Duration {
+		if n.Add(1) >= 5 {
+			return 0
+		}
+		return time.Millisecond
+	})
+	waitFor(t, func() bool { return n.Load() >= 5 })
+	if got := l.Fired(); got < 5 {
+		t.Fatalf("Fired=%d", got)
+	}
+}
+
+func TestAdaptiveIntervalReprogramming(t *testing.T) {
+	// The callback returns a different interval each fire; verify virtual
+	// fire times follow the re-programmed schedule exactly.
+	clock := NewSimClock(time.Unix(0, 0))
+	l := NewLoop(clock)
+	l.RunAsync()
+	defer l.Stop()
+
+	intervals := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second}
+	var mu sync.Mutex
+	var fires []time.Time
+	idx := 0
+	l.Add(time.Second, func(now time.Time) time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		fires = append(fires, now)
+		if idx >= len(intervals) {
+			return 0
+		}
+		d := intervals[idx]
+		idx++
+		return d
+	})
+
+	// Let the loop block on its first wait before advancing.
+	waitFor(t, func() bool { return clock.PendingWaiters() > 0 })
+	for i := 0; i < 16; i++ {
+		clock.Advance(time.Second)
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	wantSecs := []int64{1, 2, 4, 8}
+	if len(fires) != len(wantSecs) {
+		t.Fatalf("fires=%v", fires)
+	}
+	for i, f := range fires {
+		if f.Unix() != wantSecs[i] {
+			t.Fatalf("fire %d at %ds, want %ds", i, f.Unix(), wantSecs[i])
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	l := NewLoop(nil)
+	l.RunAsync()
+	defer l.Stop()
+	var n atomic.Int32
+	id, _ := l.Add(time.Hour, func(time.Time) time.Duration { n.Add(1); return 0 })
+	if !l.Cancel(id) {
+		t.Fatal("Cancel returned false")
+	}
+	if l.Cancel(id) {
+		t.Fatal("double Cancel returned true")
+	}
+	if l.Pending() != 0 {
+		t.Fatalf("Pending=%d", l.Pending())
+	}
+	if n.Load() != 0 {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestAddAfterStop(t *testing.T) {
+	l := NewLoop(nil)
+	l.RunAsync()
+	l.Stop()
+	if _, err := l.Add(time.Millisecond, func(time.Time) time.Duration { return 0 }); err != ErrStopped {
+		t.Fatalf("err=%v", err)
+	}
+	l.Stop() // idempotent
+}
+
+func TestManyTimersOrdering(t *testing.T) {
+	clock := NewSimClock(time.Unix(0, 0))
+	l := NewLoop(clock)
+	l.RunAsync()
+	defer l.Stop()
+	var mu sync.Mutex
+	var order []int
+	for i := 10; i >= 1; i-- {
+		i := i
+		l.Add(time.Duration(i)*time.Second, func(time.Time) time.Duration {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return 0
+		})
+	}
+	waitFor(t, func() bool { return clock.PendingWaiters() > 0 })
+	for i := 0; i < 12; i++ {
+		clock.Advance(time.Second)
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 10 {
+		t.Fatalf("fired %d of 10: %v", len(order), order)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order=%v", order)
+		}
+	}
+}
+
+func TestSimClockAfterImmediate(t *testing.T) {
+	c := NewSimClock(time.Unix(100, 0))
+	select {
+	case ts := <-c.After(0):
+		if ts.Unix() != 100 {
+			t.Fatalf("ts=%v", ts)
+		}
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestSimClockAdvancePartial(t *testing.T) {
+	c := NewSimClock(time.Unix(0, 0))
+	ch := c.After(10 * time.Second)
+	c.Advance(5 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("fired early")
+	default:
+	}
+	c.Advance(5 * time.Second)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("did not fire at due time")
+	}
+	if c.PendingWaiters() != 0 {
+		t.Fatalf("PendingWaiters=%d", c.PendingWaiters())
+	}
+}
+
+func BenchmarkLoopAddCancel(b *testing.B) {
+	l := NewLoop(nil)
+	l.RunAsync()
+	defer l.Stop()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id, _ := l.Add(time.Hour, func(time.Time) time.Duration { return 0 })
+		l.Cancel(id)
+	}
+}

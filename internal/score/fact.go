@@ -1,0 +1,295 @@
+package score
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/archive"
+	"repro/internal/delphi"
+	"repro/internal/queue"
+	"repro/internal/sched"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// FactConfig configures a Fact Vertex.
+type FactConfig struct {
+	// Hook extracts the metric (required).
+	Hook Hook
+	// Bus is the Pub-Sub fabric the vertex publishes to (required).
+	Bus stream.Bus
+	// Controller decides the next polling interval (required). Use
+	// adaptive.NewFixed for static polling.
+	Controller adaptive.Controller
+	// Clock drives polling; nil means the real clock.
+	Clock sched.Clock
+	// HistorySize bounds the in-memory queue (default 4096).
+	HistorySize int
+	// Archive, if non-nil, receives entries evicted from the queue.
+	Archive *archive.Log
+	// Delphi, if non-nil, publishes predicted Facts for the base-tick
+	// instants the relaxed polling interval skips.
+	Delphi *delphi.Online
+	// BaseTick is the reference resolution Delphi fills in (default 1s).
+	BaseTick time.Duration
+	// PublishUnchanged disables the only-if-changed filter (§3.2.1); used
+	// by the ablation bench.
+	PublishUnchanged bool
+	// Loop, if non-nil, drives polling from a shared timer event loop (the
+	// libuv pattern of the original implementation: one loop multiplexes
+	// many vertices' timers and intervals are re-programmed per fire).
+	// Polls still execute on the vertex goroutine so a slow monitor hook
+	// cannot stall other vertices' timers.
+	Loop *sched.Loop
+}
+
+// FactVertex is a SCoRe source vertex: it polls one metric through a monitor
+// hook at an adaptive interval, converts Metrics into Facts (Fact Builder),
+// publishes them onto its queue, and serves queries over its history.
+type FactVertex struct {
+	cfg     FactConfig
+	metric  telemetry.MetricID
+	history *queue.History
+	stats   Stats
+
+	mu      sync.Mutex
+	last    float64
+	hasLast bool
+	running bool
+	cancel  context.CancelFunc
+	done    chan struct{}
+}
+
+// ErrVertexConfig reports an invalid vertex configuration.
+var ErrVertexConfig = errors.New("score: invalid vertex config")
+
+// NewFactVertex builds a Fact Vertex.
+func NewFactVertex(cfg FactConfig) (*FactVertex, error) {
+	if cfg.Hook == nil || cfg.Bus == nil || cfg.Controller == nil {
+		return nil, fmt.Errorf("%w: hook, bus and controller are required", ErrVertexConfig)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = sched.RealClock{}
+	}
+	if cfg.HistorySize <= 0 {
+		cfg.HistorySize = 4096
+	}
+	if cfg.BaseTick <= 0 {
+		cfg.BaseTick = time.Second
+	}
+	v := &FactVertex{cfg: cfg, metric: cfg.Hook.Metric()}
+	var onEvict func(telemetry.Info)
+	if cfg.Archive != nil {
+		onEvict = func(i telemetry.Info) { _ = cfg.Archive.Append(i) }
+	}
+	v.history = queue.NewHistory(cfg.HistorySize, onEvict)
+	return v, nil
+}
+
+// Metric implements Executor.
+func (v *FactVertex) Metric() telemetry.MetricID { return v.metric }
+
+// Stats returns the operation-anatomy counters.
+func (v *FactVertex) Stats() StatsSnapshot { return v.stats.Snapshot() }
+
+// Start launches the vertex goroutine. The vertex polls immediately, then at
+// the controller-chosen interval, until Stop.
+func (v *FactVertex) Start() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.running {
+		return fmt.Errorf("score: fact vertex %s already running", v.metric)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	v.cancel = cancel
+	v.done = make(chan struct{})
+	v.running = true
+	go v.run(ctx)
+	return nil
+}
+
+// Stop terminates the vertex and waits for its goroutine.
+func (v *FactVertex) Stop() {
+	v.mu.Lock()
+	if !v.running {
+		v.mu.Unlock()
+		return
+	}
+	v.running = false
+	cancel, done := v.cancel, v.done
+	v.mu.Unlock()
+	cancel()
+	<-done
+}
+
+func (v *FactVertex) run(ctx context.Context) {
+	defer close(v.done)
+	if v.cfg.Loop != nil {
+		v.runOnLoop(ctx)
+		return
+	}
+	interval := v.cfg.Controller.Interval()
+	for {
+		interval = v.pollOnce(interval)
+		select {
+		case <-ctx.Done():
+			return
+		case <-v.cfg.Clock.After(interval):
+		}
+	}
+}
+
+// runOnLoop drives polling from the shared event loop: each poll re-arms a
+// one-shot timer with the controller-chosen interval.
+func (v *FactVertex) runOnLoop(ctx context.Context) {
+	trigger := make(chan struct{}, 1)
+	arm := func(d time.Duration) bool {
+		_, err := v.cfg.Loop.Add(d, func(time.Time) time.Duration {
+			select {
+			case trigger <- struct{}{}:
+			default: // vertex still busy with the previous poll
+			}
+			return 0 // one-shot; the vertex re-arms after polling
+		})
+		return err == nil
+	}
+	interval := v.pollOnce(v.cfg.Controller.Interval())
+	if !arm(interval) {
+		return
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-trigger:
+			interval = v.pollOnce(interval)
+			if !arm(interval) {
+				return
+			}
+		}
+	}
+}
+
+// PollOnce is exposed for deterministic tests and the anatomy bench: it runs
+// one full poll-build-publish cycle and returns the next interval.
+func (v *FactVertex) PollOnce() time.Duration { return v.pollOnce(v.cfg.Controller.Interval()) }
+
+func (v *FactVertex) pollOnce(current time.Duration) time.Duration {
+	t0 := time.Now()
+	value, err := v.cfg.Hook.Poll()
+	t1 := time.Now()
+	v.stats.addHook(t1.Sub(t0))
+	v.stats.polls.Add(1)
+	if err != nil {
+		v.stats.errors.Add(1)
+		return current
+	}
+	ts := v.cfg.Clock.Now().UnixNano()
+
+	// Fact Builder: Metric -> Fact tuple, linearized for the queue.
+	info := telemetry.NewFact(v.metric, ts, value)
+	payload, perr := info.MarshalBinary()
+	t2 := time.Now()
+	v.stats.addBuild(t2.Sub(t1))
+	if perr != nil {
+		v.stats.errors.Add(1)
+		return current
+	}
+
+	// Publish only on change (§3.2.1), unless the filter is disabled.
+	changed := !v.hasLastValue() || value != v.lastValue()
+	if changed || v.cfg.PublishUnchanged {
+		if _, err := v.cfg.Bus.Publish(string(v.metric), payload); err != nil {
+			v.stats.errors.Add(1)
+		} else {
+			v.history.Append(info)
+			v.stats.published.Add(1)
+		}
+	} else {
+		v.stats.suppressed.Add(1)
+	}
+	t3 := time.Now()
+	v.stats.addPublish(t3.Sub(t2))
+
+	v.setLast(value)
+	if v.cfg.Delphi != nil {
+		v.cfg.Delphi.Observe(value)
+	}
+	next := v.cfg.Controller.Next(value)
+
+	// Delphi fills the base-tick instants the relaxed interval will skip
+	// with predicted Facts (§3.4.2).
+	if v.cfg.Delphi != nil && next > v.cfg.BaseTick {
+		steps := int(next/v.cfg.BaseTick) - 1
+		if steps > 0 && v.cfg.Delphi.Ready() {
+			preds := v.cfg.Delphi.PredictTicks(steps)
+			for i, p := range preds {
+				pts := ts + int64(v.cfg.BaseTick)*int64(i+1)
+				pinfo := telemetry.NewPredictedFact(v.metric, pts, p)
+				if pb, err := pinfo.MarshalBinary(); err == nil {
+					if _, err := v.cfg.Bus.Publish(string(v.metric), pb); err == nil {
+						v.history.Append(pinfo)
+						v.stats.predicted.Add(1)
+					}
+				}
+			}
+		}
+	}
+	v.stats.addOther(time.Since(t3))
+	return next
+}
+
+func (v *FactVertex) hasLastValue() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.hasLast
+}
+
+func (v *FactVertex) lastValue() float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.last
+}
+
+func (v *FactVertex) setLast(x float64) {
+	v.mu.Lock()
+	v.last = x
+	v.hasLast = true
+	v.mu.Unlock()
+}
+
+// Latest implements Executor.
+func (v *FactVertex) Latest() (telemetry.Info, bool) { return v.history.Latest() }
+
+// Range implements Executor: it serves from the in-memory queue and falls
+// back to the persisted archive for evicted entries (§3.1 "the executor
+// parses the queue (or the persisted log for evicted entries)").
+func (v *FactVertex) Range(from, to int64) []telemetry.Info {
+	return rangeWithArchive(v.history, v.cfg.Archive, from, to)
+}
+
+// rangeWithArchive merges archive and history ranges.
+func rangeWithArchive(h *queue.History, log *archive.Log, from, to int64) []telemetry.Info {
+	inMem := h.Snapshot()
+	var memFrom int64
+	if len(inMem) > 0 {
+		memFrom = inMem[0].Timestamp
+	}
+	var out []telemetry.Info
+	if log != nil && (len(inMem) == 0 || from < memFrom) {
+		hi := to
+		if len(inMem) > 0 && memFrom-1 < hi {
+			hi = memFrom - 1
+		}
+		_ = log.Range(from, hi, func(i telemetry.Info) error {
+			out = append(out, i)
+			return nil
+		})
+	}
+	out = append(out, h.Range(from, to)...)
+	return out
+}

@@ -1,0 +1,202 @@
+package score
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Executor is the per-vertex Query Executor interface the Apollo Query
+// Engine fans out to: latest-value and timestamp-range access over one
+// Information stream.
+type Executor interface {
+	Metric() telemetry.MetricID
+	Latest() (telemetry.Info, bool)
+	Range(from, to int64) []telemetry.Info
+}
+
+// Vertex is the common surface of Fact and Insight vertices.
+type Vertex interface {
+	Executor
+	Start() error
+	Stop()
+	Stats() StatsSnapshot
+}
+
+var (
+	_ Vertex = (*FactVertex)(nil)
+	_ Vertex = (*InsightVertex)(nil)
+)
+
+// Graph is the SCoRe DAG: it tracks registered vertices, their edges, and
+// serves vertex lookup for the query engine. Users can register and
+// unregister custom Fact and Insight vertices at runtime (§3.1).
+type Graph struct {
+	mu       sync.RWMutex
+	vertices map[telemetry.MetricID]Vertex
+	inputs   map[telemetry.MetricID][]telemetry.MetricID // insight -> inputs
+}
+
+// NewGraph returns an empty DAG.
+func NewGraph() *Graph {
+	return &Graph{
+		vertices: make(map[telemetry.MetricID]Vertex),
+		inputs:   make(map[telemetry.MetricID][]telemetry.MetricID),
+	}
+}
+
+// RegisterFact adds a Fact Vertex (a DAG source).
+func (g *Graph) RegisterFact(v *FactVertex) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.vertices[v.Metric()]; ok {
+		return fmt.Errorf("score: vertex %q already registered", v.Metric())
+	}
+	g.vertices[v.Metric()] = v
+	return nil
+}
+
+// RegisterInsight adds an Insight Vertex and its edges. Inputs need not be
+// registered (they may live on other nodes); registered ones must not form a
+// cycle.
+func (g *Graph) RegisterInsight(v *InsightVertex) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.vertices[v.Metric()]; ok {
+		return fmt.Errorf("score: vertex %q already registered", v.Metric())
+	}
+	// Cycle check: walking v.cfg.Inputs transitively must not reach v.
+	var walk func(id telemetry.MetricID) bool
+	seen := make(map[telemetry.MetricID]bool)
+	walk = func(id telemetry.MetricID) bool {
+		if id == v.Metric() {
+			return true
+		}
+		if seen[id] {
+			return false
+		}
+		seen[id] = true
+		for _, dep := range g.inputs[id] {
+			if walk(dep) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, in := range v.cfg.Inputs {
+		if walk(in) {
+			return fmt.Errorf("score: registering %q would create a cycle", v.Metric())
+		}
+	}
+	g.vertices[v.Metric()] = v
+	g.inputs[v.Metric()] = append([]telemetry.MetricID(nil), v.cfg.Inputs...)
+	return nil
+}
+
+// Unregister stops and removes a vertex, reporting whether it existed.
+func (g *Graph) Unregister(id telemetry.MetricID) bool {
+	g.mu.Lock()
+	v, ok := g.vertices[id]
+	delete(g.vertices, id)
+	delete(g.inputs, id)
+	g.mu.Unlock()
+	if ok {
+		v.Stop()
+	}
+	return ok
+}
+
+// Lookup returns the vertex serving a metric.
+func (g *Graph) Lookup(id telemetry.MetricID) (Vertex, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	v, ok := g.vertices[id]
+	return v, ok
+}
+
+// Metrics lists registered metric IDs, sorted.
+func (g *Graph) Metrics() []telemetry.MetricID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]telemetry.MetricID, 0, len(g.vertices))
+	for id := range g.vertices {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// StartAll starts every registered vertex, sources first so insights find
+// their upstream topics populated.
+func (g *Graph) StartAll() error {
+	g.mu.RLock()
+	var facts, insights []Vertex
+	for id, v := range g.vertices {
+		if _, isInsight := g.inputs[id]; isInsight {
+			insights = append(insights, v)
+		} else {
+			facts = append(facts, v)
+		}
+	}
+	g.mu.RUnlock()
+	for _, v := range append(facts, insights...) {
+		if err := v.Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StopAll stops every vertex.
+func (g *Graph) StopAll() {
+	g.mu.RLock()
+	vs := make([]Vertex, 0, len(g.vertices))
+	for _, v := range g.vertices {
+		vs = append(vs, v)
+	}
+	g.mu.RUnlock()
+	for _, v := range vs {
+		v.Stop()
+	}
+}
+
+// Height returns the DAG height: the longest registered input chain. Facts
+// have height 0. This is the h of the O(p*h) propagation-cost model in
+// §3.2.1; Depth below gives the per-vertex Hamming distance from sources.
+func (g *Graph) Height() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	memo := make(map[telemetry.MetricID]int)
+	max := 0
+	for id := range g.vertices {
+		if d := g.depthLocked(id, memo); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Depth returns the Hamming distance of a vertex from the DAG sources.
+func (g *Graph) Depth(id telemetry.MetricID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.depthLocked(id, make(map[telemetry.MetricID]int))
+}
+
+func (g *Graph) depthLocked(id telemetry.MetricID, memo map[telemetry.MetricID]int) int {
+	if d, ok := memo[id]; ok {
+		return d
+	}
+	memo[id] = 0 // guards against unregistered cycles
+	deps := g.inputs[id]
+	d := 0
+	for _, dep := range deps {
+		if dd := g.depthLocked(dep, memo) + 1; dd > d {
+			d = dd
+		}
+	}
+	memo[id] = d
+	return d
+}

@@ -1,0 +1,63 @@
+package score
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stats is the per-vertex operation-anatomy accounting behind Figure 4: how
+// much time a vertex spends in its monitor hook, building Information,
+// publishing to its queue, and everything else (thread management plus
+// insight computation).
+type Stats struct {
+	hookNanos    atomic.Int64
+	buildNanos   atomic.Int64
+	publishNanos atomic.Int64
+	otherNanos   atomic.Int64
+	polls        atomic.Uint64
+	published    atomic.Uint64
+	suppressed   atomic.Uint64 // unchanged values not re-published
+	predicted    atomic.Uint64 // Delphi-generated tuples published
+	errors       atomic.Uint64
+}
+
+func (s *Stats) addHook(d time.Duration)    { s.hookNanos.Add(int64(d)) }
+func (s *Stats) addBuild(d time.Duration)   { s.buildNanos.Add(int64(d)) }
+func (s *Stats) addPublish(d time.Duration) { s.publishNanos.Add(int64(d)) }
+func (s *Stats) addOther(d time.Duration)   { s.otherNanos.Add(int64(d)) }
+
+// Snapshot is a point-in-time copy of the counters.
+type StatsSnapshot struct {
+	Hook, Build, Publish, Other             time.Duration
+	Polls, Published, Suppressed, Predicted uint64
+	Errors                                  uint64
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Hook:       time.Duration(s.hookNanos.Load()),
+		Build:      time.Duration(s.buildNanos.Load()),
+		Publish:    time.Duration(s.publishNanos.Load()),
+		Other:      time.Duration(s.otherNanos.Load()),
+		Polls:      s.polls.Load(),
+		Published:  s.published.Load(),
+		Suppressed: s.suppressed.Load(),
+		Predicted:  s.predicted.Load(),
+		Errors:     s.errors.Load(),
+	}
+}
+
+// Total is the sum of all accounted time.
+func (s StatsSnapshot) Total() time.Duration { return s.Hook + s.Build + s.Publish + s.Other }
+
+// Fractions returns the share of each component in [0,1]; zero totals give
+// all-zero fractions.
+func (s StatsSnapshot) Fractions() (hook, build, publish, other float64) {
+	t := s.Total()
+	if t == 0 {
+		return 0, 0, 0, 0
+	}
+	f := float64(t)
+	return float64(s.Hook) / f, float64(s.Build) / f, float64(s.Publish) / f, float64(s.Other) / f
+}

@@ -1,0 +1,118 @@
+package score
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/archive"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// StreamArchiver persists every tuple published on a topic — measured and
+// predicted alike — by consuming the Pub-Sub stream through a consumer
+// group, decoupled from the vertex's own queue (whose Archiver only
+// receives entries evicted from the in-memory window). Deploy one per
+// metric that needs a complete durable history; multiple archiver workers
+// may share the group for throughput.
+type StreamArchiver struct {
+	broker *stream.Broker
+	topic  string
+	group  string
+	log    *archive.Log
+
+	mu       sync.Mutex
+	cancel   context.CancelFunc
+	done     chan struct{}
+	archived uint64
+	errs     uint64
+}
+
+// NewStreamArchiver builds an archiver for one topic. The consumer group
+// ("archiver:<topic>") is created at offset 0 so retained history is
+// captured too.
+func NewStreamArchiver(broker *stream.Broker, metric telemetry.MetricID, log *archive.Log) (*StreamArchiver, error) {
+	topic := string(metric)
+	group := "archiver:" + topic
+	if err := broker.CreateGroup(topic, group, 0); err != nil {
+		return nil, fmt.Errorf("score: creating archiver group: %w", err)
+	}
+	return &StreamArchiver{broker: broker, topic: topic, group: group, log: log}, nil
+}
+
+// Start launches the consumer goroutine.
+func (a *StreamArchiver) Start() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cancel != nil {
+		return fmt.Errorf("score: stream archiver for %s already running", a.topic)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	a.cancel = cancel
+	a.done = make(chan struct{})
+	go a.run(ctx)
+	return nil
+}
+
+func (a *StreamArchiver) run(ctx context.Context) {
+	defer close(a.done)
+	for {
+		e, err := a.broker.GroupRead(ctx, a.topic, a.group)
+		if err != nil {
+			return // cancelled or broker closed
+		}
+		var in telemetry.Info
+		if err := in.UnmarshalBinary(e.Payload); err != nil {
+			a.bumpErr()
+			a.broker.Ack(a.topic, a.group, e.ID)
+			continue
+		}
+		if err := a.log.Append(in); err != nil {
+			a.bumpErr()
+			// Leave unacked: the entry stays pending for retry/inspection.
+			continue
+		}
+		if err := a.broker.Ack(a.topic, a.group, e.ID); err != nil {
+			a.bumpErr()
+			continue
+		}
+		a.mu.Lock()
+		a.archived++
+		a.mu.Unlock()
+	}
+}
+
+func (a *StreamArchiver) bumpErr() {
+	a.mu.Lock()
+	a.errs++
+	a.mu.Unlock()
+}
+
+// Archived returns how many tuples were persisted and acknowledged.
+func (a *StreamArchiver) Archived() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.archived
+}
+
+// Errors returns decode/append/ack failures.
+func (a *StreamArchiver) Errors() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.errs
+}
+
+// Stop terminates the consumer and syncs the log.
+func (a *StreamArchiver) Stop() error {
+	a.mu.Lock()
+	cancel, done := a.cancel, a.done
+	a.cancel, a.done = nil, nil
+	a.mu.Unlock()
+	if cancel == nil {
+		return nil
+	}
+	cancel()
+	<-done
+	return a.log.Sync()
+}

@@ -1,0 +1,121 @@
+package score
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+func TestStreamArchiverPersistsEverything(t *testing.T) {
+	bus := stream.NewBroker(0)
+	defer bus.Close()
+	log, err := archive.Open(t.TempDir(), archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+
+	// Publish some history BEFORE the archiver exists; group offset 0 must
+	// capture it.
+	publish(t, bus, telemetry.NewFact("m", 1, 10))
+	publish(t, bus, telemetry.NewPredictedFact("m", 2, 11))
+
+	a, err := NewStreamArchiver(bus, "m", log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	publish(t, bus, telemetry.NewFact("m", 3, 12))
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && a.Archived() < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := a.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Archived() != 3 || a.Errors() != 0 {
+		t.Fatalf("archived=%d errors=%d", a.Archived(), a.Errors())
+	}
+
+	var got []telemetry.Info
+	if err := log.Replay(func(in telemetry.Info) error { got = append(got, in); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Value != 10 || got[1].Source != telemetry.Predicted || got[2].Timestamp != 3 {
+		t.Fatalf("replayed=%v", got)
+	}
+	// Stop again is a no-op.
+	if err := a.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamArchiverSkipsCorruptEntries(t *testing.T) {
+	bus := stream.NewBroker(0)
+	defer bus.Close()
+	log, err := archive.Open(t.TempDir(), archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	if _, err := bus.Publish("m", []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewStreamArchiver(bus, "m", log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	publish(t, bus, telemetry.NewFact("m", 5, 50))
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && a.Archived() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	a.Stop()
+	if a.Archived() != 1 || a.Errors() != 1 {
+		t.Fatalf("archived=%d errors=%d", a.Archived(), a.Errors())
+	}
+}
+
+func TestStreamArchiverWithLiveVertex(t *testing.T) {
+	// End-to-end: a fact vertex publishes; the stream archiver persists a
+	// complete history while the vertex's in-memory window stays bounded.
+	bus := stream.NewBroker(0)
+	defer bus.Close()
+	log, err := archive.Open(t.TempDir(), archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	a, err := NewStreamArchiver(bus, "live", log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+
+	v := newFact(t, bus, counterHook("live"), func(c *FactConfig) { c.HistorySize = 2 })
+	for i := 0; i < 10; i++ {
+		v.PollOnce()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && a.Archived() < 10 {
+		time.Sleep(time.Millisecond)
+	}
+	if a.Archived() != 10 {
+		t.Fatalf("archived=%d", a.Archived())
+	}
+}

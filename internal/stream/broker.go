@@ -1,0 +1,380 @@
+// Package stream is Apollo's Pub-Sub communication fabric, an in-process and
+// over-TCP substitute for the Redis Streams dependency of the original
+// implementation. Each metric is a topic: an append-only, ID-ordered stream
+// with bounded retention, blocking consumption, fan-out subscriptions, and
+// consumer groups.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Entry is one stream record. IDs are assigned per topic, contiguous from 1.
+type Entry struct {
+	ID      uint64
+	Payload []byte
+}
+
+// Errors returned by the broker.
+var (
+	ErrClosed       = errors.New("stream: broker closed")
+	ErrNoSuchTopic  = errors.New("stream: no such topic")
+	ErrNoSuchGroup  = errors.New("stream: no such group")
+	ErrEvicted      = errors.New("stream: requested id evicted from retention window")
+	ErrNotPending   = errors.New("stream: entry not pending for group")
+	ErrEmptyPayload = errors.New("stream: empty payload")
+)
+
+// DefaultRetention is how many entries a topic retains when not configured.
+const DefaultRetention = 1 << 14
+
+// group tracks one consumer group's cursor and unacknowledged deliveries.
+type group struct {
+	cursor  uint64 // last delivered entry id
+	pending map[uint64]Entry
+}
+
+// topic is a single append-only stream.
+type topic struct {
+	mu        sync.Mutex
+	name      string
+	buf       []Entry // dense ring: buf holds ids (firstID..nextID-1)
+	firstID   uint64  // id of buf[start]
+	start     int
+	count     int
+	nextID    uint64
+	retention int
+	notify    chan struct{} // closed and replaced on every publish
+	groups    map[string]*group
+	published uint64
+}
+
+func newTopic(name string, retention int) *topic {
+	if retention < 1 {
+		retention = DefaultRetention
+	}
+	return &topic{
+		name:      name,
+		buf:       make([]Entry, retention),
+		firstID:   1,
+		nextID:    1,
+		retention: retention,
+		notify:    make(chan struct{}),
+		groups:    make(map[string]*group),
+	}
+}
+
+// Broker owns a set of topics.
+type Broker struct {
+	mu        sync.RWMutex
+	topics    map[string]*topic
+	retention int
+	closed    bool
+	done      chan struct{} // closed by Close; unblocks waiting consumers
+}
+
+// NewBroker returns a broker whose topics retain up to retention entries
+// each (0 means DefaultRetention).
+func NewBroker(retention int) *Broker {
+	if retention <= 0 {
+		retention = DefaultRetention
+	}
+	return &Broker{topics: make(map[string]*topic), retention: retention, done: make(chan struct{})}
+}
+
+// topicFor returns (creating if needed) the named topic.
+func (b *Broker) topicFor(name string, create bool) (*topic, error) {
+	b.mu.RLock()
+	t, ok := b.topics[name]
+	closed := b.closed
+	b.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if ok {
+		return t, nil
+	}
+	if !create {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTopic, name)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	if t, ok = b.topics[name]; ok {
+		return t, nil
+	}
+	t = newTopic(name, b.retention)
+	b.topics[name] = t
+	return t, nil
+}
+
+// Publish appends payload to the named topic (creating it on first use) and
+// returns the assigned entry ID.
+func (b *Broker) Publish(topicName string, payload []byte) (uint64, error) {
+	if len(payload) == 0 {
+		return 0, ErrEmptyPayload
+	}
+	t, err := b.topicFor(topicName, true)
+	if err != nil {
+		return 0, err
+	}
+	p := make([]byte, len(payload))
+	copy(p, payload)
+
+	t.mu.Lock()
+	id := t.nextID
+	t.nextID++
+	if t.count == len(t.buf) {
+		// Evict oldest.
+		t.start = (t.start + 1) % len(t.buf)
+		t.firstID++
+		t.count--
+	}
+	t.buf[(t.start+t.count)%len(t.buf)] = Entry{ID: id, Payload: p}
+	t.count++
+	t.published++
+	// Wake all blocked consumers.
+	close(t.notify)
+	t.notify = make(chan struct{})
+	t.mu.Unlock()
+	return id, nil
+}
+
+// Topics returns the sorted names of all topics.
+func (b *Broker) Topics() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.topics))
+	for name := range b.topics {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Published returns the total entries ever appended to topicName.
+func (b *Broker) Published(topicName string) (uint64, error) {
+	t, err := b.topicFor(topicName, false)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.published, nil
+}
+
+// Latest returns the newest entry of a topic.
+func (b *Broker) Latest(topicName string) (Entry, error) {
+	t, err := b.topicFor(topicName, false)
+	if err != nil {
+		return Entry{}, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count == 0 {
+		return Entry{}, fmt.Errorf("%w: %q has no entries", ErrNoSuchTopic, topicName)
+	}
+	return t.buf[(t.start+t.count-1)%len(t.buf)], nil
+}
+
+// Range returns up to max entries with from <= ID <= to (max<=0 means all
+// retained). Requesting a from older than the retention window returns
+// ErrEvicted so callers can fall back to the Archiver.
+func (b *Broker) Range(topicName string, from, to uint64, max int) ([]Entry, error) {
+	t, err := b.topicFor(topicName, false)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if from < t.firstID && from < t.nextID && t.firstID > 1 {
+		return nil, ErrEvicted
+	}
+	if from < t.firstID {
+		from = t.firstID
+	}
+	if to >= t.nextID {
+		to = t.nextID - 1
+	}
+	if from > to {
+		return nil, nil
+	}
+	n := int(to - from + 1)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]Entry, 0, n)
+	base := int(from - t.firstID)
+	for i := 0; i < n; i++ {
+		out = append(out, t.buf[(t.start+base+i)%len(t.buf)])
+	}
+	return out, nil
+}
+
+// Consume blocks until an entry with ID > afterID exists, then returns the
+// earliest such entry. This is the pull-based subscription primitive: every
+// independent subscriber tracks its own afterID, giving Pub-Sub fan-out.
+func (b *Broker) Consume(ctx context.Context, topicName string, afterID uint64) (Entry, error) {
+	t, err := b.topicFor(topicName, true)
+	if err != nil {
+		return Entry{}, err
+	}
+	for {
+		t.mu.Lock()
+		if t.nextID > afterID+1 {
+			from := afterID + 1
+			if from < t.firstID {
+				from = t.firstID // skip evicted entries
+			}
+			e := t.buf[(t.start+int(from-t.firstID))%len(t.buf)]
+			t.mu.Unlock()
+			return e, nil
+		}
+		wait := t.notify
+		t.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return Entry{}, ctx.Err()
+		case <-b.done:
+			return Entry{}, ErrClosed
+		case <-wait:
+		}
+	}
+}
+
+// Subscribe starts a goroutine that delivers every entry after afterID to the
+// returned channel until ctx is cancelled. The channel is closed on exit.
+func (b *Broker) Subscribe(ctx context.Context, topicName string, afterID uint64) (<-chan Entry, error) {
+	if _, err := b.topicFor(topicName, true); err != nil {
+		return nil, err
+	}
+	ch := make(chan Entry, 64)
+	go func() {
+		defer close(ch)
+		last := afterID
+		for {
+			e, err := b.Consume(ctx, topicName, last)
+			if err != nil {
+				return
+			}
+			select {
+			case ch <- e:
+				last = e.ID
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch, nil
+}
+
+// CreateGroup registers a consumer group on a topic starting after afterID
+// (0 = from the beginning of retention).
+func (b *Broker) CreateGroup(topicName, groupName string, afterID uint64) error {
+	t, err := b.topicFor(topicName, true)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.groups[groupName]; !ok {
+		t.groups[groupName] = &group{cursor: afterID, pending: make(map[uint64]Entry)}
+	}
+	return nil
+}
+
+// GroupRead delivers the next undelivered entry to one member of the group,
+// blocking until an entry is available or ctx ends. The entry stays pending
+// until Ack.
+func (b *Broker) GroupRead(ctx context.Context, topicName, groupName string) (Entry, error) {
+	t, err := b.topicFor(topicName, false)
+	if err != nil {
+		return Entry{}, err
+	}
+	for {
+		t.mu.Lock()
+		g, ok := t.groups[groupName]
+		if !ok {
+			t.mu.Unlock()
+			return Entry{}, fmt.Errorf("%w: %q", ErrNoSuchGroup, groupName)
+		}
+		if t.nextID > g.cursor+1 {
+			from := g.cursor + 1
+			if from < t.firstID {
+				from = t.firstID
+			}
+			e := t.buf[(t.start+int(from-t.firstID))%len(t.buf)]
+			g.cursor = e.ID
+			g.pending[e.ID] = e
+			t.mu.Unlock()
+			return e, nil
+		}
+		wait := t.notify
+		t.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return Entry{}, ctx.Err()
+		case <-b.done:
+			return Entry{}, ErrClosed
+		case <-wait:
+		}
+	}
+}
+
+// Ack acknowledges a group-delivered entry.
+func (b *Broker) Ack(topicName, groupName string, id uint64) error {
+	t, err := b.topicFor(topicName, false)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g, ok := t.groups[groupName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchGroup, groupName)
+	}
+	if _, ok := g.pending[id]; !ok {
+		return ErrNotPending
+	}
+	delete(g.pending, id)
+	return nil
+}
+
+// Pending returns the unacknowledged entries of a group, ordered by ID.
+func (b *Broker) Pending(topicName, groupName string) ([]Entry, error) {
+	t, err := b.topicFor(topicName, false)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g, ok := t.groups[groupName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchGroup, groupName)
+	}
+	out := make([]Entry, 0, len(g.pending))
+	for _, e := range g.pending {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Close marks the broker closed; subsequent operations fail with ErrClosed
+// and blocked consumers are woken.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	close(b.done)
+	b.mu.Unlock()
+}

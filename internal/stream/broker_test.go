@@ -1,0 +1,323 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPublishAssignsSequentialIDs(t *testing.T) {
+	b := NewBroker(0)
+	for i := 1; i <= 5; i++ {
+		id, err := b.Publish("t", []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != uint64(i) {
+			t.Fatalf("id=%d want %d", id, i)
+		}
+	}
+	n, err := b.Published("t")
+	if err != nil || n != 5 {
+		t.Fatalf("Published=%d err=%v", n, err)
+	}
+}
+
+func TestPublishEmptyPayload(t *testing.T) {
+	b := NewBroker(0)
+	if _, err := b.Publish("t", nil); !errors.Is(err, ErrEmptyPayload) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestPublishCopiesPayload(t *testing.T) {
+	b := NewBroker(0)
+	p := []byte{1, 2, 3}
+	b.Publish("t", p)
+	p[0] = 99
+	e, err := b.Latest("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Payload[0] != 1 {
+		t.Fatal("broker aliased caller's payload")
+	}
+}
+
+func TestLatestAndRange(t *testing.T) {
+	b := NewBroker(0)
+	for i := 1; i <= 10; i++ {
+		b.Publish("t", []byte{byte(i)})
+	}
+	e, err := b.Latest("t")
+	if err != nil || e.ID != 10 {
+		t.Fatalf("Latest=%v err=%v", e, err)
+	}
+	es, err := b.Range("t", 3, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 4 || es[0].ID != 3 || es[3].ID != 6 {
+		t.Fatalf("Range=%v", es)
+	}
+	es, err = b.Range("t", 3, 100, 2)
+	if err != nil || len(es) != 2 {
+		t.Fatalf("capped Range=%v err=%v", es, err)
+	}
+	es, err = b.Range("t", 11, 20, 0)
+	if err != nil || es != nil {
+		t.Fatalf("future Range=%v err=%v", es, err)
+	}
+}
+
+func TestRangeMissingTopic(t *testing.T) {
+	b := NewBroker(0)
+	if _, err := b.Range("nope", 1, 2, 0); !errors.Is(err, ErrNoSuchTopic) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := b.Latest("nope"); !errors.Is(err, ErrNoSuchTopic) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestRetentionEviction(t *testing.T) {
+	b := NewBroker(4)
+	for i := 1; i <= 10; i++ {
+		b.Publish("t", []byte{byte(i)})
+	}
+	// IDs 1..6 evicted, 7..10 retained.
+	if _, err := b.Range("t", 1, 10, 0); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("err=%v", err)
+	}
+	es, err := b.Range("t", 7, 10, 0)
+	if err != nil || len(es) != 4 || es[0].ID != 7 {
+		t.Fatalf("retained Range=%v err=%v", es, err)
+	}
+}
+
+func TestConsumeBlocksUntilPublish(t *testing.T) {
+	b := NewBroker(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	got := make(chan Entry, 1)
+	go func() {
+		e, err := b.Consume(ctx, "t", 0)
+		if err == nil {
+			got <- e
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Publish("t", []byte("x"))
+	select {
+	case e := <-got:
+		if e.ID != 1 || string(e.Payload) != "x" {
+			t.Fatalf("entry=%v", e)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("consume never unblocked")
+	}
+}
+
+func TestConsumeContextCancel(t *testing.T) {
+	b := NewBroker(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := b.Consume(ctx, "t", 0)
+		errCh <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err=%v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("consume did not observe cancellation")
+	}
+}
+
+func TestCloseUnblocksConsumers(t *testing.T) {
+	b := NewBroker(0)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := b.Consume(context.Background(), "t", 0)
+		errCh <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	b.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err=%v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock consumer")
+	}
+	if _, err := b.Publish("t", []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("publish after close: %v", err)
+	}
+}
+
+func TestSubscribeFanOut(t *testing.T) {
+	b := NewBroker(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const subs, events = 3, 20
+	chans := make([]<-chan Entry, subs)
+	for i := range chans {
+		ch, err := b.Subscribe(ctx, "t", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+	go func() {
+		for i := 1; i <= events; i++ {
+			b.Publish("t", []byte{byte(i)})
+		}
+	}()
+	for si, ch := range chans {
+		for i := 1; i <= events; i++ {
+			select {
+			case e := <-ch:
+				if e.ID != uint64(i) {
+					t.Fatalf("sub %d: got id %d want %d", si, e.ID, i)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatalf("sub %d stalled at %d", si, i)
+			}
+		}
+	}
+}
+
+func TestConsumerGroupPartitionsWork(t *testing.T) {
+	b := NewBroker(0)
+	if err := b.CreateGroup("t", "g", 0); err != nil {
+		t.Fatal(err)
+	}
+	const events = 30
+	for i := 1; i <= events; i++ {
+		b.Publish("t", []byte{byte(i)})
+	}
+	ctx := context.Background()
+	var mu sync.Mutex
+	seen := make(map[uint64]int)
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < events/3; i++ {
+				e, err := b.GroupRead(ctx, "t", "g")
+				if err != nil {
+					t.Errorf("GroupRead: %v", err)
+					return
+				}
+				mu.Lock()
+				seen[e.ID]++
+				mu.Unlock()
+				if err := b.Ack("t", "g", e.ID); err != nil {
+					t.Errorf("Ack: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != events {
+		t.Fatalf("group delivered %d distinct ids, want %d", len(seen), events)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("id %d delivered %d times", id, n)
+		}
+	}
+	p, err := b.Pending("t", "g")
+	if err != nil || len(p) != 0 {
+		t.Fatalf("pending=%v err=%v", p, err)
+	}
+}
+
+func TestGroupPendingAndAckErrors(t *testing.T) {
+	b := NewBroker(0)
+	b.CreateGroup("t", "g", 0)
+	b.Publish("t", []byte("a"))
+	e, err := b.GroupRead(context.Background(), "t", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := b.Pending("t", "g")
+	if len(p) != 1 || p[0].ID != e.ID {
+		t.Fatalf("pending=%v", p)
+	}
+	if err := b.Ack("t", "g", 999); !errors.Is(err, ErrNotPending) {
+		t.Fatalf("err=%v", err)
+	}
+	if err := b.Ack("t", "nope", e.ID); !errors.Is(err, ErrNoSuchGroup) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := b.GroupRead(context.Background(), "t", "nope"); !errors.Is(err, ErrNoSuchGroup) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestTopicsSorted(t *testing.T) {
+	b := NewBroker(0)
+	for _, n := range []string{"zebra", "alpha", "mid"} {
+		b.Publish(n, []byte("x"))
+	}
+	got := b.Topics()
+	want := []string{"alpha", "mid", "zebra"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Topics=%v", got)
+	}
+}
+
+func TestConsumeSkipsEvicted(t *testing.T) {
+	b := NewBroker(4)
+	for i := 1; i <= 10; i++ {
+		b.Publish("t", []byte{byte(i)})
+	}
+	e, err := b.Consume(context.Background(), "t", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != 7 { // oldest retained
+		t.Fatalf("id=%d want 7", e.ID)
+	}
+}
+
+func BenchmarkBrokerPublish(b *testing.B) {
+	br := NewBroker(1 << 10)
+	payload := make([]byte, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := br.Publish("t", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBrokerConsume(b *testing.B) {
+	// Publish-then-consume pairs so the bench never outruns the retention
+	// window (a blocked Consume would deadlock the benchmark).
+	br := NewBroker(1 << 10)
+	payload := make([]byte, 16)
+	ctx := context.Background()
+	b.ResetTimer()
+	var last uint64
+	for i := 0; i < b.N; i++ {
+		if _, err := br.Publish("t", payload); err != nil {
+			b.Fatal(err)
+		}
+		e, err := br.Consume(ctx, "t", last)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = e.ID
+	}
+}

@@ -1,0 +1,83 @@
+package stream
+
+import "context"
+
+// Bus is the communication-fabric interface SCoRe vertices publish to and
+// subscribe from. Broker implements it in-process; RemoteBus implements it
+// against a TCP stream server, letting a vertex live on a different node
+// than its queue.
+type Bus interface {
+	// Publish appends payload to topic, returning the entry ID.
+	Publish(topic string, payload []byte) (uint64, error)
+	// Subscribe delivers every entry with ID > afterID until ctx ends.
+	Subscribe(ctx context.Context, topic string, afterID uint64) (<-chan Entry, error)
+	// Latest returns the newest entry of topic.
+	Latest(topic string) (Entry, error)
+	// Range returns entries with from <= ID <= to (max<=0: unlimited).
+	Range(topic string, from, to uint64, max int) ([]Entry, error)
+}
+
+var _ Bus = (*Broker)(nil)
+
+// RemoteBus adapts a TCP stream server to the Bus interface.
+type RemoteBus struct {
+	addr   string
+	client *Client
+}
+
+// NewRemoteBus dials addr and returns a Bus backed by the remote broker.
+func NewRemoteBus(addr string) (*RemoteBus, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteBus{addr: addr, client: c}, nil
+}
+
+// Publish implements Bus.
+func (r *RemoteBus) Publish(topic string, payload []byte) (uint64, error) {
+	return r.client.Publish(topic, payload)
+}
+
+// Latest implements Bus.
+func (r *RemoteBus) Latest(topic string) (Entry, error) { return r.client.Latest(topic) }
+
+// Range implements Bus.
+func (r *RemoteBus) Range(topic string, from, to uint64, max int) ([]Entry, error) {
+	return r.client.Range(topic, from, to, max)
+}
+
+// Subscribe implements Bus using a dedicated streaming connection that is
+// torn down when ctx ends.
+func (r *RemoteBus) Subscribe(ctx context.Context, topic string, afterID uint64) (<-chan Entry, error) {
+	sub, err := Subscribe(r.addr, topic, afterID)
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan Entry, 64)
+	go func() {
+		defer close(out)
+		defer sub.Close()
+		for {
+			select {
+			case e, ok := <-sub.C():
+				if !ok {
+					return
+				}
+				select {
+				case out <- e:
+				case <-ctx.Done():
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+// Close releases the request connection.
+func (r *RemoteBus) Close() error { return r.client.Close() }
+
+var _ Bus = (*RemoteBus)(nil)

@@ -1,0 +1,253 @@
+package stream
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+)
+
+// Client is a TCP client for a stream Server. A Client multiplexes one
+// request at a time over a single connection; Subscribe opens its own
+// dedicated connection. Client is safe for concurrent use.
+type Client struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a stream server.
+func Dial(addr string) (*Client, error) {
+	c := &Client{addr: addr}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) connect() error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.r = bufio.NewReader(conn)
+	c.w = bufio.NewWriter(conn)
+	return nil
+}
+
+// Close closes the request connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// roundTrip sends one request frame and reads one response frame.
+func (c *Client) roundTrip(op byte, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, errors.New("stream: client closed")
+	}
+	if err := writeFrame(c.w, op, payload); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	status, resp, err := readFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if status == statusErr {
+		return nil, remoteError(resp)
+	}
+	return resp, nil
+}
+
+// Publish appends payload to topic on the server.
+func (c *Client) Publish(topic string, payload []byte) (uint64, error) {
+	req := (&enc{}).str(topic).bytes(payload)
+	resp, err := c.roundTrip(opPublish, req.b)
+	if err != nil {
+		return 0, err
+	}
+	d := &buf{b: resp}
+	id := d.u64()
+	return id, d.err
+}
+
+// Latest fetches the newest entry of topic.
+func (c *Client) Latest(topic string) (Entry, error) {
+	resp, err := c.roundTrip(opLatest, (&enc{}).str(topic).b)
+	if err != nil {
+		return Entry{}, err
+	}
+	d := &buf{b: resp}
+	e := decodeEntry(d)
+	return e, d.err
+}
+
+// Range fetches entries with from <= ID <= to (max <= 0 means unlimited).
+func (c *Client) Range(topic string, from, to uint64, max int) ([]Entry, error) {
+	req := (&enc{}).str(topic).u64(from).u64(to).u32(uint32(max))
+	resp, err := c.roundTrip(opRange, req.b)
+	if err != nil {
+		return nil, err
+	}
+	d := &buf{b: resp}
+	n := int(d.u32())
+	out := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, decodeEntry(d))
+	}
+	return out, d.err
+}
+
+// Consume blocks server-side until an entry newer than afterID exists.
+func (c *Client) Consume(topic string, afterID uint64) (Entry, error) {
+	req := (&enc{}).str(topic).u64(afterID)
+	resp, err := c.roundTrip(opConsume, req.b)
+	if err != nil {
+		return Entry{}, err
+	}
+	d := &buf{b: resp}
+	e := decodeEntry(d)
+	return e, d.err
+}
+
+// CreateGroup registers a consumer group.
+func (c *Client) CreateGroup(topic, group string, afterID uint64) error {
+	req := (&enc{}).str(topic).str(group).u64(afterID)
+	_, err := c.roundTrip(opGroupNew, req.b)
+	return err
+}
+
+// GroupRead claims the next entry for the group, blocking server-side.
+func (c *Client) GroupRead(topic, group string) (Entry, error) {
+	req := (&enc{}).str(topic).str(group)
+	resp, err := c.roundTrip(opGroupRead, req.b)
+	if err != nil {
+		return Entry{}, err
+	}
+	d := &buf{b: resp}
+	e := decodeEntry(d)
+	return e, d.err
+}
+
+// Ack acknowledges a group-delivered entry.
+func (c *Client) Ack(topic, group string, id uint64) error {
+	req := (&enc{}).str(topic).str(group).u64(id)
+	_, err := c.roundTrip(opAck, req.b)
+	return err
+}
+
+// Topics lists topic names on the server.
+func (c *Client) Topics() ([]string, error) {
+	resp, err := c.roundTrip(opTopics, nil)
+	if err != nil {
+		return nil, err
+	}
+	d := &buf{b: resp}
+	n := int(d.u32())
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.str())
+	}
+	return out, d.err
+}
+
+// Subscription is a dedicated streaming connection delivering every entry of
+// one topic after a starting ID.
+type Subscription struct {
+	conn net.Conn
+	ch   chan Entry
+	err  error
+	mu   sync.Mutex
+	done chan struct{}
+}
+
+// Subscribe opens a dedicated connection that streams entries of topic with
+// ID > afterID into the returned Subscription's channel.
+func Subscribe(addr, topic string, afterID uint64) (*Subscription, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriter(conn)
+	req := (&enc{}).str(topic).u64(afterID)
+	if err := writeFrame(w, opSubscribe, req.b); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	sub := &Subscription{conn: conn, ch: make(chan Entry, 64), done: make(chan struct{})}
+	go sub.readLoop()
+	return sub, nil
+}
+
+func (s *Subscription) readLoop() {
+	defer close(s.ch)
+	defer close(s.done)
+	r := bufio.NewReader(s.conn)
+	for {
+		status, payload, err := readFrame(r)
+		if err != nil {
+			s.setErr(err)
+			return
+		}
+		if status == statusErr {
+			s.setErr(remoteError(payload))
+			return
+		}
+		d := &buf{b: payload}
+		e := decodeEntry(d)
+		if d.err != nil {
+			s.setErr(d.err)
+			return
+		}
+		s.ch <- e
+	}
+}
+
+func (s *Subscription) setErr(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// C returns the delivery channel; it closes when the subscription ends.
+func (s *Subscription) C() <-chan Entry { return s.ch }
+
+// Err returns the terminal error, if any, after C closes.
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if errors.Is(s.err, net.ErrClosed) {
+		return nil // closed by us
+	}
+	return s.err
+}
+
+// Close terminates the subscription connection and drains the channel.
+func (s *Subscription) Close() error {
+	err := s.conn.Close()
+	for range s.ch {
+	}
+	<-s.done
+	return err
+}

@@ -1,0 +1,259 @@
+package stream
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+)
+
+// Server exposes a Broker over TCP using the wire protocol in wire.go. Each
+// connection handles one request at a time; Subscribe turns the connection
+// into a one-way entry stream.
+type Server struct {
+	broker *Broker
+	ln     net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server for broker on addr ("host:port"; ":0" picks a free
+// port). It returns once the listener is active.
+func Serve(broker *Broker, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{broker: broker, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for {
+		op, payload, err := readFrame(r)
+		if err != nil {
+			return // connection closed or corrupt
+		}
+		if op == opSubscribe {
+			s.serveSubscribe(ctx, cancel, conn, w, payload)
+			return
+		}
+		resp, err := s.dispatch(ctx, op, payload)
+		if err != nil {
+			if writeFrame(w, statusErr, errPayload(err)) != nil {
+				return
+			}
+		} else {
+			if writeFrame(w, statusOK, resp) != nil {
+				return
+			}
+		}
+		if w.Flush() != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(ctx context.Context, op byte, payload []byte) ([]byte, error) {
+	d := &buf{b: payload}
+	switch op {
+	case opPublish:
+		topic := d.str()
+		p := d.bytes()
+		if d.err != nil {
+			return nil, d.err
+		}
+		id, err := s.broker.Publish(topic, p)
+		if err != nil {
+			return nil, err
+		}
+		return (&enc{}).u64(id).b, nil
+
+	case opLatest:
+		topic := d.str()
+		if d.err != nil {
+			return nil, d.err
+		}
+		e, err := s.broker.Latest(topic)
+		if err != nil {
+			return nil, err
+		}
+		out := &enc{}
+		encodeEntry(out, e)
+		return out.b, nil
+
+	case opRange:
+		topic := d.str()
+		from, to := d.u64(), d.u64()
+		max := int(d.u32())
+		if d.err != nil {
+			return nil, d.err
+		}
+		entries, err := s.broker.Range(topic, from, to, max)
+		if err != nil {
+			return nil, err
+		}
+		out := (&enc{}).u32(uint32(len(entries)))
+		for _, e := range entries {
+			encodeEntry(out, e)
+		}
+		return out.b, nil
+
+	case opConsume:
+		topic := d.str()
+		after := d.u64()
+		if d.err != nil {
+			return nil, d.err
+		}
+		e, err := s.broker.Consume(ctx, topic, after)
+		if err != nil {
+			return nil, err
+		}
+		out := &enc{}
+		encodeEntry(out, e)
+		return out.b, nil
+
+	case opGroupNew:
+		topic, group := d.str(), d.str()
+		after := d.u64()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if err := s.broker.CreateGroup(topic, group, after); err != nil {
+			return nil, err
+		}
+		return nil, nil
+
+	case opGroupRead:
+		topic, group := d.str(), d.str()
+		if d.err != nil {
+			return nil, d.err
+		}
+		e, err := s.broker.GroupRead(ctx, topic, group)
+		if err != nil {
+			return nil, err
+		}
+		out := &enc{}
+		encodeEntry(out, e)
+		return out.b, nil
+
+	case opAck:
+		topic, group := d.str(), d.str()
+		id := d.u64()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if err := s.broker.Ack(topic, group, id); err != nil {
+			return nil, err
+		}
+		return nil, nil
+
+	case opTopics:
+		names := s.broker.Topics()
+		out := (&enc{}).u32(uint32(len(names)))
+		for _, n := range names {
+			out.str(n)
+		}
+		return out.b, nil
+
+	default:
+		return nil, errors.New("stream: unknown opcode")
+	}
+}
+
+// serveSubscribe streams entries to the client until the connection drops.
+func (s *Server) serveSubscribe(ctx context.Context, cancel context.CancelFunc, conn net.Conn, w *bufio.Writer, payload []byte) {
+	d := &buf{b: payload}
+	topic := d.str()
+	after := d.u64()
+	if d.err != nil {
+		writeFrame(w, statusErr, errPayload(d.err))
+		w.Flush()
+		return
+	}
+	// Watch for the client closing the connection so a blocked Consume is
+	// cancelled instead of leaking until the next publish.
+	go func() {
+		defer cancel()
+		var one [1]byte
+		for {
+			if _, err := conn.Read(one[:]); err != nil {
+				return
+			}
+		}
+	}()
+	last := after
+	for {
+		e, err := s.broker.Consume(ctx, topic, last)
+		if err != nil {
+			writeFrame(w, statusErr, errPayload(err))
+			w.Flush()
+			return
+		}
+		out := &enc{}
+		encodeEntry(out, e)
+		if writeFrame(w, statusOK, out.b) != nil || w.Flush() != nil {
+			return
+		}
+		last = e.ID
+	}
+}

@@ -1,0 +1,240 @@
+package stream
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startServer(t testing.TB) (*Broker, *Server) {
+	t.Helper()
+	b := NewBroker(0)
+	s, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s.Close()
+		b.Close()
+	})
+	return b, s
+}
+
+func dialT(t testing.TB, s *Server) *Client {
+	t.Helper()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestTCPPublishLatest(t *testing.T) {
+	_, s := startServer(t)
+	c := dialT(t, s)
+	id, err := c.Publish("cap", []byte("42"))
+	if err != nil || id != 1 {
+		t.Fatalf("id=%d err=%v", id, err)
+	}
+	e, err := c.Latest("cap")
+	if err != nil || string(e.Payload) != "42" {
+		t.Fatalf("entry=%v err=%v", e, err)
+	}
+}
+
+func TestTCPRange(t *testing.T) {
+	b, s := startServer(t)
+	c := dialT(t, s)
+	for i := 1; i <= 10; i++ {
+		b.Publish("m", []byte{byte(i)})
+	}
+	es, err := c.Range("m", 2, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 4 || es[0].ID != 2 || es[3].ID != 5 {
+		t.Fatalf("Range=%v", es)
+	}
+}
+
+func TestTCPErrorMapping(t *testing.T) {
+	_, s := startServer(t)
+	c := dialT(t, s)
+	if _, err := c.Latest("ghost"); !errors.Is(err, ErrNoSuchTopic) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := c.Publish("t", nil); !errors.Is(err, ErrEmptyPayload) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestTCPConsumeBlocking(t *testing.T) {
+	b, s := startServer(t)
+	c := dialT(t, s)
+	got := make(chan Entry, 1)
+	go func() {
+		e, err := c.Consume("m", 0)
+		if err == nil {
+			got <- e
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b.Publish("m", []byte("late"))
+	select {
+	case e := <-got:
+		if string(e.Payload) != "late" {
+			t.Fatalf("entry=%v", e)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("remote consume stalled")
+	}
+}
+
+func TestTCPSubscriptionStream(t *testing.T) {
+	b, s := startServer(t)
+	sub, err := Subscribe(s.Addr(), "m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	const n = 25
+	go func() {
+		for i := 1; i <= n; i++ {
+			b.Publish("m", []byte{byte(i)})
+		}
+	}()
+	for i := 1; i <= n; i++ {
+		select {
+		case e, ok := <-sub.C():
+			if !ok {
+				t.Fatalf("stream closed early at %d: %v", i, sub.Err())
+			}
+			if e.ID != uint64(i) {
+				t.Fatalf("id=%d want %d", e.ID, i)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("subscription stalled at %d", i)
+		}
+	}
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Err() != nil {
+		t.Fatalf("Err=%v", sub.Err())
+	}
+}
+
+func TestTCPSubscriptionFromOffset(t *testing.T) {
+	b, s := startServer(t)
+	for i := 1; i <= 5; i++ {
+		b.Publish("m", []byte{byte(i)})
+	}
+	sub, err := Subscribe(s.Addr(), "m", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	e := <-sub.C()
+	if e.ID != 4 {
+		t.Fatalf("first id=%d want 4", e.ID)
+	}
+}
+
+func TestTCPGroupReadAck(t *testing.T) {
+	b, s := startServer(t)
+	c := dialT(t, s)
+	if err := c.CreateGroup("m", "g", 0); err != nil {
+		t.Fatal(err)
+	}
+	b.Publish("m", []byte("a"))
+	e, err := c.GroupRead("m", "g")
+	if err != nil || e.ID != 1 {
+		t.Fatalf("e=%v err=%v", e, err)
+	}
+	if err := c.Ack("m", "g", e.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ack("m", "g", e.ID); !errors.Is(err, ErrNotPending) {
+		t.Fatalf("double ack err=%v", err)
+	}
+}
+
+func TestTCPTopics(t *testing.T) {
+	b, s := startServer(t)
+	c := dialT(t, s)
+	b.Publish("b-topic", []byte("x"))
+	b.Publish("a-topic", []byte("x"))
+	names, err := c.Topics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a-topic" || names[1] != "b-topic" {
+		t.Fatalf("Topics=%v", names)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	_, s := startServer(t)
+	const clients, per = 4, 100
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < per; j++ {
+				if _, err := c.Publish("shared", []byte{byte(i), byte(j)}); err != nil {
+					t.Errorf("publish: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	c := dialT(t, s)
+	e, err := c.Latest("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != clients*per {
+		t.Fatalf("latest id=%d want %d", e.ID, clients*per)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	b := NewBroker(0)
+	s, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTCPPublish(b *testing.B) {
+	_, s := startServer(b)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	payload := make([]byte, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Publish("bench", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire protocol: every frame is
+//
+//	u8  opcode (request) / status (response)
+//	u32 payload length (little endian)
+//	[..] payload
+//
+// Payload fields are encoded with writeString (u16 len + bytes), writeBytes
+// (u32 len + bytes), and fixed-width little-endian integers.
+
+// Request opcodes.
+const (
+	opPublish   = 0x01 // topic, payload           -> u64 id
+	opLatest    = 0x02 // topic                    -> entry
+	opRange     = 0x03 // topic, from, to, max     -> u32 n, n entries
+	opConsume   = 0x04 // topic, afterID           -> entry (blocks)
+	opSubscribe = 0x05 // topic, afterID           -> stream of entries
+	opGroupNew  = 0x06 // topic, group, afterID    -> ok
+	opGroupRead = 0x07 // topic, group             -> entry (blocks)
+	opAck       = 0x08 // topic, group, id         -> ok
+	opTopics    = 0x09 //                          -> u32 n, n strings
+)
+
+// Response statuses.
+const (
+	statusOK  = 0x00
+	statusErr = 0x01
+)
+
+const maxFrame = 16 << 20
+
+var errFrameTooLarge = errors.New("stream: frame exceeds 16MiB limit")
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, op byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return errFrameTooLarge
+	}
+	hdr := [5]byte{op}
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (op byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, errFrameTooLarge
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// buf is a tiny cursor-based decoder over a frame payload.
+type buf struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (d *buf) fail() {
+	if d.err == nil {
+		d.err = errors.New("stream: truncated frame")
+	}
+}
+
+func (d *buf) u16() uint16 {
+	if d.err != nil || d.pos+2 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.pos:])
+	d.pos += 2
+	return v
+}
+
+func (d *buf) u32() uint32 {
+	if d.err != nil || d.pos+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.pos:])
+	d.pos += 4
+	return v
+}
+
+func (d *buf) u64() uint64 {
+	if d.err != nil || d.pos+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.pos:])
+	d.pos += 8
+	return v
+}
+
+func (d *buf) str() string {
+	n := int(d.u16())
+	if d.err != nil || d.pos+n > len(d.b) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
+
+func (d *buf) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || d.pos+n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, d.b[d.pos:d.pos+n])
+	d.pos += n
+	return v
+}
+
+// enc builds frame payloads.
+type enc struct{ b []byte }
+
+func (e *enc) u16(v uint16) *enc { e.b = binary.LittleEndian.AppendUint16(e.b, v); return e }
+func (e *enc) u32(v uint32) *enc { e.b = binary.LittleEndian.AppendUint32(e.b, v); return e }
+func (e *enc) u64(v uint64) *enc { e.b = binary.LittleEndian.AppendUint64(e.b, v); return e }
+func (e *enc) str(s string) *enc {
+	e.u16(uint16(len(s)))
+	e.b = append(e.b, s...)
+	return e
+}
+func (e *enc) bytes(p []byte) *enc {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+	return e
+}
+
+func encodeEntry(e *enc, entry Entry) {
+	e.u64(entry.ID)
+	e.bytes(entry.Payload)
+}
+
+func decodeEntry(d *buf) Entry {
+	id := d.u64()
+	p := d.bytes()
+	return Entry{ID: id, Payload: p}
+}
+
+// errPayload renders an error for a statusErr frame.
+func errPayload(err error) []byte { return []byte(err.Error()) }
+
+// remoteError reconstructs a server-side error, mapping the broker's
+// sentinel errors back to their package-level values so errors.Is works
+// across the wire.
+func remoteError(payload []byte) error {
+	msg := string(payload)
+	for _, sentinel := range []error{ErrClosed, ErrNoSuchTopic, ErrNoSuchGroup, ErrEvicted, ErrNotPending, ErrEmptyPayload} {
+		if msg == sentinel.Error() {
+			return sentinel
+		}
+		if len(msg) > len(sentinel.Error()) && msg[:len(sentinel.Error())] == sentinel.Error() {
+			return fmt.Errorf("%w%s", sentinel, msg[len(sentinel.Error()):])
+		}
+	}
+	return errors.New(msg)
+}

@@ -1,0 +1,138 @@
+// Package trace implements capture and replay of metric traces — the
+// methodology of §4.3.1: "we captured the HACC capacity workload and
+// replayed it with an emulation, so that there would be minimal issues with
+// time drift or interference between runs". A Trace is a uniformly-sampled
+// series for one metric; the CSV format is one header line
+// ("metric,<id>,tick,<duration>") followed by one sample per line.
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/score"
+	"repro/internal/telemetry"
+)
+
+// Trace is a uniformly-sampled capture of one metric.
+type Trace struct {
+	// Metric names the captured stream.
+	Metric telemetry.MetricID
+	// Tick is the sampling period.
+	Tick time.Duration
+	// Samples are the values, one per tick.
+	Samples []float64
+}
+
+// ErrFormat reports a malformed trace file.
+var ErrFormat = errors.New("trace: malformed trace file")
+
+// Duration is the covered time span.
+func (t *Trace) Duration() time.Duration { return time.Duration(len(t.Samples)) * t.Tick }
+
+// Hook returns a score.ReplayHook that replays the trace through a Fact
+// Vertex.
+func (t *Trace) Hook() *score.ReplayHook {
+	return &score.ReplayHook{ID: t.Metric, Trace: append([]float64(nil), t.Samples...)}
+}
+
+// Write encodes the trace as CSV.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "metric,%s,tick,%s\n", t.Metric, t.Tick); err != nil {
+		return err
+	}
+	for _, v := range t.Samples {
+		if _, err := fmt.Fprintf(bw, "%g\n", v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Save writes the trace to a file.
+func (t *Trace) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read decodes a CSV trace.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: empty file", ErrFormat)
+	}
+	parts := strings.Split(sc.Text(), ",")
+	if len(parts) != 4 || parts[0] != "metric" || parts[2] != "tick" {
+		return nil, fmt.Errorf("%w: bad header %q", ErrFormat, sc.Text())
+	}
+	tick, err := time.ParseDuration(parts[3])
+	if err != nil || tick <= 0 {
+		return nil, fmt.Errorf("%w: bad tick %q", ErrFormat, parts[3])
+	}
+	t := &Trace{Metric: telemetry.MetricID(parts[1]), Tick: tick}
+	for line := 2; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrFormat, line, text)
+		}
+		t.Samples = append(t.Samples, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(t.Samples) == 0 {
+		return nil, fmt.Errorf("%w: no samples", ErrFormat)
+	}
+	return t, nil
+}
+
+// Load reads a trace file.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Capture samples a monitor hook n times at the given tick of simulated
+// cadence (the hook is polled back-to-back; tick only stamps the metadata,
+// matching how the paper's emulation replays independent of wall time).
+func Capture(hook score.Hook, n int, tick time.Duration) (*Trace, error) {
+	if n <= 0 || tick <= 0 {
+		return nil, errors.New("trace: need positive sample count and tick")
+	}
+	t := &Trace{Metric: hook.Metric(), Tick: tick, Samples: make([]float64, 0, n)}
+	for i := 0; i < n; i++ {
+		v, err := hook.Poll()
+		if err != nil {
+			return nil, fmt.Errorf("trace: capturing sample %d: %w", i, err)
+		}
+		t.Samples = append(t.Samples, v)
+	}
+	return t, nil
+}
+
+// FromSeries wraps a raw series as a Trace.
+func FromSeries(metric telemetry.MetricID, tick time.Duration, samples []float64) *Trace {
+	return &Trace{Metric: metric, Tick: tick, Samples: append([]float64(nil), samples...)}
+}

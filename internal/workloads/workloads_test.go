@@ -1,0 +1,176 @@
+package workloads
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHACCRegularShape(t *testing.T) {
+	trace := HACCRegular(30*time.Second, 1e9)
+	if len(trace) != 30 {
+		t.Fatalf("len=%d", len(trace))
+	}
+	if trace[0] != 1e9 {
+		t.Fatalf("start=%f", trace[0])
+	}
+	// Drops of exactly 38000 every 5 seconds.
+	if trace[4] != 1e9 || trace[5] != 1e9-38000 {
+		t.Fatalf("first drop wrong: t4=%f t5=%f", trace[4], trace[5])
+	}
+	if trace[29] != 1e9-38000*5 {
+		t.Fatalf("end=%f", trace[29])
+	}
+	// Monotone non-increasing.
+	for i := 1; i < len(trace); i++ {
+		if trace[i] > trace[i-1] {
+			t.Fatalf("capacity increased at %d", i)
+		}
+	}
+}
+
+func TestHACCIrregularProperties(t *testing.T) {
+	trace := HACCIrregular(30*time.Minute, 1e9, 42)
+	if len(trace) != 1800 {
+		t.Fatalf("len=%d", len(trace))
+	}
+	// Deterministic.
+	again := HACCIrregular(30*time.Minute, 1e9, 42)
+	for i := range trace {
+		if trace[i] != again[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+	// Different seeds differ.
+	other := HACCIrregular(30*time.Minute, 1e9, 43)
+	same := true
+	for i := range trace {
+		if trace[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 identical")
+	}
+	// Every drop is within [19000, 38000] and gaps within [5,20]s.
+	lastDrop := 0
+	for i := 1; i < len(trace); i++ {
+		if trace[i] == trace[i-1] {
+			continue
+		}
+		d := trace[i-1] - trace[i]
+		if d < 19000 || d > 38000 {
+			t.Fatalf("drop %f out of range at %d", d, i)
+		}
+		if lastDrop > 0 {
+			gap := i - lastDrop
+			if gap < 5 || gap > 20 {
+				t.Fatalf("gap %d out of range at %d", gap, i)
+			}
+		}
+		lastDrop = i
+	}
+	if lastDrop == 0 {
+		t.Fatal("no writes happened in 30 minutes")
+	}
+}
+
+func TestKernels(t *testing.T) {
+	if VPIC.TotalBytes() != int64(32<<20)*16*2560 {
+		t.Fatalf("vpic total=%d", VPIC.TotalBytes())
+	}
+	if !BDCATS.Read || VPIC.Read || !Montage.Read {
+		t.Fatal("kernel directions wrong")
+	}
+	if Montage.BytesPerProcPerStep != 10<<20 {
+		t.Fatal("montage size wrong")
+	}
+}
+
+func TestIORGenerate(t *testing.T) {
+	cfg := IORConfig{TransferSize: 1 << 20, OpsPerStep: 100, Steps: 4, ReadFraction: 0.5, Seed: 7}
+	ops := cfg.Generate(0)
+	if len(ops) != 100 {
+		t.Fatalf("ops=%d", len(ops))
+	}
+	reads := 0
+	for _, op := range ops {
+		if op.Bytes != 1<<20 {
+			t.Fatalf("bytes=%d", op.Bytes)
+		}
+		if op.Read {
+			reads++
+		}
+	}
+	if reads == 0 || reads == 100 {
+		t.Fatalf("reads=%d not mixed", reads)
+	}
+	// Deterministic per step.
+	again := cfg.Generate(0)
+	for i := range ops {
+		if ops[i] != again[i] {
+			t.Fatal("nondeterministic ops")
+		}
+	}
+	// Different steps differ.
+	other := cfg.Generate(1)
+	diff := false
+	for i := range ops {
+		if ops[i] != other[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("steps identical")
+	}
+}
+
+func TestSARSeries(t *testing.T) {
+	for _, m := range SARMetrics() {
+		s := SARSeries(m, "nvme", 200, 1)
+		if len(s) != 200 {
+			t.Fatalf("%s: len=%d", m, len(s))
+		}
+		for i, v := range s {
+			if v < 0 {
+				t.Fatalf("%s: negative value %f at %d", m, v, i)
+			}
+		}
+	}
+	// NVMe throughput dominates HDD throughput.
+	nv := SARSeries(MetricTPS, "nvme", 500, 2)
+	hd := SARSeries(MetricTPS, "hdd", 500, 2)
+	var sn, sh float64
+	for i := range nv {
+		sn += nv[i]
+		sh += hd[i]
+	}
+	if sn <= sh {
+		t.Fatalf("nvme tps %f <= hdd tps %f", sn, sh)
+	}
+	// HDD latency exceeds NVMe latency.
+	nvA := SARSeries(MetricAwait, "nvme", 500, 3)
+	hdA := SARSeries(MetricAwait, "hdd", 500, 3)
+	sn, sh = 0, 0
+	for i := range nvA {
+		sn += nvA[i]
+		sh += hdA[i]
+	}
+	if sh <= sn {
+		t.Fatalf("hdd await %f <= nvme await %f", sh, sn)
+	}
+}
+
+func TestSARMetricNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range SARMetrics() {
+		if seen[m.String()] {
+			t.Fatalf("duplicate name %s", m)
+		}
+		seen[m.String()] = true
+	}
+	if SARMetric(99).String() != "sar(?)" {
+		t.Fatal("unknown metric name")
+	}
+}
