@@ -66,6 +66,21 @@ type (
 	Builder = score.Builder
 )
 
+// Health types: per-vertex publish-path health exposed by Service.Health.
+type (
+	// HealthSnapshot is a point-in-time view of one vertex's health.
+	HealthSnapshot = score.HealthSnapshot
+	// HealthState classifies a vertex: HealthOK, HealthDegraded, HealthFailed.
+	HealthState = score.HealthState
+)
+
+// Health states.
+const (
+	HealthOK       = score.HealthOK
+	HealthDegraded = score.HealthDegraded
+	HealthFailed   = score.HealthFailed
+)
+
 // Adaptive-interval types.
 type (
 	// AdaptiveConfig parameterizes the AIMD controllers.

@@ -281,6 +281,24 @@ func (s *Service) Serve(addr string) (string, error) {
 	return srv.Addr(), nil
 }
 
+// Health reports per-vertex publish-path health (OK / Degraded / Failed,
+// consecutive-error counts, store-and-forward backlog, last flush), so
+// operators and the AQE can see a vertex degrading while the fabric is
+// unreachable instead of silently losing data.
+func (s *Service) Health() map[telemetry.MetricID]score.HealthSnapshot {
+	return s.graph.Health()
+}
+
+// Degraded reports whether any registered vertex is not HealthOK.
+func (s *Service) Degraded() bool {
+	for _, h := range s.graph.Health() {
+		if h.State != score.HealthOK {
+			return true
+		}
+	}
+	return false
+}
+
 // Query runs an AQE query (SELECT ... [UNION ...]).
 func (s *Service) Query(sql string) (*aqe.Result, error) { return s.engine.Query(sql) }
 

@@ -48,6 +48,29 @@ func TestServiceLifecycle(t *testing.T) {
 	s.Stop() // idempotent
 }
 
+func TestServiceHealthSurface(t *testing.T) {
+	s := New(Config{Clock: sched.NewSimClock(time.Unix(0, 0))})
+	if _, err := s.RegisterMetric(constHook("h1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterInsight("h.sum", []telemetry.MetricID{"h1"}, score.Sum); err != nil {
+		t.Fatal(err)
+	}
+	health := s.Health()
+	if len(health) != 2 {
+		t.Fatalf("health entries = %d want 2", len(health))
+	}
+	for id, h := range health {
+		if h.State != score.HealthOK {
+			t.Fatalf("vertex %s state = %v want ok", id, h.State)
+		}
+	}
+	if s.Degraded() {
+		t.Fatal("fresh service reports degraded")
+	}
+	s.Stop()
+}
+
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(2 * time.Second)

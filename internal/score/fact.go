@@ -39,6 +39,13 @@ type FactConfig struct {
 	// PublishUnchanged disables the only-if-changed filter (§3.2.1); used
 	// by the ablation bench.
 	PublishUnchanged bool
+	// BufferSize bounds the store-and-forward backlog kept while the
+	// broker is unreachable (default: HistorySize). Overflow evicts the
+	// oldest buffered tuple.
+	BufferSize int
+	// FailAfter is how many consecutive publish errors flip the vertex
+	// health from Degraded to Failed (default DefaultFailAfter).
+	FailAfter int
 	// Loop, if non-nil, drives polling from a shared timer event loop (the
 	// libuv pattern of the original implementation: one loop multiplexes
 	// many vertices' timers and intervals are re-programmed per fire).
@@ -55,6 +62,7 @@ type FactVertex struct {
 	metric  telemetry.MetricID
 	history *queue.History
 	stats   Stats
+	pub     *pubBuffer
 
 	mu      sync.Mutex
 	last    float64
@@ -81,7 +89,11 @@ func NewFactVertex(cfg FactConfig) (*FactVertex, error) {
 	if cfg.BaseTick <= 0 {
 		cfg.BaseTick = time.Second
 	}
+	if cfg.BufferSize <= 0 {
+		cfg.BufferSize = cfg.HistorySize
+	}
 	v := &FactVertex{cfg: cfg, metric: cfg.Hook.Metric()}
+	v.pub = newPubBuffer(cfg.Bus, string(v.metric), cfg.BufferSize, cfg.FailAfter, &v.stats)
 	var onEvict func(telemetry.Info)
 	if cfg.Archive != nil {
 		onEvict = func(i telemetry.Info) { _ = cfg.Archive.Append(i) }
@@ -95,6 +107,11 @@ func (v *FactVertex) Metric() telemetry.MetricID { return v.metric }
 
 // Stats returns the operation-anatomy counters.
 func (v *FactVertex) Stats() StatsSnapshot { return v.stats.Snapshot() }
+
+// Health reports the publish-path health: OK while the broker accepts
+// tuples, Degraded while store-and-forward is buffering through an outage,
+// Failed after FailAfter consecutive errors.
+func (v *FactVertex) Health() HealthSnapshot { return v.pub.snapshot() }
 
 // Start launches the vertex goroutine. The vertex polls immediately, then at
 // the controller-chosen interval, until Stop.
@@ -200,14 +217,16 @@ func (v *FactVertex) pollOnce(current time.Duration) time.Duration {
 		return current
 	}
 
-	// Publish only on change (§3.2.1), unless the filter is disabled.
+	// Publish only on change (§3.2.1), unless the filter is disabled. When
+	// the broker is unreachable the tuple is buffered (store-and-forward)
+	// and flushed in order on recovery instead of being dropped.
 	changed := !v.hasLastValue() || value != v.lastValue()
 	if changed || v.cfg.PublishUnchanged {
-		if _, err := v.cfg.Bus.Publish(string(v.metric), payload); err != nil {
-			v.stats.errors.Add(1)
-		} else {
+		if v.pub.publish(payload, ts) {
 			v.history.Append(info)
 			v.stats.published.Add(1)
+		} else {
+			v.stats.errors.Add(1)
 		}
 	} else {
 		v.stats.suppressed.Add(1)
@@ -231,7 +250,7 @@ func (v *FactVertex) pollOnce(current time.Duration) time.Duration {
 				pts := ts + int64(v.cfg.BaseTick)*int64(i+1)
 				pinfo := telemetry.NewPredictedFact(v.metric, pts, p)
 				if pb, err := pinfo.MarshalBinary(); err == nil {
-					if _, err := v.cfg.Bus.Publish(string(v.metric), pb); err == nil {
+					if v.pub.publish(pb, pts) {
 						v.history.Append(pinfo)
 						v.stats.predicted.Add(1)
 					}

@@ -23,6 +23,7 @@ type Vertex interface {
 	Start() error
 	Stop()
 	Stats() StatsSnapshot
+	Health() HealthSnapshot
 }
 
 var (
@@ -114,6 +115,23 @@ func (g *Graph) Lookup(id telemetry.MetricID) (Vertex, bool) {
 	defer g.mu.RUnlock()
 	v, ok := g.vertices[id]
 	return v, ok
+}
+
+// Health reports the publish-path health of every registered vertex, so a
+// degraded DAG (broker outage, store-and-forward backlogs) is visible to
+// operators and the query engine.
+func (g *Graph) Health() map[telemetry.MetricID]HealthSnapshot {
+	g.mu.RLock()
+	vs := make(map[telemetry.MetricID]Vertex, len(g.vertices))
+	for id, v := range g.vertices {
+		vs[id] = v
+	}
+	g.mu.RUnlock()
+	out := make(map[telemetry.MetricID]HealthSnapshot, len(vs))
+	for id, v := range vs {
+		out[id] = v.Health()
+	}
+	return out
 }
 
 // Metrics lists registered metric IDs, sorted.

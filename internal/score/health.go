@@ -1,0 +1,149 @@
+package score
+
+import (
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// HealthState classifies a vertex's publish path.
+type HealthState int
+
+const (
+	// HealthOK: publishing normally, no backlog.
+	HealthOK HealthState = iota
+	// HealthDegraded: recent publish errors or a store-and-forward backlog
+	// awaiting broker recovery.
+	HealthDegraded
+	// HealthFailed: at least FailAfter consecutive publish errors.
+	HealthFailed
+)
+
+// String names the state.
+func (s HealthState) String() string {
+	switch s {
+	case HealthOK:
+		return "ok"
+	case HealthDegraded:
+		return "degraded"
+	case HealthFailed:
+		return "failed"
+	default:
+		return "health(?)"
+	}
+}
+
+// DefaultFailAfter is how many consecutive publish errors turn a vertex
+// from Degraded to Failed.
+const DefaultFailAfter = 8
+
+// HealthSnapshot is a point-in-time view of one vertex's (or archiver's)
+// publish-path health, surfaced through Graph.Health and core.Service.Health
+// so operators and the AQE can see degradation.
+type HealthSnapshot struct {
+	State             HealthState
+	ConsecutiveErrors uint64
+	// Buffered is the store-and-forward backlog awaiting flush.
+	Buffered int
+	// Dropped counts tuples evicted from a full backlog (oldest first).
+	Dropped   uint64
+	LastError string
+	// LastFlush is the clock timestamp (UnixNano) of the last successful
+	// backlog flush after an outage; 0 if a flush was never needed.
+	LastFlush int64
+}
+
+// pubBuffer is the store-and-forward publish stage shared by Fact and
+// Insight vertices. It publishes through the Bus; when the broker is
+// unreachable (transient transport errors) it buffers tuples locally,
+// bounded by cap, and flushes them in order ahead of the next tuple once the
+// broker recovers — so a broker outage degrades the vertex instead of
+// dropping data. Terminal errors (closed broker, empty payload) are not
+// buffered: retrying them cannot succeed.
+type pubBuffer struct {
+	bus       stream.Bus
+	topic     string
+	cap       int
+	failAfter uint64
+	stats     *Stats
+
+	mu        sync.Mutex
+	backlog   [][]byte
+	consec    uint64
+	dropped   uint64
+	lastErr   string
+	lastFlush int64
+}
+
+func newPubBuffer(bus stream.Bus, topic string, capacity, failAfter int, stats *Stats) *pubBuffer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if failAfter <= 0 {
+		failAfter = DefaultFailAfter
+	}
+	return &pubBuffer{bus: bus, topic: topic, cap: capacity, failAfter: uint64(failAfter), stats: stats}
+}
+
+// publish delivers payload, flushing any backlog first so stream order is
+// preserved across outages. It reports whether the tuple was accepted —
+// delivered to the broker or buffered for a later flush. now stamps
+// LastFlush when a backlog drains.
+func (p *pubBuffer) publish(payload []byte, now int64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	flushed := false
+	for len(p.backlog) > 0 {
+		if _, err := p.bus.Publish(p.topic, p.backlog[0]); err != nil {
+			return p.failLocked(err, payload)
+		}
+		p.backlog = p.backlog[1:]
+		p.stats.flushed.Add(1)
+		flushed = true
+	}
+	if _, err := p.bus.Publish(p.topic, payload); err != nil {
+		return p.failLocked(err, payload)
+	}
+	p.consec, p.lastErr = 0, ""
+	if flushed {
+		p.lastFlush = now
+	}
+	return true
+}
+
+func (p *pubBuffer) failLocked(err error, payload []byte) bool {
+	p.consec++
+	p.lastErr = err.Error()
+	if !stream.IsTransient(err) {
+		return false
+	}
+	p.backlog = append(p.backlog, payload)
+	p.stats.buffered.Add(1)
+	if len(p.backlog) > p.cap {
+		p.backlog = p.backlog[1:]
+		p.dropped++
+		p.stats.backlogDropped.Add(1)
+	}
+	return true
+}
+
+func (p *pubBuffer) snapshot() HealthSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := HealthSnapshot{
+		ConsecutiveErrors: p.consec,
+		Buffered:          len(p.backlog),
+		Dropped:           p.dropped,
+		LastError:         p.lastErr,
+		LastFlush:         p.lastFlush,
+	}
+	switch {
+	case p.consec >= p.failAfter:
+		h.State = HealthFailed
+	case p.consec > 0 || len(p.backlog) > 0:
+		h.State = HealthDegraded
+	default:
+		h.State = HealthOK
+	}
+	return h
+}

@@ -81,6 +81,12 @@ type InsightConfig struct {
 	Archive *archive.Log
 	// PublishUnchanged disables the only-if-changed filter.
 	PublishUnchanged bool
+	// BufferSize bounds the store-and-forward backlog kept while the
+	// broker is unreachable (default: HistorySize).
+	BufferSize int
+	// FailAfter is how many consecutive publish errors flip the vertex
+	// health from Degraded to Failed (default DefaultFailAfter).
+	FailAfter int
 }
 
 // InsightVertex is a SCoRe inner/sink vertex: it subscribes to its input
@@ -90,6 +96,7 @@ type InsightVertex struct {
 	cfg     InsightConfig
 	history *queue.History
 	stats   Stats
+	pub     *pubBuffer
 
 	mu      sync.Mutex
 	latest  map[telemetry.MetricID]telemetry.Info
@@ -111,7 +118,11 @@ func NewInsightVertex(cfg InsightConfig) (*InsightVertex, error) {
 	if cfg.HistorySize <= 0 {
 		cfg.HistorySize = 4096
 	}
+	if cfg.BufferSize <= 0 {
+		cfg.BufferSize = cfg.HistorySize
+	}
 	v := &InsightVertex{cfg: cfg, latest: make(map[telemetry.MetricID]telemetry.Info, len(cfg.Inputs))}
+	v.pub = newPubBuffer(cfg.Bus, string(cfg.Metric), cfg.BufferSize, cfg.FailAfter, &v.stats)
 	var onEvict func(telemetry.Info)
 	if cfg.Archive != nil {
 		onEvict = func(i telemetry.Info) { _ = cfg.Archive.Append(i) }
@@ -125,6 +136,9 @@ func (v *InsightVertex) Metric() telemetry.MetricID { return v.cfg.Metric }
 
 // Stats returns the operation-anatomy counters.
 func (v *InsightVertex) Stats() StatsSnapshot { return v.stats.Snapshot() }
+
+// Health reports the publish-path health (see FactVertex.Health).
+func (v *InsightVertex) Health() HealthSnapshot { return v.pub.snapshot() }
 
 // Start subscribes to all inputs and launches the consumer goroutine.
 func (v *InsightVertex) Start() error {
@@ -254,14 +268,14 @@ func (v *InsightVertex) consume(e stream.Entry) {
 	}
 	info := telemetry.Info{Metric: v.cfg.Metric, Timestamp: ts, Value: value, Kind: telemetry.KindInsight, Source: src}
 	if payload, err := info.MarshalBinary(); err == nil {
-		if _, err := v.cfg.Bus.Publish(string(v.cfg.Metric), payload); err != nil {
-			v.stats.errors.Add(1)
-		} else {
+		if v.pub.publish(payload, ts) {
 			v.history.Append(info)
 			v.stats.published.Add(1)
 			if src == telemetry.Predicted {
 				v.stats.predicted.Add(1)
 			}
+		} else {
+			v.stats.errors.Add(1)
 		}
 	}
 	v.stats.addPublish(time.Since(t2))

@@ -19,6 +19,10 @@ type Stats struct {
 	suppressed   atomic.Uint64 // unchanged values not re-published
 	predicted    atomic.Uint64 // Delphi-generated tuples published
 	errors       atomic.Uint64
+	// Store-and-forward accounting (broker outages).
+	buffered       atomic.Uint64 // tuples parked in the backlog
+	flushed        atomic.Uint64 // backlog tuples delivered on recovery
+	backlogDropped atomic.Uint64 // tuples evicted from a full backlog
 }
 
 func (s *Stats) addHook(d time.Duration)    { s.hookNanos.Add(int64(d)) }
@@ -31,20 +35,26 @@ type StatsSnapshot struct {
 	Hook, Build, Publish, Other             time.Duration
 	Polls, Published, Suppressed, Predicted uint64
 	Errors                                  uint64
+	// Buffered/Flushed/BacklogDropped account the store-and-forward path
+	// taken while the broker is unreachable.
+	Buffered, Flushed, BacklogDropped uint64
 }
 
 // Snapshot copies the counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Hook:       time.Duration(s.hookNanos.Load()),
-		Build:      time.Duration(s.buildNanos.Load()),
-		Publish:    time.Duration(s.publishNanos.Load()),
-		Other:      time.Duration(s.otherNanos.Load()),
-		Polls:      s.polls.Load(),
-		Published:  s.published.Load(),
-		Suppressed: s.suppressed.Load(),
-		Predicted:  s.predicted.Load(),
-		Errors:     s.errors.Load(),
+		Hook:           time.Duration(s.hookNanos.Load()),
+		Build:          time.Duration(s.buildNanos.Load()),
+		Publish:        time.Duration(s.publishNanos.Load()),
+		Other:          time.Duration(s.otherNanos.Load()),
+		Polls:          s.polls.Load(),
+		Published:      s.published.Load(),
+		Suppressed:     s.suppressed.Load(),
+		Predicted:      s.predicted.Load(),
+		Errors:         s.errors.Load(),
+		Buffered:       s.buffered.Load(),
+		Flushed:        s.flushed.Load(),
+		BacklogDropped: s.backlogDropped.Load(),
 	}
 }
 

@@ -1,0 +1,301 @@
+package score
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// fastBusOpts keeps RemoteBus transport failures/retries test-sized.
+func fastBusOpts() []stream.Option {
+	return []stream.Option{
+		stream.WithDialTimeout(time.Second),
+		stream.WithIOTimeout(500 * time.Millisecond),
+		stream.WithRetry(2),
+		stream.WithBackoff(time.Millisecond, 10*time.Millisecond),
+	}
+}
+
+func counterVertex(t *testing.T, bus stream.Bus) *FactVertex {
+	t.Helper()
+	n := 0.0
+	v, err := NewFactVertex(FactConfig{
+		Hook: HookFunc{ID: "sf.metric", Fn: func() (float64, error) {
+			n++
+			return n, nil
+		}},
+		Bus:              bus,
+		Controller:       fixedController{},
+		PublishUnchanged: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// fixedController is a minimal adaptive.Controller for manual polling.
+type fixedController struct{}
+
+func (fixedController) Interval() time.Duration    { return time.Second }
+func (fixedController) Next(float64) time.Duration { return time.Second }
+func (fixedController) Reset()                     {}
+
+// TestFactVertexStoreAndForward is the acceptance test for graceful
+// degradation: a fact vertex keeps polling through a broker outage, buffers
+// every tuple, reports Degraded (then Failed) health, and on recovery
+// flushes the backlog in order with zero loss and zero duplication.
+func TestFactVertexStoreAndForward(t *testing.T) {
+	broker := stream.NewBroker(0)
+	defer broker.Close()
+	srv, err := stream.Serve(broker, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	bus, err := stream.NewRemoteBus(addr, fastBusOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bus.Close()
+
+	v := counterVertex(t, bus)
+	if h := v.Health(); h.State != HealthOK {
+		t.Fatalf("initial health = %v", h.State)
+	}
+
+	for i := 0; i < 3; i++ { // healthy polls publish straight through
+		v.PollOnce()
+	}
+	if h := v.Health(); h.State != HealthOK || h.Buffered != 0 {
+		t.Fatalf("health after healthy polls = %+v", h)
+	}
+
+	srv.Close() // broker unreachable; polls must buffer, not drop
+	outagePolls := int(DefaultFailAfter) + 2
+	for i := 0; i < outagePolls; i++ {
+		v.PollOnce()
+		if i == 0 {
+			if h := v.Health(); h.State != HealthDegraded {
+				t.Fatalf("health after first failed publish = %+v", h)
+			}
+		}
+	}
+	h := v.Health()
+	if h.State != HealthFailed {
+		t.Fatalf("health after %d consecutive errors = %+v", outagePolls, h)
+	}
+	if h.Buffered != outagePolls {
+		t.Fatalf("buffered = %d want %d", h.Buffered, outagePolls)
+	}
+	if h.LastError == "" {
+		t.Fatal("LastError empty during outage")
+	}
+
+	srv2, err := stream.Serve(broker, addr) // recovery
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer srv2.Close()
+	v.PollOnce() // flushes the backlog ahead of this tuple
+
+	h = v.Health()
+	if h.State != HealthOK || h.Buffered != 0 {
+		t.Fatalf("health after recovery = %+v", h)
+	}
+	if h.LastFlush == 0 {
+		t.Fatal("LastFlush not stamped after recovery")
+	}
+	st := v.Stats()
+	if st.Buffered != uint64(outagePolls) || st.Flushed != uint64(outagePolls) || st.BacklogDropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Zero lost, zero duplicated, in order: the broker must hold exactly
+	// one entry per poll with strictly increasing hook values.
+	total := 3 + outagePolls + 1
+	entries, err := broker.Range("sf.metric", 1, uint64(total)+10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != total {
+		t.Fatalf("broker holds %d entries want %d", len(entries), total)
+	}
+	for i, e := range entries {
+		var in telemetry.Info
+		if err := in.UnmarshalBinary(e.Payload); err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if in.Value != float64(i+1) {
+			t.Fatalf("entry %d has value %v want %v (order broken)", i, in.Value, i+1)
+		}
+	}
+}
+
+// TestStoreAndForwardBacklogBound: a bounded backlog evicts oldest-first and
+// accounts the drops instead of growing without limit.
+func TestStoreAndForwardBacklogBound(t *testing.T) {
+	broker := stream.NewBroker(0)
+	defer broker.Close()
+	srv, err := stream.Serve(broker, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus, err := stream.NewRemoteBus(srv.Addr(), fastBusOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bus.Close()
+	n := 0.0
+	v, err := NewFactVertex(FactConfig{
+		Hook:             HookFunc{ID: "sf.bound", Fn: func() (float64, error) { n++; return n, nil }},
+		Bus:              bus,
+		Controller:       fixedController{},
+		PublishUnchanged: true,
+		BufferSize:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	for i := 0; i < 10; i++ {
+		v.PollOnce()
+	}
+	h := v.Health()
+	if h.Buffered != 4 {
+		t.Fatalf("buffered = %d want 4 (bounded)", h.Buffered)
+	}
+	if h.Dropped != 6 {
+		t.Fatalf("dropped = %d want 6", h.Dropped)
+	}
+}
+
+// TestStoreAndForwardTerminalErrorsNotBuffered: application-level broker
+// errors are not retryable, so they must not accumulate a backlog.
+func TestStoreAndForwardTerminalErrorsNotBuffered(t *testing.T) {
+	broker := stream.NewBroker(0)
+	broker.Close() // every publish fails with ErrClosed (terminal)
+	v := counterVertex(t, broker)
+	for i := 0; i < 3; i++ {
+		v.PollOnce()
+	}
+	h := v.Health()
+	if h.Buffered != 0 {
+		t.Fatalf("terminal errors buffered %d tuples", h.Buffered)
+	}
+	if h.State != HealthDegraded {
+		t.Fatalf("state = %v want degraded", h.State)
+	}
+	if v.Stats().Errors != 3 {
+		t.Fatalf("errors = %d want 3", v.Stats().Errors)
+	}
+}
+
+// TestInsightVertexStoreAndForward: the same buffering protects the insight
+// publish path across a broker outage.
+func TestInsightVertexStoreAndForward(t *testing.T) {
+	broker := stream.NewBroker(0)
+	defer broker.Close()
+	srv, err := stream.Serve(broker, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	bus, err := stream.NewRemoteBus(addr, fastBusOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bus.Close()
+	v, err := NewInsightVertex(InsightConfig{
+		Metric:           "sf.sum",
+		Inputs:           []telemetry.MetricID{"sf.in"},
+		Builder:          Sum,
+		Bus:              bus,
+		PublishUnchanged: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(id uint64, val float64) {
+		in := telemetry.NewFact("sf.in", int64(id), val)
+		payload, err := in.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.ConsumeOnce(stream.Entry{ID: id, Payload: payload})
+	}
+	feed(1, 10)
+	srv.Close()
+	feed(2, 20)
+	feed(3, 30)
+	if h := v.Health(); h.State != HealthDegraded || h.Buffered != 2 {
+		t.Fatalf("health during outage = %+v", h)
+	}
+	srv2, err := stream.Serve(broker, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	feed(4, 40)
+	if h := v.Health(); h.State != HealthOK || h.Buffered != 0 {
+		t.Fatalf("health after recovery = %+v", h)
+	}
+	entries, err := broker.Range("sf.sum", 1, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 20, 30, 40}
+	if len(entries) != len(want) {
+		t.Fatalf("broker holds %d insights want %d", len(entries), len(want))
+	}
+	for i, e := range entries {
+		var in telemetry.Info
+		if err := in.UnmarshalBinary(e.Payload); err != nil {
+			t.Fatal(err)
+		}
+		if in.Value != want[i] {
+			t.Fatalf("insight %d = %v want %v", i, in.Value, want[i])
+		}
+	}
+}
+
+// TestStreamArchiverHealth: the archiver reports the same health states and
+// keeps consuming through normal operation.
+func TestStreamArchiverHealth(t *testing.T) {
+	broker := stream.NewBroker(0)
+	defer broker.Close()
+	log, err := archive.Open(t.TempDir(), archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	a, err := NewStreamArchiver(broker, "ar.metric", log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := a.Health(); h.State != HealthOK {
+		t.Fatalf("initial archiver health = %+v", h)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	in := telemetry.NewFact("ar.metric", 1, 42)
+	payload, _ := in.MarshalBinary()
+	broker.Publish("ar.metric", payload)
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Archived() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("archiver stalled: archived=%d errs=%d", a.Archived(), a.Errors())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if h := a.Health(); h.State != HealthOK {
+		t.Fatalf("archiver health = %+v", h)
+	}
+	if err := a.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,8 +2,10 @@ package score
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/archive"
 	"repro/internal/stream"
@@ -16,6 +18,10 @@ import (
 // receives entries evicted from the in-memory window). Deploy one per
 // metric that needs a complete durable history; multiple archiver workers
 // may share the group for throughput.
+//
+// The consumer loop survives transient broker errors: it backs off and
+// retries instead of exiting, retries failed log appends a few times before
+// leaving the entry pending, and exits only on Stop or broker close.
 type StreamArchiver struct {
 	broker *stream.Broker
 	topic  string
@@ -27,7 +33,13 @@ type StreamArchiver struct {
 	done     chan struct{}
 	archived uint64
 	errs     uint64
+	consec   uint64
+	lastErr  string
 }
+
+// appendRetries is how many times a failed log append is retried (with
+// backoff) before the entry is left pending for inspection.
+const appendRetries = 3
 
 // NewStreamArchiver builds an archiver for one topic. The consumer group
 // ("archiver:<topic>") is created at offset 0 so retained history is
@@ -55,37 +67,74 @@ func (a *StreamArchiver) Start() error {
 	return nil
 }
 
+// sleep backs off between retries; it reports false when ctx ended.
+func (a *StreamArchiver) sleep(ctx context.Context, attempt int) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(stream.Backoff(attempt, 10*time.Millisecond, 500*time.Millisecond)):
+		return true
+	}
+}
+
 func (a *StreamArchiver) run(ctx context.Context) {
 	defer close(a.done)
+	readAttempt := 0
 	for {
 		e, err := a.broker.GroupRead(ctx, a.topic, a.group)
 		if err != nil {
-			return // cancelled or broker closed
+			if ctx.Err() != nil || errors.Is(err, stream.ErrClosed) {
+				return // cancelled or broker shut down
+			}
+			a.bumpErr(err)
+			if !a.sleep(ctx, readAttempt) {
+				return
+			}
+			readAttempt++
+			continue
 		}
+		readAttempt = 0
 		var in telemetry.Info
 		if err := in.UnmarshalBinary(e.Payload); err != nil {
-			a.bumpErr()
+			a.bumpErr(err)
 			a.broker.Ack(a.topic, a.group, e.ID)
 			continue
 		}
-		if err := a.log.Append(in); err != nil {
-			a.bumpErr()
+		var aerr error
+		for try := 0; ; try++ {
+			if aerr = a.log.Append(in); aerr == nil {
+				break
+			}
+			if try >= appendRetries {
+				break
+			}
+			if !a.sleep(ctx, try) {
+				return
+			}
+		}
+		if aerr != nil {
+			a.bumpErr(aerr)
 			// Leave unacked: the entry stays pending for retry/inspection.
 			continue
 		}
 		if err := a.broker.Ack(a.topic, a.group, e.ID); err != nil {
-			a.bumpErr()
+			a.bumpErr(err)
 			continue
 		}
 		a.mu.Lock()
 		a.archived++
+		a.consec = 0
 		a.mu.Unlock()
 	}
 }
 
-func (a *StreamArchiver) bumpErr() {
+func (a *StreamArchiver) bumpErr(err error) {
 	a.mu.Lock()
 	a.errs++
+	a.consec++
+	if err != nil {
+		a.lastErr = err.Error()
+	}
 	a.mu.Unlock()
 }
 
@@ -101,6 +150,24 @@ func (a *StreamArchiver) Errors() uint64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.errs
+}
+
+// Health reports the archiver's consumer-loop health using the same states
+// as the vertices (no store-and-forward backlog: unacked entries stay
+// pending in the broker instead).
+func (a *StreamArchiver) Health() HealthSnapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h := HealthSnapshot{ConsecutiveErrors: a.consec, LastError: a.lastErr}
+	switch {
+	case a.consec >= DefaultFailAfter:
+		h.State = HealthFailed
+	case a.consec > 0:
+		h.State = HealthDegraded
+	default:
+		h.State = HealthOK
+	}
+	return h
 }
 
 // Stop terminates the consumer and syncs the log.

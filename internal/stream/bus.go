@@ -19,20 +19,27 @@ type Bus interface {
 
 var _ Bus = (*Broker)(nil)
 
-// RemoteBus adapts a TCP stream server to the Bus interface.
+// RemoteBus adapts a TCP stream server to the Bus interface. It inherits the
+// Client's fault tolerance (deadlines, reconnect, idempotent retries) and
+// its Subscriptions auto-resume across connection loss.
 type RemoteBus struct {
 	addr   string
+	opts   []Option
 	client *Client
 }
 
 // NewRemoteBus dials addr and returns a Bus backed by the remote broker.
-func NewRemoteBus(addr string) (*RemoteBus, error) {
-	c, err := Dial(addr)
+func NewRemoteBus(addr string, opts ...Option) (*RemoteBus, error) {
+	c, err := Dial(addr, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &RemoteBus{addr: addr, client: c}, nil
+	return &RemoteBus{addr: addr, opts: opts, client: c}, nil
 }
+
+// Client exposes the underlying request client (e.g. for its reconnect
+// counters).
+func (r *RemoteBus) Client() *Client { return r.client }
 
 // Publish implements Bus.
 func (r *RemoteBus) Publish(topic string, payload []byte) (uint64, error) {
@@ -50,7 +57,7 @@ func (r *RemoteBus) Range(topic string, from, to uint64, max int) ([]Entry, erro
 // Subscribe implements Bus using a dedicated streaming connection that is
 // torn down when ctx ends.
 func (r *RemoteBus) Subscribe(ctx context.Context, topic string, afterID uint64) (<-chan Entry, error) {
-	sub, err := Subscribe(r.addr, topic, afterID)
+	sub, err := Subscribe(r.addr, topic, afterID, r.opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -3,35 +3,204 @@ package stream
 import (
 	"bufio"
 	"errors"
+	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
 )
+
+// ErrClientClosed is returned by operations on a Close()d client.
+var ErrClientClosed = errors.New("stream: client closed")
+
+// Dialer abstracts connection establishment so fault injection (Chaos) and
+// alternative transports can be plugged into Client and Subscribe.
+type Dialer interface {
+	Dial(network, addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// netDialer is the default Dialer: net.Dialer with a timeout.
+type netDialer struct{}
+
+func (netDialer) Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
+	return (&net.Dialer{Timeout: timeout}).Dial(network, addr)
+}
+
+// Options tune the fault-tolerance behaviour of Client and Subscription.
+type Options struct {
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// IOTimeout bounds each frame write and each non-blocking frame read
+	// (default 10s). Blocking reads (Consume, GroupRead, Subscription
+	// streams) have no read deadline: they legitimately wait for data.
+	IOTimeout time.Duration
+	// RetryMax is the attempt budget for idempotent operations across
+	// transient transport errors (default 4; minimum 1).
+	RetryMax int
+	// BackoffMin/BackoffMax bound the jittered exponential backoff between
+	// reconnect attempts (defaults 50ms / 2s).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// ResumeMax caps Subscription auto-resume attempts per outage
+	// (0 = retry until Close).
+	ResumeMax int
+	// Dialer establishes connections (default: net.Dialer).
+	Dialer Dialer
+}
+
+func (o *Options) defaults() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.IOTimeout <= 0 {
+		o.IOTimeout = 10 * time.Second
+	}
+	if o.RetryMax < 1 {
+		o.RetryMax = 4
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.Dialer == nil {
+		o.Dialer = netDialer{}
+	}
+}
+
+// Option customizes a Client or Subscription.
+type Option func(*Options)
+
+// WithDialTimeout bounds connection establishment.
+func WithDialTimeout(d time.Duration) Option { return func(o *Options) { o.DialTimeout = d } }
+
+// WithIOTimeout bounds per-frame writes and non-blocking reads.
+func WithIOTimeout(d time.Duration) Option { return func(o *Options) { o.IOTimeout = d } }
+
+// WithRetry sets the attempt budget for idempotent operations.
+func WithRetry(max int) Option { return func(o *Options) { o.RetryMax = max } }
+
+// WithBackoff bounds the jittered exponential reconnect backoff.
+func WithBackoff(min, max time.Duration) Option {
+	return func(o *Options) { o.BackoffMin, o.BackoffMax = min, max }
+}
+
+// WithResumeMax caps Subscription auto-resume attempts per outage.
+func WithResumeMax(n int) Option { return func(o *Options) { o.ResumeMax = n } }
+
+// WithDialer plugs in a custom Dialer (e.g. a Chaos fault injector).
+func WithDialer(d Dialer) Option { return func(o *Options) { o.Dialer = d } }
+
+func buildOptions(opts []Option) Options {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	o.defaults()
+	return o
+}
+
+// Backoff returns the jittered exponential delay for a retry attempt
+// (0-based): uniformly drawn from [d/2, d] where d = min<<attempt, capped at
+// max. Exported so other layers (archiver, vertices) share the policy.
+func Backoff(attempt int, min, max time.Duration) time.Duration {
+	if min <= 0 {
+		min = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := min
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// transportError marks an error as a connection-level failure: the request
+// may or may not have reached the server, and the connection is no longer
+// usable. IsTransient reports true for it.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return "stream: transport: " + e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// IsTransient classifies an error as a connection-level fault worth retrying
+// (resets, refusals, timeouts, truncated streams) as opposed to an
+// application-level error from the broker (ErrNoSuchTopic, ErrClosed, ...)
+// that a retry cannot fix.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var te *transportError
+	if errors.As(err, &te) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE)
+}
 
 // Client is a TCP client for a stream Server. A Client multiplexes one
 // request at a time over a single connection; Subscribe opens its own
 // dedicated connection. Client is safe for concurrent use.
+//
+// Every frame is written and (for non-blocking ops) read under a deadline.
+// On any transport error the connection is dropped and lazily re-established
+// by the next call; read-only operations (Latest, Range, Topics, Consume,
+// Ping) additionally retry across transient errors with capped exponential
+// backoff. Mutating operations (Publish, CreateGroup, Ack, GroupRead) are
+// never retried after the request may have been sent, so they cannot be
+// duplicated; callers that need delivery guarantees buffer and re-publish
+// (see score's store-and-forward vertices).
 type Client struct {
 	addr string
+	opt  Options
 
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	closed bool
+
+	reconnects atomic.Uint64
+	retries    atomic.Uint64
 }
 
 // Dial connects to a stream server.
-func Dial(addr string) (*Client, error) {
-	c := &Client{addr: addr}
-	if err := c.connect(); err != nil {
+func Dial(addr string, opts ...Option) (*Client, error) {
+	c := &Client{addr: addr, opt: buildOptions(opts)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-func (c *Client) connect() error {
-	conn, err := net.Dial("tcp", c.addr)
+func (c *Client) connectLocked() error {
+	conn, err := c.opt.Dialer.Dial("tcp", c.addr, c.opt.DialTimeout)
 	if err != nil {
 		return err
+	}
+	if c.r != nil { // not the first connect
+		c.reconnects.Add(1)
 	}
 	c.conn = conn
 	c.r = bufio.NewReader(conn)
@@ -39,10 +208,28 @@ func (c *Client) connect() error {
 	return nil
 }
 
-// Close closes the request connection.
+// dropLocked discards a connection after a transport error so the next call
+// reconnects instead of reusing a dead socket.
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Reconnects returns how many times the client re-established its
+// connection after a transport error.
+func (c *Client) Reconnects() uint64 { return c.reconnects.Load() }
+
+// Retries returns how many operation attempts beyond the first were made.
+func (c *Client) Retries() uint64 { return c.retries.Load() }
+
+// Close closes the request connection. Subsequent calls fail with
+// ErrClientClosed.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	if c.conn == nil {
 		return nil
 	}
@@ -51,174 +238,353 @@ func (c *Client) Close() error {
 	return err
 }
 
-// roundTrip sends one request frame and reads one response frame.
-func (c *Client) roundTrip(op byte, payload []byte) ([]byte, error) {
+// roundTrip sends one request frame and reads one response frame, decoding
+// the payload via decode (which may be nil). Any connection-level failure —
+// including a response that fails to decode, which desyncs the stream —
+// drops the connection and is reported as a transient transportError.
+func (c *Client) roundTrip(op byte, payload []byte, blocking bool, decode func(*buf)) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
 	if c.conn == nil {
-		return nil, errors.New("stream: client closed")
+		if err := c.connectLocked(); err != nil {
+			return &transportError{err}
+		}
+	}
+	if c.opt.IOTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.opt.IOTimeout))
 	}
 	if err := writeFrame(c.w, op, payload); err != nil {
-		return nil, err
+		if errors.Is(err, errFrameTooLarge) {
+			return err // caller error; the connection is still clean
+		}
+		c.dropLocked()
+		return &transportError{err}
 	}
 	if err := c.w.Flush(); err != nil {
-		return nil, err
+		c.dropLocked()
+		return &transportError{err}
+	}
+	if blocking {
+		c.conn.SetReadDeadline(time.Time{})
+	} else if c.opt.IOTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.opt.IOTimeout))
 	}
 	status, resp, err := readFrame(c.r)
 	if err != nil {
-		return nil, err
+		c.dropLocked()
+		return &transportError{err}
 	}
 	if status == statusErr {
-		return nil, remoteError(resp)
+		return remoteError(resp)
 	}
-	return resp, nil
+	if decode != nil {
+		d := &buf{b: resp}
+		decode(d)
+		if d.err != nil {
+			c.dropLocked()
+			return &transportError{d.err}
+		}
+	}
+	return nil
 }
 
-// Publish appends payload to topic on the server.
+// call wraps roundTrip with the retry policy: idempotent operations retry
+// across transient transport errors with jittered exponential backoff.
+func (c *Client) call(op byte, payload []byte, idempotent, blocking bool, decode func(*buf)) error {
+	var last error
+	for attempt := 0; attempt < c.opt.RetryMax; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			time.Sleep(Backoff(attempt-1, c.opt.BackoffMin, c.opt.BackoffMax))
+		}
+		err := c.roundTrip(op, payload, blocking, decode)
+		if err == nil {
+			return nil
+		}
+		last = err
+		if !idempotent || !IsTransient(err) {
+			return err
+		}
+	}
+	return last
+}
+
+// Ping round-trips an empty frame, verifying the connection (reconnecting if
+// needed) without touching any topic.
+func (c *Client) Ping() error {
+	return c.call(opPing, nil, true, false, nil)
+}
+
+// Publish appends payload to topic on the server. Publish is not retried
+// after the request may have been sent (it would duplicate the entry), but a
+// failed connection is dropped so the next call re-dials.
 func (c *Client) Publish(topic string, payload []byte) (uint64, error) {
 	req := (&enc{}).str(topic).bytes(payload)
-	resp, err := c.roundTrip(opPublish, req.b)
+	var id uint64
+	err := c.call(opPublish, req.b, false, false, func(d *buf) { id = d.u64() })
 	if err != nil {
 		return 0, err
 	}
-	d := &buf{b: resp}
-	id := d.u64()
-	return id, d.err
+	return id, nil
 }
 
 // Latest fetches the newest entry of topic.
 func (c *Client) Latest(topic string) (Entry, error) {
-	resp, err := c.roundTrip(opLatest, (&enc{}).str(topic).b)
+	var e Entry
+	err := c.call(opLatest, (&enc{}).str(topic).b, true, false, func(d *buf) { e = decodeEntry(d) })
 	if err != nil {
 		return Entry{}, err
 	}
-	d := &buf{b: resp}
-	e := decodeEntry(d)
-	return e, d.err
+	return e, nil
 }
 
 // Range fetches entries with from <= ID <= to (max <= 0 means unlimited).
 func (c *Client) Range(topic string, from, to uint64, max int) ([]Entry, error) {
 	req := (&enc{}).str(topic).u64(from).u64(to).u32(uint32(max))
-	resp, err := c.roundTrip(opRange, req.b)
+	var out []Entry
+	err := c.call(opRange, req.b, true, false, func(d *buf) {
+		n := int(d.u32())
+		out = make([]Entry, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, decodeEntry(d))
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	d := &buf{b: resp}
-	n := int(d.u32())
-	out := make([]Entry, 0, n)
-	for i := 0; i < n; i++ {
-		out = append(out, decodeEntry(d))
-	}
-	return out, d.err
+	return out, nil
 }
 
-// Consume blocks server-side until an entry newer than afterID exists.
+// Consume blocks server-side until an entry newer than afterID exists. It is
+// read-only and retried across transient transport errors.
 func (c *Client) Consume(topic string, afterID uint64) (Entry, error) {
 	req := (&enc{}).str(topic).u64(afterID)
-	resp, err := c.roundTrip(opConsume, req.b)
+	var e Entry
+	err := c.call(opConsume, req.b, true, true, func(d *buf) { e = decodeEntry(d) })
 	if err != nil {
 		return Entry{}, err
 	}
-	d := &buf{b: resp}
-	e := decodeEntry(d)
-	return e, d.err
+	return e, nil
 }
 
 // CreateGroup registers a consumer group.
 func (c *Client) CreateGroup(topic, group string, afterID uint64) error {
 	req := (&enc{}).str(topic).str(group).u64(afterID)
-	_, err := c.roundTrip(opGroupNew, req.b)
-	return err
+	return c.call(opGroupNew, req.b, false, false, nil)
 }
 
-// GroupRead claims the next entry for the group, blocking server-side.
+// GroupRead claims the next entry for the group, blocking server-side. It
+// advances the group cursor, so it is not retried automatically.
 func (c *Client) GroupRead(topic, group string) (Entry, error) {
 	req := (&enc{}).str(topic).str(group)
-	resp, err := c.roundTrip(opGroupRead, req.b)
+	var e Entry
+	err := c.call(opGroupRead, req.b, false, true, func(d *buf) { e = decodeEntry(d) })
 	if err != nil {
 		return Entry{}, err
 	}
-	d := &buf{b: resp}
-	e := decodeEntry(d)
-	return e, d.err
+	return e, nil
 }
 
 // Ack acknowledges a group-delivered entry.
 func (c *Client) Ack(topic, group string, id uint64) error {
 	req := (&enc{}).str(topic).str(group).u64(id)
-	_, err := c.roundTrip(opAck, req.b)
-	return err
+	return c.call(opAck, req.b, false, false, nil)
 }
 
 // Topics lists topic names on the server.
 func (c *Client) Topics() ([]string, error) {
-	resp, err := c.roundTrip(opTopics, nil)
+	var out []string
+	err := c.call(opTopics, nil, true, false, func(d *buf) {
+		n := int(d.u32())
+		out = make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, d.str())
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	d := &buf{b: resp}
-	n := int(d.u32())
-	out := make([]string, 0, n)
-	for i := 0; i < n; i++ {
-		out = append(out, d.str())
-	}
-	return out, d.err
+	return out, nil
 }
 
 // Subscription is a dedicated streaming connection delivering every entry of
 // one topic after a starting ID.
+//
+// A Subscription survives connection loss: on a transient transport error it
+// re-dials with capped backoff and re-subscribes from the last delivered
+// entry ID, deduplicating anything the server replays, so consumers observe
+// an unbroken, strictly-increasing ID stream. It ends only on Close, on an
+// application-level error from the broker (e.g. ErrClosed), or when
+// Options.ResumeMax attempts are exhausted during one outage.
 type Subscription struct {
-	conn net.Conn
-	ch   chan Entry
-	err  error
+	addr  string
+	topic string
+	opt   Options
+
+	ch     chan Entry
+	closed chan struct{} // closed by Close; aborts delivery and resume waits
+	done   chan struct{} // closed when the run loop exits
+	once   sync.Once
+
 	mu   sync.Mutex
-	done chan struct{}
+	conn net.Conn
+	err  error
+
+	last    atomic.Uint64 // last delivered entry ID
+	resumes atomic.Uint64
+	dedups  atomic.Uint64
 }
 
 // Subscribe opens a dedicated connection that streams entries of topic with
 // ID > afterID into the returned Subscription's channel.
-func Subscribe(addr, topic string, afterID uint64) (*Subscription, error) {
-	conn, err := net.Dial("tcp", addr)
+func Subscribe(addr, topic string, afterID uint64, opts ...Option) (*Subscription, error) {
+	opt := buildOptions(opts)
+	conn, err := subscribeConn(opt, addr, topic, afterID)
 	if err != nil {
 		return nil, err
 	}
-	w := bufio.NewWriter(conn)
-	req := (&enc{}).str(topic).u64(afterID)
-	if err := writeFrame(w, opSubscribe, req.b); err != nil {
-		conn.Close()
-		return nil, err
+	s := &Subscription{
+		addr:   addr,
+		topic:  topic,
+		opt:    opt,
+		ch:     make(chan Entry, 64),
+		closed: make(chan struct{}),
+		done:   make(chan struct{}),
+		conn:   conn,
 	}
-	if err := w.Flush(); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	sub := &Subscription{conn: conn, ch: make(chan Entry, 64), done: make(chan struct{})}
-	go sub.readLoop()
-	return sub, nil
+	s.last.Store(afterID)
+	go s.run()
+	return s, nil
 }
 
-func (s *Subscription) readLoop() {
-	defer close(s.ch)
+// subscribeConn dials and sends the subscribe request; stream reads carry no
+// deadline (the topic may be idle indefinitely).
+func subscribeConn(opt Options, addr, topic string, afterID uint64) (net.Conn, error) {
+	conn, err := opt.Dialer.Dial("tcp", addr, opt.DialTimeout)
+	if err != nil {
+		return nil, &transportError{err}
+	}
+	if opt.IOTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(opt.IOTimeout))
+	}
+	w := bufio.NewWriter(conn)
+	req := (&enc{}).str(topic).u64(afterID)
+	err = writeFrame(w, opSubscribe, req.b)
+	if err == nil {
+		err = w.Flush()
+	}
+	if err != nil {
+		conn.Close()
+		return nil, &transportError{err}
+	}
+	conn.SetWriteDeadline(time.Time{})
+	return conn, nil
+}
+
+func (s *Subscription) run() {
 	defer close(s.done)
-	r := bufio.NewReader(s.conn)
+	defer close(s.ch)
+	conn := s.currentConn()
 	for {
-		status, payload, err := readFrame(r)
-		if err != nil {
+		err := s.readStream(conn)
+		conn.Close()
+		if err == nil || s.isClosed() {
+			return
+		}
+		if !IsTransient(err) {
 			s.setErr(err)
 			return
 		}
-		if status == statusErr {
-			s.setErr(remoteError(payload))
+		conn = s.resume()
+		if conn == nil {
 			return
+		}
+	}
+}
+
+// resume re-dials and re-subscribes from the last delivered ID, backing off
+// between attempts. It returns nil when the subscription should end.
+func (s *Subscription) resume() net.Conn {
+	for attempt := 0; ; attempt++ {
+		if s.opt.ResumeMax > 0 && attempt >= s.opt.ResumeMax {
+			s.setErr(fmt.Errorf("stream: subscription resume: %d attempts exhausted", attempt))
+			return nil
+		}
+		select {
+		case <-s.closed:
+			return nil
+		case <-time.After(Backoff(attempt, s.opt.BackoffMin, s.opt.BackoffMax)):
+		}
+		conn, err := subscribeConn(s.opt, s.addr, s.topic, s.last.Load())
+		if err != nil {
+			if !IsTransient(err) {
+				s.setErr(err)
+				return nil
+			}
+			continue
+		}
+		if s.isClosed() {
+			conn.Close()
+			return nil
+		}
+		s.setConn(conn)
+		s.resumes.Add(1)
+		return conn
+	}
+}
+
+// readStream delivers entries from one connection until it fails or the
+// subscription closes (nil return). Entries at or below the last delivered
+// ID — replays after a resume — are dropped.
+func (s *Subscription) readStream(conn net.Conn) error {
+	r := bufio.NewReader(conn)
+	for {
+		status, payload, err := readFrame(r)
+		if err != nil {
+			return &transportError{err}
+		}
+		if status == statusErr {
+			return remoteError(payload)
 		}
 		d := &buf{b: payload}
 		e := decodeEntry(d)
 		if d.err != nil {
-			s.setErr(d.err)
-			return
+			return &transportError{d.err}
 		}
-		s.ch <- e
+		if e.ID <= s.last.Load() {
+			s.dedups.Add(1)
+			continue
+		}
+		select {
+		case s.ch <- e:
+			s.last.Store(e.ID)
+		case <-s.closed:
+			return nil
+		}
+	}
+}
+
+func (s *Subscription) currentConn() net.Conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn
+}
+
+func (s *Subscription) setConn(c net.Conn) {
+	s.mu.Lock()
+	s.conn = c
+	s.mu.Unlock()
+}
+
+func (s *Subscription) isClosed() bool {
+	select {
+	case <-s.closed:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -233,7 +599,17 @@ func (s *Subscription) setErr(err error) {
 // C returns the delivery channel; it closes when the subscription ends.
 func (s *Subscription) C() <-chan Entry { return s.ch }
 
-// Err returns the terminal error, if any, after C closes.
+// LastID returns the ID of the last delivered entry.
+func (s *Subscription) LastID() uint64 { return s.last.Load() }
+
+// Resumes returns how many times the subscription reconnected.
+func (s *Subscription) Resumes() uint64 { return s.resumes.Load() }
+
+// Deduplicated returns how many replayed entries were dropped after resumes.
+func (s *Subscription) Deduplicated() uint64 { return s.dedups.Load() }
+
+// Err returns the terminal error, if any, after C closes. It is nil when the
+// subscription was ended by Close.
 func (s *Subscription) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -243,11 +619,15 @@ func (s *Subscription) Err() error {
 	return s.err
 }
 
-// Close terminates the subscription connection and drains the channel.
+// Close terminates the subscription. It returns once the reader goroutine
+// has exited, even if the consumer abandoned the channel without draining.
 func (s *Subscription) Close() error {
-	err := s.conn.Close()
-	for range s.ch {
+	s.once.Do(func() { close(s.closed) })
+	if c := s.currentConn(); c != nil {
+		c.Close()
 	}
 	<-s.done
-	return err
+	for range s.ch { // drain anything buffered before close(s.ch)
+	}
+	return nil
 }

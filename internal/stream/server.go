@@ -14,6 +14,7 @@ import (
 type Server struct {
 	broker *Broker
 	ln     net.Listener
+	wrap   func(net.Conn) net.Conn
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -21,14 +22,26 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
+// ServerOption customizes a Server.
+type ServerOption func(*Server)
+
+// WithConnWrapper decorates every accepted connection — e.g. with
+// Chaos.Wrap to inject server-side faults in tests and soak runs.
+func WithConnWrapper(wrap func(net.Conn) net.Conn) ServerOption {
+	return func(s *Server) { s.wrap = wrap }
+}
+
 // Serve starts a server for broker on addr ("host:port"; ":0" picks a free
 // port). It returns once the listener is active.
-func Serve(broker *Broker, addr string) (*Server, error) {
+func Serve(broker *Broker, addr string, opts ...ServerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{broker: broker, ln: ln, conns: make(map[net.Conn]struct{})}
+	for _, o := range opts {
+		o(s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -60,6 +73,9 @@ func (s *Server) acceptLoop() {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return
+		}
+		if s.wrap != nil {
+			conn = s.wrap(conn)
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -214,6 +230,9 @@ func (s *Server) dispatch(ctx context.Context, op byte, payload []byte) ([]byte,
 			out.str(n)
 		}
 		return out.b, nil
+
+	case opPing:
+		return nil, nil
 
 	default:
 		return nil, errors.New("stream: unknown opcode")

@@ -27,6 +27,7 @@ const (
 	opGroupRead = 0x07 // topic, group             -> entry (blocks)
 	opAck       = 0x08 // topic, group, id         -> ok
 	opTopics    = 0x09 //                          -> u32 n, n strings
+	opPing      = 0x0A //                          -> ok (liveness / conn check)
 )
 
 // Response statuses.

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Tier-1 verify flow: build + vet + full tests, then the race detector over
+# the concurrency-heavy transport (stream) and vertex (score) packages so
+# the fault-tolerance paths (reconnect, resume, store-and-forward) stay
+# race-clean.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/stream/... ./internal/score/..."
+go test -race ./internal/stream/... ./internal/score/...
+
+echo "verify: OK"
