@@ -18,12 +18,14 @@
 package apollo
 
 import (
+	"net/http"
 	"time"
 
 	"repro/internal/adaptive"
 	"repro/internal/aqe"
 	"repro/internal/core"
 	"repro/internal/delphi"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/score"
 	"repro/internal/telemetry"
@@ -80,6 +82,26 @@ const (
 	HealthDegraded = score.HealthDegraded
 	HealthFailed   = score.HealthFailed
 )
+
+// Observability types: every subsystem registers counters, gauges, and
+// latency histograms on the service's obs registry. Service.Metrics returns
+// a Snapshot; Service.Obs exposes the registry for the HTTP endpoint
+// (obs.Handler) or custom instruments.
+type (
+	// Metrics is a point-in-time snapshot of every registered instrument.
+	Metrics = obs.Snapshot
+	// MetricsRegistry holds live instruments; pass one in Config.Obs to
+	// aggregate several services, or serve it with MetricsHandler.
+	MetricsRegistry = obs.Registry
+	// HistogramSnapshot is one latency histogram inside Metrics.
+	HistogramSnapshot = obs.HistogramSnapshot
+)
+
+// NewMetricsRegistry builds a standalone metrics registry for Config.Obs.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricsHandler serves a registry in Prometheus text exposition format.
+func MetricsHandler(r *MetricsRegistry) http.Handler { return obs.Handler(r) }
 
 // Adaptive-interval types.
 type (

@@ -1,6 +1,10 @@
 package apollo_test
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -116,5 +120,46 @@ func TestFacadeDelphiTrainSaveLoad(t *testing.T) {
 	total, trainable := m2.ParamCount()
 	if total != 50 || trainable != 14 {
 		t.Fatalf("params %d/%d", total, trainable)
+	}
+}
+
+// TestFacadeMetrics checks the observability surface next to Health: a
+// shared registry, typed snapshots from Service.Metrics, and the HTTP
+// exposition handler.
+func TestFacadeMetrics(t *testing.T) {
+	reg := apollo.NewMetricsRegistry()
+	clock := apollo.NewSimClock(time.Unix(0, 0))
+	svc := apollo.New(apollo.Config{Clock: clock, Obs: reg})
+	defer svc.Stop()
+	v, err := svc.RegisterMetric(apollo.HookFunc{
+		ID: "node1.nvme0.capacity",
+		Fn: func() (float64, error) { return 1000, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.PollOnce()
+
+	var m apollo.Metrics = svc.Metrics()
+	if got := m.Counter(`score_published_total{metric="node1.nvme0.capacity"}`); got != 1 {
+		t.Fatalf("published counter = %d, want 1", got)
+	}
+	if got := m.Counter("stream_broker_publish_total"); got != 1 {
+		t.Fatalf("broker publish counter = %d, want 1", got)
+	}
+
+	srv := httptest.NewServer(apollo.MetricsHandler(reg))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "stream_broker_publish_total 1") {
+		t.Fatalf("exposition missing broker counter:\n%s", body)
 	}
 }

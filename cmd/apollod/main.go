@@ -14,6 +14,9 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -22,6 +25,7 @@ import (
 	"repro/apollo"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -33,6 +37,7 @@ func main() {
 		delphiF  = flag.String("delphi", "", "path to a trained Delphi model (see delphi-train); empty disables prediction")
 		duration = flag.Duration("duration", 0, "exit after this long (0 = run until signal)")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		metricsA = flag.String("metrics-addr", "", "HTTP address serving /metrics (Prometheus text) and /debug/pprof; empty disables")
 	)
 	flag.Parse()
 
@@ -85,6 +90,14 @@ func main() {
 	log.Printf("apollod listening on %s: %d nodes, %d fact metrics, sink insight %q",
 		addr, len(sim.Nodes()), metrics, sink)
 
+	if *metricsA != "" {
+		maddr, err := serveMetrics(*metricsA, svc.Obs())
+		if err != nil {
+			log.Fatalf("apollod: metrics endpoint: %v", err)
+		}
+		log.Printf("metrics on http://%s/metrics, profiles on http://%s/debug/pprof/", maddr, maddr)
+	}
+
 	// Synthetic bursty workload so the telemetry is alive.
 	stop := make(chan struct{})
 	go func() {
@@ -125,4 +138,22 @@ func main() {
 	}
 	s := <-sig
 	fmt.Printf("apollod: %v, shutting down\n", s)
+}
+
+// serveMetrics exposes the registry and the pprof profiles on addr,
+// returning the bound address.
+func serveMetrics(addr string, r *obs.Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
 }

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
@@ -38,7 +39,14 @@ type Log struct {
 	curSize      int64
 	curIndex     int
 	appended     uint64
+	rotations    uint64
+	corrupt      uint64 // corrupt records skipped during replays
 	closed       bool
+
+	// Optional obs instruments (nil-safe no-ops when not instrumented).
+	obsAppends   *obs.Counter
+	obsRotations *obs.Counter
+	obsCorrupt   *obs.Counter
 }
 
 // Options configures a Log.
@@ -134,6 +142,7 @@ func (l *Log) Append(info telemetry.Info) error {
 	}
 	l.curSize += int64(len(b))
 	l.appended++
+	l.obsAppends.Inc()
 	return nil
 }
 
@@ -144,7 +153,20 @@ func (l *Log) rotateLocked() error {
 	if err := l.cur.Close(); err != nil {
 		return fmt.Errorf("archive: %w", err)
 	}
+	l.rotations++
+	l.obsRotations.Inc()
 	return l.openSegment(l.curIndex + 1)
+}
+
+// Instrument registers the log's instruments on r, labelled by name (usually
+// the vertex metric): archive_appends_total, archive_rotations_total, and
+// archive_corrupt_records_total.
+func (l *Log) Instrument(r *obs.Registry, name string) {
+	l.mu.Lock()
+	l.obsAppends = r.Counter(obs.Name("archive_appends_total", "log", name))
+	l.obsRotations = r.Counter(obs.Name("archive_rotations_total", "log", name))
+	l.obsCorrupt = r.Counter(obs.Name("archive_corrupt_records_total", "log", name))
+	l.mu.Unlock()
 }
 
 // Appended returns the number of tuples appended since Open.
@@ -152,6 +174,21 @@ func (l *Log) Appended() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.appended
+}
+
+// Rotations returns how many segment rotations happened since Open.
+func (l *Log) Rotations() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rotations
+}
+
+// CorruptRecords returns how many corrupt records replays have skipped (torn
+// active-segment tails excluded: those are normal crash recovery).
+func (l *Log) CorruptRecords() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.corrupt
 }
 
 // Sync flushes buffered appends to the OS.
@@ -183,9 +220,13 @@ func (l *Log) Close() error {
 }
 
 // Replay streams every archived tuple, oldest first, to fn. Replay stops at
-// the first error from fn or a corrupt record (a partially-written tail
-// record terminates replay without error). Replay flushes pending appends
-// first so a Log can replay its own writes.
+// the first error from fn. Corruption handling distinguishes two cases: a
+// decode failure at the tail of the highest (active) segment is a torn write
+// from a crash and silently terminates replay; corruption anywhere else —
+// mid-segment, or in an earlier segment — is skipped record by record
+// (resynchronizing on the CRC framing) and counted, so one bad record no
+// longer silently truncates replay of everything after it. Replay flushes
+// pending appends first so a Log can replay its own writes.
 func (l *Log) Replay(fn func(telemetry.Info) error) error {
 	l.mu.Lock()
 	if !l.closed {
@@ -199,8 +240,16 @@ func (l *Log) Replay(fn func(telemetry.Info) error) error {
 	if err != nil {
 		return err
 	}
-	for _, i := range segs {
-		if err := replayFile(filepath.Join(l.dir, segmentName(i)), fn); err != nil {
+	for n, i := range segs {
+		active := n == len(segs)-1
+		corrupt, err := replayFile(filepath.Join(l.dir, segmentName(i)), active, fn)
+		if corrupt > 0 {
+			l.mu.Lock()
+			l.corrupt += uint64(corrupt)
+			l.mu.Unlock()
+			l.obsCorrupt.Add(uint64(corrupt))
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -217,29 +266,58 @@ func (l *Log) Range(from, to int64, fn func(telemetry.Info) error) error {
 	})
 }
 
-func replayFile(path string, fn func(telemetry.Info) error) error {
+// replayFile replays one segment, returning how many corrupt records were
+// skipped. Only the tail of the active segment may be treated as a torn
+// write (uncounted); any other decode failure resynchronizes on the next
+// CRC-valid record and is counted.
+func replayFile(path string, active bool, fn func(telemetry.Info) error) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return fmt.Errorf("archive: %w", err)
+		return 0, fmt.Errorf("archive: %w", err)
 	}
 	defer f.Close()
 	data, err := io.ReadAll(bufio.NewReader(f))
 	if err != nil {
-		return fmt.Errorf("archive: %w", err)
+		return 0, fmt.Errorf("archive: %w", err)
 	}
+	corrupt := 0
 	for len(data) > 0 {
 		info, n, err := telemetry.DecodeInfo(data)
 		if err != nil {
-			// A torn tail record ends replay of this segment silently;
-			// this matches crash-recovery semantics of an append-only log.
-			return nil
+			skip := resync(data[1:])
+			if skip < 0 {
+				// Nothing decodable remains. At the end of the active
+				// segment that is a torn tail write — normal crash-recovery
+				// semantics, ended silently. Anywhere else the remainder is
+				// corrupt and counted.
+				if active {
+					return corrupt, nil
+				}
+				return corrupt + 1, nil
+			}
+			// Mid-segment corruption: skip to the next decodable record.
+			corrupt++
+			data = data[1+skip:]
+			continue
 		}
 		if err := fn(info); err != nil {
-			return err
+			return corrupt, err
 		}
 		data = data[n:]
 	}
-	return nil
+	return corrupt, nil
+}
+
+// resync scans forward for the next offset at which a record decodes. The
+// CRC32 framing makes a false positive vanishingly unlikely (~2^-32 per
+// candidate offset).
+func resync(b []byte) int {
+	for off := 0; off < len(b); off++ {
+		if _, _, err := telemetry.DecodeInfo(b[off:]); err == nil {
+			return off
+		}
+	}
+	return -1
 }
 
 // Prune removes all segments except the active one, returning how many files

@@ -19,6 +19,7 @@ import (
 	"repro/internal/archive"
 	"repro/internal/delphi"
 	"repro/internal/middleware"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/score"
 	"repro/internal/stream"
@@ -76,6 +77,10 @@ type Config struct {
 	ArchiveDir string
 	// HistorySize bounds per-vertex in-memory queues (0: default).
 	HistorySize int
+	// Obs is the metrics registry instrumenting the service; nil means a
+	// fresh per-service registry. Share one registry (e.g. obs.Default())
+	// to aggregate several services into one exposition endpoint.
+	Obs *obs.Registry
 }
 
 // Service is a running Apollo instance.
@@ -84,6 +89,7 @@ type Service struct {
 	broker *stream.Broker
 	graph  *score.Graph
 	engine *aqe.Engine
+	obs    *obs.Registry
 
 	mu       sync.Mutex
 	archives []*archive.Log
@@ -103,11 +109,16 @@ func New(cfg Config) *Service {
 	if cfg.Adaptive == (adaptive.Config{}) {
 		cfg.Adaptive = adaptive.DefaultConfig()
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
 	s := &Service{
 		cfg:    cfg,
 		broker: stream.NewBroker(cfg.Retention),
 		graph:  score.NewGraph(),
+		obs:    cfg.Obs,
 	}
+	s.broker.Instrument(s.obs)
 	s.engine = aqe.NewEngine(aqe.GraphResolver{Graph: s.graph})
 	return s
 }
@@ -170,6 +181,7 @@ func (s *Service) RegisterMetric(hook score.Hook, opts ...MetricOption) (*score.
 		Clock:       s.cfg.Clock,
 		HistorySize: s.cfg.HistorySize,
 		BaseTick:    s.cfg.BaseTick,
+		Obs:         s.obs,
 	}
 	if s.cfg.Delphi != nil {
 		fc.Delphi = delphi.NewOnline(s.cfg.Delphi)
@@ -179,6 +191,7 @@ func (s *Service) RegisterMetric(hook score.Hook, opts ...MetricOption) (*score.
 		if err != nil {
 			return nil, err
 		}
+		log.Instrument(s.obs, string(hook.Metric()))
 		s.mu.Lock()
 		s.archives = append(s.archives, log)
 		s.mu.Unlock()
@@ -211,6 +224,7 @@ func (s *Service) RegisterInsight(id telemetry.MetricID, inputs []telemetry.Metr
 		Bus:         s.broker,
 		Clock:       s.cfg.Clock,
 		HistorySize: s.cfg.HistorySize,
+		Obs:         s.obs,
 	})
 	if err != nil {
 		return nil, err
@@ -271,7 +285,7 @@ func (s *Service) Stop() {
 // Serve exposes the Pub-Sub fabric over TCP so remote vertices and clients
 // can attach; it returns the bound address.
 func (s *Service) Serve(addr string) (string, error) {
-	srv, err := stream.Serve(s.broker, addr)
+	srv, err := stream.Serve(s.broker, addr, stream.WithServerObs(s.obs))
 	if err != nil {
 		return "", err
 	}
@@ -288,6 +302,15 @@ func (s *Service) Serve(addr string) (string, error) {
 func (s *Service) Health() map[telemetry.MetricID]score.HealthSnapshot {
 	return s.graph.Health()
 }
+
+// Obs returns the service's metrics registry (for the HTTP exposition
+// endpoint and custom instruments).
+func (s *Service) Obs() *obs.Registry { return s.obs }
+
+// Metrics returns a point-in-time snapshot of every instrument registered on
+// the service's obs registry — the programmatic companion to the /metrics
+// endpoint, surfaced next to Health on the facade.
+func (s *Service) Metrics() obs.Snapshot { return s.obs.Snapshot() }
 
 // Degraded reports whether any registered vertex is not HealthOK.
 func (s *Service) Degraded() bool {

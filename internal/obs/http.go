@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText serializes a snapshot of the registry in the Prometheus text
+// exposition format (version 0.0.4): one # TYPE line per instrument base
+// name, then sorted sample lines. Histograms emit cumulative _bucket{le=...}
+// samples plus _sum and _count.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	typed := make(map[string]bool)
+
+	names := sortedKeys(s.Counters)
+	for _, name := range names {
+		base, labels := splitName(name)
+		if err := writeType(w, typed, base, "counter"); err != nil {
+			return err
+		}
+		if err := writeSample(w, base, labels, float64(s.Counters[name])); err != nil {
+			return err
+		}
+	}
+
+	names = sortedKeys(s.Gauges)
+	for _, name := range names {
+		base, labels := splitName(name)
+		if err := writeType(w, typed, base, "gauge"); err != nil {
+			return err
+		}
+		if err := writeSample(w, base, labels, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		base, labels := splitName(name)
+		if err := writeType(w, typed, base, "histogram"); err != nil {
+			return err
+		}
+		h := s.Histograms[name]
+		for _, b := range h.Buckets {
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				le = formatFloat(b.UpperBound)
+			}
+			bl := `le="` + le + `"`
+			if labels != "" {
+				bl = labels + "," + bl
+			}
+			if err := writeSample(w, base+"_bucket", bl, float64(b.Count)); err != nil {
+				return err
+			}
+		}
+		if err := writeSample(w, base+"_sum", labels, h.Sum); err != nil {
+			return err
+		}
+		if err := writeSample(w, base+"_count", labels, float64(h.Count)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// writeType emits the # TYPE header once per base name. Exposition is sorted
+// per kind, so all samples of one base name are contiguous.
+func writeType(w io.Writer, seen map[string]bool, base, kind string) error {
+	if seen[base] {
+		return nil
+	}
+	seen[base] = true
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+	return err
+}
+
+func writeSample(w io.Writer, base, labels string, v float64) error {
+	var sb strings.Builder
+	sb.WriteString(base)
+	if labels != "" {
+		sb.WriteByte('{')
+		sb.WriteString(labels)
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(formatFloat(v))
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Handler serves the registry in the Prometheus text exposition format.
+// Mount it at /metrics next to net/http/pprof for a complete introspection
+// endpoint (see cmd/apollod's -metrics-addr).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

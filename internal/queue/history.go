@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
@@ -21,11 +22,20 @@ type History struct {
 	count   int
 	onEvict func(telemetry.Info)
 	dropped uint64 // out-of-order appends rejected
+
+	// Optional obs instruments (nil-safe no-ops when not instrumented).
+	obsEvicted *obs.Counter
+	obsDropped *obs.Counter
 }
 
 // NewHistory returns a history window holding up to capacity entries.
-// onEvict, if non-nil, is called synchronously with each entry displaced by
-// Append once the window is full.
+//
+// Callback contract: onEvict, if non-nil, is called synchronously with each
+// entry displaced by Append, while the History lock is held. Evictions are
+// therefore delivered in timestamp order even under concurrent appenders —
+// the Archiver depends on this, since its log rejects nothing and replays in
+// append order. The callback must be fast and must not call back into the
+// History (that would self-deadlock); hand heavy work to another goroutine.
 func NewHistory(capacity int, onEvict func(telemetry.Info)) *History {
 	if capacity < 1 {
 		capacity = 1
@@ -33,33 +43,45 @@ func NewHistory(capacity int, onEvict func(telemetry.Info)) *History {
 	return &History{buf: make([]telemetry.Info, capacity), onEvict: onEvict}
 }
 
+// Instrument attaches obs counters for evictions and rejected (out-of-order)
+// appends. Pass nil for either to skip it.
+func (h *History) Instrument(evicted, dropped *obs.Counter) {
+	h.mu.Lock()
+	h.obsEvicted, h.obsDropped = evicted, dropped
+	h.mu.Unlock()
+}
+
 // Append adds info to the window. Appends whose timestamp precedes the
 // newest stored entry are rejected (the queue is timestamp-linearized) and
 // counted; Append reports whether the entry was stored.
+//
+// The eviction callback runs under the History lock (see NewHistory): it was
+// previously invoked after unlock, which let two concurrent appenders hand
+// evicted tuples to the archiver out of timestamp order.
 func (h *History) Append(info telemetry.Info) bool {
 	h.mu.Lock()
 	if h.count > 0 {
 		newest := h.buf[(h.head+h.count-1)%len(h.buf)]
 		if info.Timestamp < newest.Timestamp {
 			h.dropped++
+			h.obsDropped.Inc()
 			h.mu.Unlock()
 			return false
 		}
 	}
-	var evicted telemetry.Info
-	hasEvict := false
 	if h.count == len(h.buf) {
-		evicted = h.buf[h.head]
-		hasEvict = true
+		evicted := h.buf[h.head]
 		h.head = (h.head + 1) % len(h.buf)
 		h.count--
+		h.obsEvicted.Inc()
+		if h.onEvict != nil {
+			// Deliver under the lock so evictions stay timestamp-ordered.
+			h.onEvict(evicted)
+		}
 	}
 	h.buf[(h.head+h.count)%len(h.buf)] = info
 	h.count++
 	h.mu.Unlock()
-	if hasEvict && h.onEvict != nil {
-		h.onEvict(evicted)
-	}
 	return true
 }
 

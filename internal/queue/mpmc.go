@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
@@ -42,6 +43,16 @@ type MPMC struct {
 	_pad1   [64]byte
 	dequeue atomic.Uint64
 	_pad2   [64]byte
+
+	// Optional obs instruments; nil-safe no-ops, set before concurrent use.
+	obsPushFull *obs.Counter
+	obsPopEmpty *obs.Counter
+}
+
+// Instrument attaches obs counters for failed pushes (queue full) and failed
+// pops (queue empty). Call before the queue is shared between goroutines.
+func (q *MPMC) Instrument(pushFull, popEmpty *obs.Counter) {
+	q.obsPushFull, q.obsPopEmpty = pushFull, popEmpty
 }
 
 // NewMPMC returns a lock-free queue with capacity rounded up to the next
@@ -73,6 +84,7 @@ func (q *MPMC) TryPush(info telemetry.Info) bool {
 			}
 			pos = q.enqueue.Load()
 		case diff < 0:
+			q.obsPushFull.Inc()
 			return false // full
 		default:
 			pos = q.enqueue.Load()
@@ -95,6 +107,7 @@ func (q *MPMC) TryPop() (telemetry.Info, bool) {
 			}
 			pos = q.dequeue.Load()
 		case diff < 0:
+			q.obsPopEmpty.Inc()
 			return telemetry.Info{}, false // empty
 		default:
 			pos = q.dequeue.Load()

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Callback runs when a timer fires. It receives the scheduled fire time and
@@ -73,6 +75,12 @@ type Loop struct {
 	done    chan struct{}
 	running bool
 	fired   uint64
+	overdue uint64 // fires whose next deadline had already passed
+
+	// Optional obs instruments (nil-safe no-ops when not instrumented).
+	obsFires   *obs.Counter
+	obsOverdue *obs.Counter
+	obsRuntime *obs.Histogram
 }
 
 // NewLoop returns a loop driven by clock (nil means the real clock).
@@ -134,6 +142,25 @@ func (l *Loop) Fired() uint64 {
 	return l.fired
 }
 
+// Overdue returns how many reprogrammed deadlines had already passed when
+// their callback returned (slow callbacks clamped by the fire-storm guard).
+func (l *Loop) Overdue() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.overdue
+}
+
+// Instrument registers the loop's instruments on r: sched_fires_total,
+// sched_overdue_fires_total, and the sched_callback_seconds runtime
+// histogram. Call before Run.
+func (l *Loop) Instrument(r *obs.Registry) {
+	l.mu.Lock()
+	l.obsFires = r.Counter("sched_fires_total")
+	l.obsOverdue = r.Counter("sched_overdue_fires_total")
+	l.obsRuntime = r.Histogram("sched_callback_seconds")
+	l.mu.Unlock()
+}
+
 // Pending returns the number of scheduled timers.
 func (l *Loop) Pending() int {
 	l.mu.Lock()
@@ -171,14 +198,23 @@ func (l *Loop) Run() {
 				continue // cancelled while queued
 			}
 			l.fired++
+			l.obsFires.Inc()
 			l.mu.Unlock()
+			cbStart := l.clock.Now()
 			next := t.cb(t.when)
 			l.mu.Lock()
+			// Refresh now AFTER the callback: comparing the reprogrammed
+			// deadline against a stale pre-callback now let a slow callback
+			// schedule into the past and spuriously re-fire immediately.
+			now = l.clock.Now()
+			l.obsRuntime.ObserveDuration(now.Sub(cbStart))
 			if _, live := l.byID[t.id]; live {
 				if next > 0 {
 					t.when = t.when.Add(next)
 					if t.when.Before(now) {
 						// Never let a slow callback cause a fire storm.
+						l.overdue++
+						l.obsOverdue.Inc()
 						t.when = now.Add(next)
 					}
 					heap.Push(&l.heap, t)
@@ -186,7 +222,6 @@ func (l *Loop) Run() {
 					delete(l.byID, t.id)
 				}
 			}
-			now = l.clock.Now()
 		}
 		var wait <-chan time.Time
 		if len(l.heap) > 0 {

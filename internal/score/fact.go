@@ -10,6 +10,7 @@ import (
 	"repro/internal/adaptive"
 	"repro/internal/archive"
 	"repro/internal/delphi"
+	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/sched"
 	"repro/internal/stream"
@@ -52,6 +53,9 @@ type FactConfig struct {
 	// Polls still execute on the vertex goroutine so a slow monitor hook
 	// cannot stall other vertices' timers.
 	Loop *sched.Loop
+	// Obs, if non-nil, receives the vertex instruments (tuples in/out,
+	// backlog, flush latency, queue evictions), labelled by metric.
+	Obs *obs.Registry
 }
 
 // FactVertex is a SCoRe source vertex: it polls one metric through a monitor
@@ -63,6 +67,9 @@ type FactVertex struct {
 	history *queue.History
 	stats   Stats
 	pub     *pubBuffer
+
+	obsTuplesIn  *obs.Counter // tuples built from successful polls
+	obsTuplesOut *obs.Counter // tuples accepted by the publish path
 
 	mu      sync.Mutex
 	last    float64
@@ -99,6 +106,16 @@ func NewFactVertex(cfg FactConfig) (*FactVertex, error) {
 		onEvict = func(i telemetry.Info) { _ = cfg.Archive.Append(i) }
 	}
 	v.history = queue.NewHistory(cfg.HistorySize, onEvict)
+	if r := cfg.Obs; r != nil {
+		m := string(v.metric)
+		v.obsTuplesIn = r.Counter(obs.Name("score_tuples_in_total", "metric", m))
+		v.obsTuplesOut = r.Counter(obs.Name("score_tuples_out_total", "metric", m))
+		v.pub.instrument(r, m)
+		v.history.Instrument(
+			r.Counter(obs.Name("queue_history_evictions_total", "metric", m)),
+			r.Counter(obs.Name("queue_history_drops_total", "metric", m)),
+		)
+	}
 	return v, nil
 }
 
@@ -207,6 +224,8 @@ func (v *FactVertex) pollOnce(current time.Duration) time.Duration {
 	}
 	ts := v.cfg.Clock.Now().UnixNano()
 
+	v.obsTuplesIn.Inc()
+
 	// Fact Builder: Metric -> Fact tuple, linearized for the queue.
 	info := telemetry.NewFact(v.metric, ts, value)
 	payload, perr := info.MarshalBinary()
@@ -225,6 +244,7 @@ func (v *FactVertex) pollOnce(current time.Duration) time.Duration {
 		if v.pub.publish(payload, ts) {
 			v.history.Append(info)
 			v.stats.published.Add(1)
+			v.obsTuplesOut.Inc()
 		} else {
 			v.stats.errors.Add(1)
 		}
@@ -253,6 +273,7 @@ func (v *FactVertex) pollOnce(current time.Duration) time.Duration {
 					if v.pub.publish(pb, pts) {
 						v.history.Append(pinfo)
 						v.stats.predicted.Add(1)
+						v.obsTuplesOut.Inc()
 					}
 				}
 			}

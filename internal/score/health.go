@@ -2,7 +2,9 @@ package score
 
 import (
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -73,6 +75,13 @@ type pubBuffer struct {
 	dropped   uint64
 	lastErr   string
 	lastFlush int64
+
+	// Optional obs instruments (nil-safe no-ops when not instrumented).
+	obsPublished *obs.Counter   // tuples delivered to the broker (incl. flushes)
+	obsBuffered  *obs.Counter   // tuples buffered through outages
+	obsDropped   *obs.Counter   // tuples evicted from a full backlog
+	obsBacklog   *obs.Gauge     // current backlog depth
+	obsFlush     *obs.Histogram // wall time of successful backlog drains
 }
 
 func newPubBuffer(bus stream.Bus, topic string, capacity, failAfter int, stats *Stats) *pubBuffer {
@@ -85,6 +94,18 @@ func newPubBuffer(bus stream.Bus, topic string, capacity, failAfter int, stats *
 	return &pubBuffer{bus: bus, topic: topic, cap: capacity, failAfter: uint64(failAfter), stats: stats}
 }
 
+// instrument registers the publish-path instruments on r, labelled by metric.
+// Call before the vertex starts.
+func (p *pubBuffer) instrument(r *obs.Registry, metric string) {
+	p.mu.Lock()
+	p.obsPublished = r.Counter(obs.Name("score_published_total", "metric", metric))
+	p.obsBuffered = r.Counter(obs.Name("score_buffered_total", "metric", metric))
+	p.obsDropped = r.Counter(obs.Name("score_backlog_dropped_total", "metric", metric))
+	p.obsBacklog = r.Gauge(obs.Name("score_backlog", "metric", metric))
+	p.obsFlush = r.Histogram(obs.Name("score_flush_seconds", "metric", metric), obs.DefLatencyBuckets...)
+	p.mu.Unlock()
+}
+
 // publish delivers payload, flushing any backlog first so stream order is
 // preserved across outages. It reports whether the tuple was accepted —
 // delivered to the broker or buffered for a later flush. now stamps
@@ -93,20 +114,28 @@ func (p *pubBuffer) publish(payload []byte, now int64) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	flushed := false
+	flushStart := time.Time{}
+	if len(p.backlog) > 0 {
+		flushStart = time.Now()
+	}
 	for len(p.backlog) > 0 {
 		if _, err := p.bus.Publish(p.topic, p.backlog[0]); err != nil {
 			return p.failLocked(err, payload)
 		}
 		p.backlog = p.backlog[1:]
 		p.stats.flushed.Add(1)
+		p.obsPublished.Inc()
 		flushed = true
 	}
 	if _, err := p.bus.Publish(p.topic, payload); err != nil {
 		return p.failLocked(err, payload)
 	}
 	p.consec, p.lastErr = 0, ""
+	p.obsPublished.Inc()
+	p.obsBacklog.Set(0)
 	if flushed {
 		p.lastFlush = now
+		p.obsFlush.ObserveDuration(time.Since(flushStart))
 	}
 	return true
 }
@@ -119,11 +148,14 @@ func (p *pubBuffer) failLocked(err error, payload []byte) bool {
 	}
 	p.backlog = append(p.backlog, payload)
 	p.stats.buffered.Add(1)
+	p.obsBuffered.Inc()
 	if len(p.backlog) > p.cap {
 		p.backlog = p.backlog[1:]
 		p.dropped++
 		p.stats.backlogDropped.Add(1)
+		p.obsDropped.Inc()
 	}
+	p.obsBacklog.Set(float64(len(p.backlog)))
 	return true
 }
 

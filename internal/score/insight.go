@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/archive"
+	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/sched"
 	"repro/internal/stream"
@@ -87,6 +88,9 @@ type InsightConfig struct {
 	// FailAfter is how many consecutive publish errors flip the vertex
 	// health from Degraded to Failed (default DefaultFailAfter).
 	FailAfter int
+	// Obs, if non-nil, receives the vertex instruments (tuples in/out,
+	// backlog, flush latency, queue evictions), labelled by metric.
+	Obs *obs.Registry
 }
 
 // InsightVertex is a SCoRe inner/sink vertex: it subscribes to its input
@@ -97,6 +101,9 @@ type InsightVertex struct {
 	history *queue.History
 	stats   Stats
 	pub     *pubBuffer
+
+	obsTuplesIn  *obs.Counter // upstream entries decoded
+	obsTuplesOut *obs.Counter // insights accepted by the publish path
 
 	mu      sync.Mutex
 	latest  map[telemetry.MetricID]telemetry.Info
@@ -128,6 +135,16 @@ func NewInsightVertex(cfg InsightConfig) (*InsightVertex, error) {
 		onEvict = func(i telemetry.Info) { _ = cfg.Archive.Append(i) }
 	}
 	v.history = queue.NewHistory(cfg.HistorySize, onEvict)
+	if r := cfg.Obs; r != nil {
+		m := string(cfg.Metric)
+		v.obsTuplesIn = r.Counter(obs.Name("score_tuples_in_total", "metric", m))
+		v.obsTuplesOut = r.Counter(obs.Name("score_tuples_out_total", "metric", m))
+		v.pub.instrument(r, m)
+		v.history.Instrument(
+			r.Counter(obs.Name("queue_history_evictions_total", "metric", m)),
+			r.Counter(obs.Name("queue_history_drops_total", "metric", m)),
+		)
+	}
 	return v, nil
 }
 
@@ -223,6 +240,7 @@ func (v *InsightVertex) consume(e stream.Entry) {
 		v.stats.errors.Add(1)
 		return
 	}
+	v.obsTuplesIn.Inc()
 	v.mu.Lock()
 	v.latest[in.Metric] = in
 	ready := len(v.latest) == len(v.cfg.Inputs)
@@ -271,6 +289,7 @@ func (v *InsightVertex) consume(e stream.Entry) {
 		if v.pub.publish(payload, ts) {
 			v.history.Append(info)
 			v.stats.published.Add(1)
+			v.obsTuplesOut.Inc()
 			if src == telemetry.Predicted {
 				v.stats.predicted.Add(1)
 			}

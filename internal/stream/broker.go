@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Entry is one stream record. IDs are assigned per topic, contiguous from 1.
@@ -75,6 +77,30 @@ type Broker struct {
 	retention int
 	closed    bool
 	done      chan struct{} // closed by Close; unblocks waiting consumers
+
+	// Optional obs instruments (nil-safe no-ops when not instrumented).
+	obsPublishes    *obs.Counter
+	obsPublishBytes *obs.Counter
+	obsEvicted      *obs.Counter
+	obsTopics       *obs.Gauge
+	obsConsumeLag   *obs.Histogram
+}
+
+// Instrument registers the broker's instruments on r:
+// stream_broker_publish_total, stream_broker_publish_bytes_total,
+// stream_broker_evicted_total (entries pushed out of the retention window),
+// the stream_broker_topics gauge, and the stream_broker_consume_lag
+// histogram (how many entries behind the topic head a consumer was when its
+// read was served). Call before the broker is shared between goroutines.
+func (b *Broker) Instrument(r *obs.Registry) {
+	b.mu.Lock()
+	b.obsPublishes = r.Counter("stream_broker_publish_total")
+	b.obsPublishBytes = r.Counter("stream_broker_publish_bytes_total")
+	b.obsEvicted = r.Counter("stream_broker_evicted_total")
+	b.obsTopics = r.Gauge("stream_broker_topics")
+	b.obsConsumeLag = r.Histogram("stream_broker_consume_lag", 0, 1, 10, 100, 1000, 10000)
+	b.obsTopics.Set(float64(len(b.topics)))
+	b.mu.Unlock()
 }
 
 // NewBroker returns a broker whose topics retain up to retention entries
@@ -111,6 +137,7 @@ func (b *Broker) topicFor(name string, create bool) (*topic, error) {
 	}
 	t = newTopic(name, b.retention)
 	b.topics[name] = t
+	b.obsTopics.Set(float64(len(b.topics)))
 	return t, nil
 }
 
@@ -135,6 +162,7 @@ func (b *Broker) Publish(topicName string, payload []byte) (uint64, error) {
 		t.start = (t.start + 1) % len(t.buf)
 		t.firstID++
 		t.count--
+		b.obsEvicted.Inc()
 	}
 	t.buf[(t.start+t.count)%len(t.buf)] = Entry{ID: id, Payload: p}
 	t.count++
@@ -143,6 +171,8 @@ func (b *Broker) Publish(topicName string, payload []byte) (uint64, error) {
 	close(t.notify)
 	t.notify = make(chan struct{})
 	t.mu.Unlock()
+	b.obsPublishes.Inc()
+	b.obsPublishBytes.Add(uint64(len(p)))
 	return id, nil
 }
 
@@ -233,7 +263,9 @@ func (b *Broker) Consume(ctx context.Context, topicName string, afterID uint64) 
 				from = t.firstID // skip evicted entries
 			}
 			e := t.buf[(t.start+int(from-t.firstID))%len(t.buf)]
+			lag := t.nextID - 1 - e.ID // entries behind the topic head
 			t.mu.Unlock()
+			b.obsConsumeLag.Observe(float64(lag))
 			return e, nil
 		}
 		wait := t.notify

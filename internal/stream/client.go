@@ -11,6 +11,8 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrClientClosed is returned by operations on a Close()d client.
@@ -49,6 +51,9 @@ type Options struct {
 	ResumeMax int
 	// Dialer establishes connections (default: net.Dialer).
 	Dialer Dialer
+	// Obs, if non-nil, receives the client/subscription instruments
+	// (reconnects, retries, frame bytes, resumes, dedups).
+	Obs *obs.Registry
 }
 
 func (o *Options) defaults() {
@@ -94,6 +99,9 @@ func WithResumeMax(n int) Option { return func(o *Options) { o.ResumeMax = n } }
 
 // WithDialer plugs in a custom Dialer (e.g. a Chaos fault injector).
 func WithDialer(d Dialer) Option { return func(o *Options) { o.Dialer = d } }
+
+// WithObs registers the client's (or subscription's) instruments on r.
+func WithObs(r *obs.Registry) Option { return func(o *Options) { o.Obs = r } }
 
 func buildOptions(opts []Option) Options {
 	var o Options
@@ -181,11 +189,24 @@ type Client struct {
 
 	reconnects atomic.Uint64
 	retries    atomic.Uint64
+
+	// Obs instruments, registered at Dial when Options.Obs is set
+	// (nil-safe no-ops otherwise).
+	obsReconnects *obs.Counter
+	obsRetries    *obs.Counter
+	obsTxBytes    *obs.Counter
+	obsRxBytes    *obs.Counter
 }
 
 // Dial connects to a stream server.
 func Dial(addr string, opts ...Option) (*Client, error) {
 	c := &Client{addr: addr, opt: buildOptions(opts)}
+	if r := c.opt.Obs; r != nil {
+		c.obsReconnects = r.Counter("stream_client_reconnects_total")
+		c.obsRetries = r.Counter("stream_client_retries_total")
+		c.obsTxBytes = r.Counter("stream_client_tx_bytes_total")
+		c.obsRxBytes = r.Counter("stream_client_rx_bytes_total")
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.connectLocked(); err != nil {
@@ -201,6 +222,7 @@ func (c *Client) connectLocked() error {
 	}
 	if c.r != nil { // not the first connect
 		c.reconnects.Add(1)
+		c.obsReconnects.Inc()
 	}
 	c.conn = conn
 	c.r = bufio.NewReader(conn)
@@ -272,11 +294,13 @@ func (c *Client) roundTrip(op byte, payload []byte, blocking bool, decode func(*
 	} else if c.opt.IOTimeout > 0 {
 		c.conn.SetReadDeadline(time.Now().Add(c.opt.IOTimeout))
 	}
+	c.obsTxBytes.Add(uint64(frameOverhead + len(payload)))
 	status, resp, err := readFrame(c.r)
 	if err != nil {
 		c.dropLocked()
 		return &transportError{err}
 	}
+	c.obsRxBytes.Add(uint64(frameOverhead + len(resp)))
 	if status == statusErr {
 		return remoteError(resp)
 	}
@@ -298,6 +322,7 @@ func (c *Client) call(op byte, payload []byte, idempotent, blocking bool, decode
 	for attempt := 0; attempt < c.opt.RetryMax; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
+			c.obsRetries.Inc()
 			time.Sleep(Backoff(attempt-1, c.opt.BackoffMin, c.opt.BackoffMax))
 		}
 		err := c.roundTrip(op, payload, blocking, decode)
@@ -436,6 +461,9 @@ type Subscription struct {
 	last    atomic.Uint64 // last delivered entry ID
 	resumes atomic.Uint64
 	dedups  atomic.Uint64
+
+	obsResumes *obs.Counter
+	obsDedups  *obs.Counter
 }
 
 // Subscribe opens a dedicated connection that streams entries of topic with
@@ -456,6 +484,10 @@ func Subscribe(addr, topic string, afterID uint64, opts ...Option) (*Subscriptio
 		conn:   conn,
 	}
 	s.last.Store(afterID)
+	if r := opt.Obs; r != nil {
+		s.obsResumes = r.Counter("stream_sub_resumes_total")
+		s.obsDedups = r.Counter("stream_sub_dedup_total")
+	}
 	go s.run()
 	return s, nil
 }
@@ -532,6 +564,7 @@ func (s *Subscription) resume() net.Conn {
 		}
 		s.setConn(conn)
 		s.resumes.Add(1)
+		s.obsResumes.Inc()
 		return conn
 	}
 }
@@ -556,6 +589,7 @@ func (s *Subscription) readStream(conn net.Conn) error {
 		}
 		if e.ID <= s.last.Load() {
 			s.dedups.Add(1)
+			s.obsDedups.Inc()
 			continue
 		}
 		select {

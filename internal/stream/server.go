@@ -6,6 +6,8 @@ import (
 	"errors"
 	"net"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Server exposes a Broker over TCP using the wire protocol in wire.go. Each
@@ -20,6 +22,10 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	// Optional obs instruments (nil-safe no-ops when not set).
+	obsConns      *obs.Gauge   // connections currently open
+	obsConnsTotal *obs.Counter // connections accepted since start
 }
 
 // ServerOption customizes a Server.
@@ -29,6 +35,16 @@ type ServerOption func(*Server)
 // Chaos.Wrap to inject server-side faults in tests and soak runs.
 func WithConnWrapper(wrap func(net.Conn) net.Conn) ServerOption {
 	return func(s *Server) { s.wrap = wrap }
+}
+
+// WithServerObs registers the server's connection instruments on r:
+// stream_server_conns (gauge of open connections) and
+// stream_server_conns_total (accepted connections).
+func WithServerObs(r *obs.Registry) ServerOption {
+	return func(s *Server) {
+		s.obsConns = r.Gauge("stream_server_conns")
+		s.obsConnsTotal = r.Counter("stream_server_conns_total")
+	}
 }
 
 // Serve starts a server for broker on addr ("host:port"; ":0" picks a free
@@ -85,6 +101,8 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		s.obsConnsTotal.Inc()
+		s.obsConns.Add(1)
 		s.wg.Add(1)
 		go s.handle(conn)
 	}
@@ -92,8 +110,12 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) dropConn(conn net.Conn) {
 	s.mu.Lock()
+	_, tracked := s.conns[conn]
 	delete(s.conns, conn)
 	s.mu.Unlock()
+	if tracked {
+		s.obsConns.Add(-1)
+	}
 	conn.Close()
 }
 

@@ -38,6 +38,9 @@ const (
 
 const maxFrame = 16 << 20
 
+// frameOverhead is the fixed per-frame header size (op byte + u32 length).
+const frameOverhead = 5
+
 var errFrameTooLarge = errors.New("stream: frame exceeds 16MiB limit")
 
 // writeFrame writes one length-prefixed frame.

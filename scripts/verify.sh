@@ -7,6 +7,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> gofmt -l ."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "==> go build ./..."
 go build ./...
 
@@ -16,7 +24,7 @@ go vet ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/stream/... ./internal/score/..."
-go test -race ./internal/stream/... ./internal/score/...
+echo "==> go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/..."
+go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/...
 
 echo "verify: OK"
