@@ -28,6 +28,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/score"
+	"repro/internal/stream"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -55,6 +56,63 @@ type (
 	// Source distinguishes measured from predicted values.
 	Source = telemetry.Source
 )
+
+// Stream fabric types: the context-aware Pub-Sub Bus. Broker (in-process)
+// and Client (TCP) both satisfy Bus, so vertices and tools run unchanged
+// over either transport. Publisher is the write-side subset — implemented
+// additionally by score.BufferedPublisher for store-and-forward delivery.
+type (
+	// Bus is the unified read/write stream interface (Broker and Client).
+	Bus = stream.Bus
+	// Publisher is the write-side of the Bus: single and batched publish.
+	Publisher = stream.Publisher
+	// Broker is the in-process Pub-Sub fabric.
+	Broker = stream.Broker
+	// StreamClient is the TCP client for a remote fabric; it satisfies Bus.
+	StreamClient = stream.Client
+	// StreamEntry is one published record (ID + payload).
+	StreamEntry = stream.Entry
+	// PublishResult resolves an async (coalesced) publish.
+	PublishResult = stream.PublishResult
+	// StreamServer serves a Broker over TCP; dial it with DialStream.
+	StreamServer = stream.Server
+	// BufferedPublisher wraps a Publisher with store-and-forward buffering.
+	BufferedPublisher = score.BufferedPublisher
+)
+
+// NewBroker builds an in-process stream broker. retention bounds each
+// topic's ring (0: default); options tune it (e.g. WithShardCount).
+func NewBroker(retention int, opts ...stream.BrokerOption) *Broker {
+	return stream.NewBroker(retention, opts...)
+}
+
+// WithShardCount sets the broker's topic-map lock-stripe count.
+func WithShardCount(n int) stream.BrokerOption { return stream.WithShardCount(n) }
+
+// ServeStream exposes a broker over TCP on addr ("host:0" picks a port;
+// read it back with Server.Addr). Close the server before the broker.
+func ServeStream(addr string, b *Broker) (*StreamServer, error) {
+	return stream.Serve(b, addr)
+}
+
+// DialStream connects to a remote fabric served with ServeStream (apollod
+// uses it under -listen).
+func DialStream(addr string, opts ...stream.Option) (*StreamClient, error) {
+	return stream.Dial(addr, opts...)
+}
+
+// WithCoalesce tunes the client's group-commit coalescer: PublishAsync
+// tuples flush when maxBatch accumulate or maxDelay elapses.
+func WithCoalesce(maxBatch int, maxDelay time.Duration) stream.Option {
+	return stream.WithCoalesce(maxBatch, maxDelay)
+}
+
+// NewBufferedPublisher wraps pub with a store-and-forward buffer: transient
+// publish failures are buffered (up to capacity) and flushed in batches on
+// the next successful publish.
+func NewBufferedPublisher(pub Publisher, topic string, capacity, failAfter int) *BufferedPublisher {
+	return score.NewBufferedPublisher(pub, topic, capacity, failAfter)
+}
 
 // Hook types.
 type (

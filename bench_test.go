@@ -242,7 +242,7 @@ func BenchmarkAblationTransport(b *testing.B) {
 		defer br.Close()
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := br.Publish("t", payload); err != nil {
+			if _, err := br.Publish(context.Background(), "t", payload); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -263,7 +263,7 @@ func BenchmarkAblationTransport(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := client.Publish("t", payload); err != nil {
+			if _, err := client.Publish(context.Background(), "t", payload); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -315,7 +315,7 @@ func BenchmarkSubscribeDelivery(b *testing.B) {
 	payload := make([]byte, 16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := br.Publish("t", payload); err != nil {
+		if _, err := br.Publish(context.Background(), "t", payload); err != nil {
 			b.Fatal(err)
 		}
 		<-ch

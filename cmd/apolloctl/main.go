@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,16 +25,17 @@ import (
 )
 
 // remoteExecutor adapts one remote topic to the score.Executor interface so
-// the AQE can run client-side over the TCP fabric.
+// the AQE can run client-side over the TCP fabric. The Client is a
+// stream.Bus, so it serves Latest/Range directly.
 type remoteExecutor struct {
-	bus   *stream.RemoteBus
+	bus   stream.Bus
 	topic string
 }
 
 func (r remoteExecutor) Metric() telemetry.MetricID { return telemetry.MetricID(r.topic) }
 
 func (r remoteExecutor) Latest() (telemetry.Info, bool) {
-	e, err := r.bus.Latest(r.topic)
+	e, err := r.bus.Latest(context.Background(), r.topic)
 	if err != nil {
 		return telemetry.Info{}, false
 	}
@@ -45,7 +47,7 @@ func (r remoteExecutor) Latest() (telemetry.Info, bool) {
 }
 
 func (r remoteExecutor) Range(from, to int64) []telemetry.Info {
-	entries, err := r.bus.Range(r.topic, 1, 1<<62, 0)
+	entries, err := r.bus.Range(context.Background(), r.topic, 1, 1<<62, 0)
 	if err != nil {
 		return nil
 	}
@@ -62,7 +64,7 @@ func (r remoteExecutor) Range(from, to int64) []telemetry.Info {
 	return out
 }
 
-type remoteResolver struct{ bus *stream.RemoteBus }
+type remoteResolver struct{ bus stream.Bus }
 
 func (r remoteResolver) Resolve(table string) (score.Executor, error) {
 	return remoteExecutor{bus: r.bus, topic: table}, nil
@@ -76,7 +78,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "apolloctl: need a command: topics | latest <metric> | watch <metric> | query <sql>")
 		os.Exit(2)
 	}
-	bus, err := stream.NewRemoteBus(*addr)
+	bus, err := stream.Dial(*addr)
 	if err != nil {
 		log.Fatalf("apolloctl: %v", err)
 	}
@@ -84,12 +86,7 @@ func main() {
 
 	switch args[0] {
 	case "topics":
-		client, err := stream.Dial(*addr)
-		if err != nil {
-			log.Fatalf("apolloctl: %v", err)
-		}
-		defer client.Close()
-		names, err := client.Topics()
+		names, err := bus.Topics(context.Background())
 		if err != nil {
 			log.Fatalf("apolloctl: %v", err)
 		}

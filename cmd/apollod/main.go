@@ -37,6 +37,7 @@ func main() {
 		delphiF  = flag.String("delphi", "", "path to a trained Delphi model (see delphi-train); empty disables prediction")
 		duration = flag.Duration("duration", 0, "exit after this long (0 = run until signal)")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		shards   = flag.Int("shards", 0, "broker topic-map shard count (0 = default)")
 		metricsA = flag.String("metrics-addr", "", "HTTP address serving /metrics (Prometheus text) and /debug/pprof; empty disables")
 	)
 	flag.Parse()
@@ -66,6 +67,7 @@ func main() {
 		Mode:     core.IntervalMode(cfg.Mode),
 		Delphi:   cfg.Delphi,
 		BaseTick: time.Second,
+		Shards:   *shards,
 	})
 	var metrics int
 	for _, n := range sim.Nodes() {

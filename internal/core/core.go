@@ -65,6 +65,8 @@ type Config struct {
 	Clock sched.Clock
 	// Retention bounds each metric's broker topic (0: default).
 	Retention int
+	// Shards sets the broker's topic-map lock-stripe count (0: default).
+	Shards int
 	// Mode picks the interval controller for registered metrics.
 	Mode IntervalMode
 	// Adaptive parameterizes the controllers (zero value: defaults).
@@ -114,13 +116,20 @@ func New(cfg Config) *Service {
 	}
 	s := &Service{
 		cfg:    cfg,
-		broker: stream.NewBroker(cfg.Retention),
+		broker: newBroker(cfg),
 		graph:  score.NewGraph(),
 		obs:    cfg.Obs,
 	}
 	s.broker.Instrument(s.obs)
 	s.engine = aqe.NewEngine(aqe.GraphResolver{Graph: s.graph})
 	return s
+}
+
+func newBroker(cfg Config) *stream.Broker {
+	if cfg.Shards > 0 {
+		return stream.NewBroker(cfg.Retention, stream.WithShardCount(cfg.Shards))
+	}
+	return stream.NewBroker(cfg.Retention)
 }
 
 // Graph exposes the SCoRe DAG (for advanced wiring and the benches).

@@ -240,7 +240,7 @@ func TestServeTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer bus.Close()
-	e, err := bus.Latest("m")
+	e, err := bus.Latest(context.Background(), "m")
 	if err != nil {
 		t.Fatal(err)
 	}

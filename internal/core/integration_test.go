@@ -121,7 +121,7 @@ func TestEndToEndObservatory(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	names, err := client.Topics()
+	names, err := client.Topics(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -59,7 +60,7 @@ func Fig4(opts Options) (*Table, error) {
 		fv.PollOnce()
 		// Feed the freshly published fact to the insight vertex
 		// synchronously so both anatomies cover the same traffic.
-		entries, err := bus.Range(string(hook.Metric()), lastID+1, 1<<62, 0)
+		entries, err := bus.Range(context.Background(), string(hook.Metric()), lastID+1, 1<<62, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,7 +17,7 @@ func publishFact(bus *stream.Broker, id telemetry.MetricID, ts int64, v float64)
 	if err != nil {
 		return err
 	}
-	_, err = bus.Publish(string(id), b)
+	_, err = bus.Publish(context.Background(), string(id), b)
 	return err
 }
 

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -45,7 +46,7 @@ func Fig6a(opts Options) (*Table, error) {
 				defer client.Close()
 				topic := fmt.Sprintf("t%d", th)
 				for i := 0; i < eventsPerThread; i++ {
-					if _, err := client.Publish(topic, payload); err != nil {
+					if _, err := client.Publish(context.Background(), topic, payload); err != nil {
 						errs <- err
 						return
 					}
@@ -120,7 +121,7 @@ func Fig6b(opts Options) (*Table, error) {
 		// Publish after a short settling delay so subscribers are attached.
 		time.Sleep(20 * time.Millisecond)
 		for i := 0; i < events; i++ {
-			if _, err := broker.Publish("metric", payload); err != nil {
+			if _, err := broker.Publish(context.Background(), "metric", payload); err != nil {
 				return nil, err
 			}
 		}

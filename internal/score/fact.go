@@ -66,7 +66,7 @@ type FactVertex struct {
 	metric  telemetry.MetricID
 	history *queue.History
 	stats   Stats
-	pub     *pubBuffer
+	pub     *BufferedPublisher
 
 	obsTuplesIn  *obs.Counter // tuples built from successful polls
 	obsTuplesOut *obs.Counter // tuples accepted by the publish path
@@ -168,7 +168,7 @@ func (v *FactVertex) run(ctx context.Context) {
 	}
 	interval := v.cfg.Controller.Interval()
 	for {
-		interval = v.pollOnce(interval)
+		interval = v.pollOnce(ctx, interval)
 		select {
 		case <-ctx.Done():
 			return
@@ -191,7 +191,7 @@ func (v *FactVertex) runOnLoop(ctx context.Context) {
 		})
 		return err == nil
 	}
-	interval := v.pollOnce(v.cfg.Controller.Interval())
+	interval := v.pollOnce(ctx, v.cfg.Controller.Interval())
 	if !arm(interval) {
 		return
 	}
@@ -200,7 +200,7 @@ func (v *FactVertex) runOnLoop(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-trigger:
-			interval = v.pollOnce(interval)
+			interval = v.pollOnce(ctx, interval)
 			if !arm(interval) {
 				return
 			}
@@ -210,9 +210,11 @@ func (v *FactVertex) runOnLoop(ctx context.Context) {
 
 // PollOnce is exposed for deterministic tests and the anatomy bench: it runs
 // one full poll-build-publish cycle and returns the next interval.
-func (v *FactVertex) PollOnce() time.Duration { return v.pollOnce(v.cfg.Controller.Interval()) }
+func (v *FactVertex) PollOnce() time.Duration {
+	return v.pollOnce(context.Background(), v.cfg.Controller.Interval())
+}
 
-func (v *FactVertex) pollOnce(current time.Duration) time.Duration {
+func (v *FactVertex) pollOnce(ctx context.Context, current time.Duration) time.Duration {
 	t0 := time.Now()
 	value, err := v.cfg.Hook.Poll()
 	t1 := time.Now()
@@ -241,7 +243,7 @@ func (v *FactVertex) pollOnce(current time.Duration) time.Duration {
 	// and flushed in order on recovery instead of being dropped.
 	changed := !v.hasLastValue() || value != v.lastValue()
 	if changed || v.cfg.PublishUnchanged {
-		if v.pub.publish(payload, ts) {
+		if v.pub.publish(ctx, payload) {
 			v.history.Append(info)
 			v.stats.published.Add(1)
 			v.obsTuplesOut.Inc()
@@ -261,20 +263,36 @@ func (v *FactVertex) pollOnce(current time.Duration) time.Duration {
 	next := v.cfg.Controller.Next(value)
 
 	// Delphi fills the base-tick instants the relaxed interval will skip
-	// with predicted Facts (§3.4.2).
+	// with predicted Facts (§3.4.2). The whole run of predictions goes out
+	// as one batch — encoded into a single contiguous buffer and appended
+	// under one broker lock — instead of tuple-at-a-time.
 	if v.cfg.Delphi != nil && next > v.cfg.BaseTick {
 		steps := int(next/v.cfg.BaseTick) - 1
 		if steps > 0 && v.cfg.Delphi.Ready() {
 			preds := v.cfg.Delphi.PredictTicks(steps)
+			infos := make([]telemetry.Info, 0, len(preds))
+			payloads := make([][]byte, 0, len(preds))
+			var blob []byte
 			for i, p := range preds {
 				pts := ts + int64(v.cfg.BaseTick)*int64(i+1)
 				pinfo := telemetry.NewPredictedFact(v.metric, pts, p)
-				if pb, err := pinfo.MarshalBinary(); err == nil {
-					if v.pub.publish(pb, pts) {
-						v.history.Append(pinfo)
-						v.stats.predicted.Add(1)
-						v.obsTuplesOut.Inc()
-					}
+				if blob == nil {
+					blob = make([]byte, 0, pinfo.EncodedSize()*len(preds))
+				}
+				off := len(blob)
+				grown, err := pinfo.AppendBinary(blob)
+				if err != nil {
+					continue
+				}
+				blob = grown
+				payloads = append(payloads, blob[off:len(blob):len(blob)])
+				infos = append(infos, pinfo)
+			}
+			if len(payloads) > 0 && v.pub.publishBatch(ctx, payloads) {
+				for _, pinfo := range infos {
+					v.history.Append(pinfo)
+					v.stats.predicted.Add(1)
+					v.obsTuplesOut.Inc()
 				}
 			}
 		}

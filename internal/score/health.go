@@ -1,6 +1,7 @@
 package score
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -50,27 +51,40 @@ type HealthSnapshot struct {
 	// Dropped counts tuples evicted from a full backlog (oldest first).
 	Dropped   uint64
 	LastError string
-	// LastFlush is the clock timestamp (UnixNano) of the last successful
-	// backlog flush after an outage; 0 if a flush was never needed.
+	// LastFlush is the wall-clock timestamp (UnixNano) of the last
+	// successful backlog flush after an outage; 0 if a flush was never
+	// needed.
 	LastFlush int64
 }
 
-// pubBuffer is the store-and-forward publish stage shared by Fact and
-// Insight vertices. It publishes through the Bus; when the broker is
-// unreachable (transient transport errors) it buffers tuples locally,
-// bounded by cap, and flushes them in order ahead of the next tuple once the
-// broker recovers — so a broker outage degrades the vertex instead of
-// dropping data. Terminal errors (closed broker, empty payload) are not
+// buffered is one backlogged tuple awaiting flush.
+type buffered struct {
+	topic   string
+	payload []byte
+}
+
+// BufferedPublisher is the store-and-forward publish stage shared by Fact
+// and Insight vertices, and the third publish surface unified behind
+// stream.Publisher (next to Broker and Client). It publishes through the
+// underlying Publisher; when the broker is unreachable (transient transport
+// errors) it buffers tuples locally, bounded by cap, and flushes them in
+// order — batched per consecutive same-topic run — ahead of the next tuple
+// once the broker recovers, so a broker outage degrades the vertex instead
+// of dropping data. Terminal errors (closed broker, empty payload) are not
 // buffered: retrying them cannot succeed.
-type pubBuffer struct {
-	bus       stream.Bus
-	topic     string
+//
+// Publish/PublishBatch return semantics: (id, nil) means delivered, (0, nil)
+// means accepted into the backlog for a later flush, and a non-nil error
+// means terminally rejected.
+type BufferedPublisher struct {
+	bus       stream.Publisher
+	topic     string // default topic used by the vertex helpers
 	cap       int
 	failAfter uint64
 	stats     *Stats
 
 	mu        sync.Mutex
-	backlog   [][]byte
+	backlog   []buffered
 	consec    uint64
 	dropped   uint64
 	lastErr   string
@@ -84,19 +98,28 @@ type pubBuffer struct {
 	obsFlush     *obs.Histogram // wall time of successful backlog drains
 }
 
-func newPubBuffer(bus stream.Bus, topic string, capacity, failAfter int, stats *Stats) *pubBuffer {
+var _ stream.Publisher = (*BufferedPublisher)(nil)
+
+// NewBufferedPublisher wraps pub with store-and-forward buffering for topic.
+// capacity bounds the backlog (<=0: 4096); failAfter sets how many
+// consecutive errors flip Health to Failed (<=0: DefaultFailAfter).
+func NewBufferedPublisher(pub stream.Publisher, topic string, capacity, failAfter int) *BufferedPublisher {
+	return newPubBuffer(pub, topic, capacity, failAfter, &Stats{})
+}
+
+func newPubBuffer(bus stream.Publisher, topic string, capacity, failAfter int, stats *Stats) *BufferedPublisher {
 	if capacity <= 0 {
 		capacity = 4096
 	}
 	if failAfter <= 0 {
 		failAfter = DefaultFailAfter
 	}
-	return &pubBuffer{bus: bus, topic: topic, cap: capacity, failAfter: uint64(failAfter), stats: stats}
+	return &BufferedPublisher{bus: bus, topic: topic, cap: capacity, failAfter: uint64(failAfter), stats: stats}
 }
 
 // instrument registers the publish-path instruments on r, labelled by metric.
 // Call before the vertex starts.
-func (p *pubBuffer) instrument(r *obs.Registry, metric string) {
+func (p *BufferedPublisher) instrument(r *obs.Registry, metric string) {
 	p.mu.Lock()
 	p.obsPublished = r.Counter(obs.Name("score_published_total", "metric", metric))
 	p.obsBuffered = r.Counter(obs.Name("score_buffered_total", "metric", metric))
@@ -106,60 +129,117 @@ func (p *pubBuffer) instrument(r *obs.Registry, metric string) {
 	p.mu.Unlock()
 }
 
-// publish delivers payload, flushing any backlog first so stream order is
-// preserved across outages. It reports whether the tuple was accepted —
-// delivered to the broker or buffered for a later flush. now stamps
-// LastFlush when a backlog drains.
-func (p *pubBuffer) publish(payload []byte, now int64) bool {
+// Health reports the publish-path health.
+func (p *BufferedPublisher) Health() HealthSnapshot { return p.snapshot() }
+
+// Publish implements stream.Publisher: it delivers payload to topic,
+// flushing any backlog first so stream order is preserved across outages.
+func (p *BufferedPublisher) Publish(ctx context.Context, topic string, payload []byte) (uint64, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	flushed := false
-	flushStart := time.Time{}
-	if len(p.backlog) > 0 {
-		flushStart = time.Now()
+	if err := p.flushLocked(ctx); err != nil {
+		return 0, p.failLocked(err, topic, payload)
 	}
-	for len(p.backlog) > 0 {
-		if _, err := p.bus.Publish(p.topic, p.backlog[0]); err != nil {
-			return p.failLocked(err, payload)
-		}
-		p.backlog = p.backlog[1:]
-		p.stats.flushed.Add(1)
-		p.obsPublished.Inc()
-		flushed = true
+	id, err := p.bus.Publish(ctx, topic, payload)
+	if err != nil {
+		return 0, p.failLocked(err, topic, payload)
 	}
-	if _, err := p.bus.Publish(p.topic, payload); err != nil {
-		return p.failLocked(err, payload)
-	}
-	p.consec, p.lastErr = 0, ""
-	p.obsPublished.Inc()
-	p.obsBacklog.Set(0)
-	if flushed {
-		p.lastFlush = now
-		p.obsFlush.ObserveDuration(time.Since(flushStart))
-	}
-	return true
+	p.okLocked(1)
+	return id, nil
 }
 
-func (p *pubBuffer) failLocked(err error, payload []byte) bool {
+// PublishBatch implements stream.Publisher: the whole batch is delivered in
+// one append (after any backlog flush) or buffered in order as a unit.
+func (p *BufferedPublisher) PublishBatch(ctx context.Context, topic string, payloads [][]byte) (uint64, error) {
+	if len(payloads) == 0 {
+		return 0, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.flushLocked(ctx); err != nil {
+		return 0, p.failLocked(err, topic, payloads...)
+	}
+	first, err := p.bus.PublishBatch(ctx, topic, payloads)
+	if err != nil {
+		return 0, p.failLocked(err, topic, payloads...)
+	}
+	p.okLocked(len(payloads))
+	return first, nil
+}
+
+// publish delivers payload on the default topic, reporting whether the tuple
+// was accepted — delivered to the broker or buffered for a later flush.
+func (p *BufferedPublisher) publish(ctx context.Context, payload []byte) bool {
+	_, err := p.Publish(ctx, p.topic, payload)
+	return err == nil
+}
+
+// publishBatch is the batched form of publish.
+func (p *BufferedPublisher) publishBatch(ctx context.Context, payloads [][]byte) bool {
+	_, err := p.PublishBatch(ctx, p.topic, payloads)
+	return err == nil
+}
+
+// okLocked resets the error streak after n tuples landed.
+func (p *BufferedPublisher) okLocked(n int) {
+	p.consec, p.lastErr = 0, ""
+	p.obsPublished.Add(uint64(n))
+	p.obsBacklog.Set(float64(len(p.backlog)))
+}
+
+// flushLocked drains the backlog in order, one PublishBatch per consecutive
+// same-topic run, and stamps LastFlush when it empties the backlog.
+func (p *BufferedPublisher) flushLocked(ctx context.Context) error {
+	if len(p.backlog) == 0 {
+		return nil
+	}
+	start := time.Now()
+	for len(p.backlog) > 0 {
+		run := 1
+		for run < len(p.backlog) && p.backlog[run].topic == p.backlog[0].topic {
+			run++
+		}
+		payloads := make([][]byte, run)
+		for i := 0; i < run; i++ {
+			payloads[i] = p.backlog[i].payload
+		}
+		if _, err := p.bus.PublishBatch(ctx, p.backlog[0].topic, payloads); err != nil {
+			return err
+		}
+		p.backlog = p.backlog[run:]
+		p.stats.flushed.Add(uint64(run))
+		p.obsPublished.Add(uint64(run))
+	}
+	p.lastFlush = time.Now().UnixNano()
+	p.obsFlush.ObserveDuration(time.Since(start))
+	return nil
+}
+
+// failLocked classifies err: transient errors buffer the tuples (oldest
+// evicted past cap) and report acceptance (nil); terminal errors are
+// returned to the caller unbuffered.
+func (p *BufferedPublisher) failLocked(err error, topic string, payloads ...[]byte) error {
 	p.consec++
 	p.lastErr = err.Error()
 	if !stream.IsTransient(err) {
-		return false
+		return err
 	}
-	p.backlog = append(p.backlog, payload)
-	p.stats.buffered.Add(1)
-	p.obsBuffered.Inc()
-	if len(p.backlog) > p.cap {
-		p.backlog = p.backlog[1:]
-		p.dropped++
-		p.stats.backlogDropped.Add(1)
-		p.obsDropped.Inc()
+	for _, payload := range payloads {
+		p.backlog = append(p.backlog, buffered{topic: topic, payload: payload})
+		p.stats.buffered.Add(1)
+		p.obsBuffered.Inc()
+		if len(p.backlog) > p.cap {
+			p.backlog = p.backlog[1:]
+			p.dropped++
+			p.stats.backlogDropped.Add(1)
+			p.obsDropped.Inc()
+		}
 	}
 	p.obsBacklog.Set(float64(len(p.backlog)))
-	return true
+	return nil
 }
 
-func (p *pubBuffer) snapshot() HealthSnapshot {
+func (p *BufferedPublisher) snapshot() HealthSnapshot {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	h := HealthSnapshot{

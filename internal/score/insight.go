@@ -100,7 +100,7 @@ type InsightVertex struct {
 	cfg     InsightConfig
 	history *queue.History
 	stats   Stats
-	pub     *pubBuffer
+	pub     *BufferedPublisher
 
 	obsTuplesIn  *obs.Counter // upstream entries decoded
 	obsTuplesOut *obs.Counter // insights accepted by the publish path
@@ -227,13 +227,13 @@ func (v *InsightVertex) run(ctx context.Context, merged <-chan stream.Entry) {
 			if !ok {
 				return
 			}
-			v.consume(e)
+			v.consume(ctx, e)
 		}
 	}
 }
 
 // consume processes one upstream entry.
-func (v *InsightVertex) consume(e stream.Entry) {
+func (v *InsightVertex) consume(ctx context.Context, e stream.Entry) {
 	t0 := time.Now()
 	var in telemetry.Info
 	if err := in.UnmarshalBinary(e.Payload); err != nil {
@@ -286,7 +286,7 @@ func (v *InsightVertex) consume(e stream.Entry) {
 	}
 	info := telemetry.Info{Metric: v.cfg.Metric, Timestamp: ts, Value: value, Kind: telemetry.KindInsight, Source: src}
 	if payload, err := info.MarshalBinary(); err == nil {
-		if v.pub.publish(payload, ts) {
+		if v.pub.publish(ctx, payload) {
 			v.history.Append(info)
 			v.stats.published.Add(1)
 			v.obsTuplesOut.Inc()
@@ -302,7 +302,7 @@ func (v *InsightVertex) consume(e stream.Entry) {
 
 // ConsumeOnce is exposed for deterministic tests: it feeds one entry through
 // the insight pipeline synchronously.
-func (v *InsightVertex) ConsumeOnce(e stream.Entry) { v.consume(e) }
+func (v *InsightVertex) ConsumeOnce(e stream.Entry) { v.consume(context.Background(), e) }
 
 // Latest implements Executor.
 func (v *InsightVertex) Latest() (telemetry.Info, bool) { return v.history.Latest() }

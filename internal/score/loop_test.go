@@ -1,6 +1,7 @@
 package score
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -149,7 +150,7 @@ func TestInsightOverRemoteBus(t *testing.T) {
 	for time.Now().Before(deadline) {
 		if in, ok := iv.Latest(); ok && in.Value == 42 {
 			// And the insight is published back through TCP to the broker.
-			if e, err := broker.Latest("remote.sum"); err == nil {
+			if e, err := broker.Latest(context.Background(), "remote.sum"); err == nil {
 				var out telemetry.Info
 				if err := out.UnmarshalBinary(e.Payload); err == nil && out.Value == 42 {
 					return

@@ -1,6 +1,7 @@
 package score
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -91,7 +92,7 @@ func TestFactVertexPollPublish(t *testing.T) {
 	if !ok || latest.Value != 20 || latest.Kind != telemetry.KindFact || latest.Source != telemetry.Measured {
 		t.Fatalf("latest=%v ok=%v", latest, ok)
 	}
-	e, err := bus.Latest("node.cap")
+	e, err := bus.Latest(context.Background(), "node.cap")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +261,7 @@ func publish(t *testing.T, bus stream.Bus, in telemetry.Info) stream.Entry {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := bus.Publish(string(in.Metric), b)
+	id, err := bus.Publish(context.Background(), string(in.Metric), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +297,7 @@ func TestInsightVertexAggregates(t *testing.T) {
 		t.Fatalf("updated=%v", latest)
 	}
 	// The insight is itself published on the bus.
-	e, err := bus.Latest("total")
+	e, err := bus.Latest(context.Background(), "total")
 	if err != nil {
 		t.Fatal(err)
 	}

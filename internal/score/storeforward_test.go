@@ -1,6 +1,7 @@
 package score
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -117,7 +118,7 @@ func TestFactVertexStoreAndForward(t *testing.T) {
 	// Zero lost, zero duplicated, in order: the broker must hold exactly
 	// one entry per poll with strictly increasing hook values.
 	total := 3 + outagePolls + 1
-	entries, err := broker.Range("sf.metric", 1, uint64(total)+10, 0)
+	entries, err := broker.Range(context.Background(), "sf.metric", 1, uint64(total)+10, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestInsightVertexStoreAndForward(t *testing.T) {
 	if h := v.Health(); h.State != HealthOK || h.Buffered != 0 {
 		t.Fatalf("health after recovery = %+v", h)
 	}
-	entries, err := broker.Range("sf.sum", 1, 100, 0)
+	entries, err := broker.Range(context.Background(), "sf.sum", 1, 100, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestStreamArchiverHealth(t *testing.T) {
 	}
 	in := telemetry.NewFact("ar.metric", 1, 42)
 	payload, _ := in.MarshalBinary()
-	broker.Publish("ar.metric", payload)
+	broker.Publish(context.Background(), "ar.metric", payload)
 	deadline := time.Now().Add(5 * time.Second)
 	for a.Archived() < 1 {
 		if time.Now().After(deadline) {

@@ -47,7 +47,7 @@ const appendRetries = 3
 func NewStreamArchiver(broker *stream.Broker, metric telemetry.MetricID, log *archive.Log) (*StreamArchiver, error) {
 	topic := string(metric)
 	group := "archiver:" + topic
-	if err := broker.CreateGroup(topic, group, 0); err != nil {
+	if err := broker.CreateGroup(context.Background(), topic, group, 0); err != nil {
 		return nil, fmt.Errorf("score: creating archiver group: %w", err)
 	}
 	return &StreamArchiver{broker: broker, topic: topic, group: group, log: log}, nil
@@ -97,7 +97,7 @@ func (a *StreamArchiver) run(ctx context.Context) {
 		var in telemetry.Info
 		if err := in.UnmarshalBinary(e.Payload); err != nil {
 			a.bumpErr(err)
-			a.broker.Ack(a.topic, a.group, e.ID)
+			a.broker.Ack(ctx, a.topic, a.group, e.ID)
 			continue
 		}
 		var aerr error
@@ -117,7 +117,7 @@ func (a *StreamArchiver) run(ctx context.Context) {
 			// Leave unacked: the entry stays pending for retry/inspection.
 			continue
 		}
-		if err := a.broker.Ack(a.topic, a.group, e.ID); err != nil {
+		if err := a.broker.Ack(ctx, a.topic, a.group, e.ID); err != nil {
 			a.bumpErr(err)
 			continue
 		}

@@ -1,6 +1,7 @@
 package score
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -67,7 +68,7 @@ func TestStreamArchiverSkipsCorruptEntries(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer log.Close()
-	if _, err := bus.Publish("m", []byte("garbage")); err != nil {
+	if _, err := bus.Publish(context.Background(), "m", []byte("garbage")); err != nil {
 		t.Fatal(err)
 	}
 	a, err := NewStreamArchiver(bus, "m", log)

@@ -1,0 +1,205 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// makeBatch builds n 16-byte payloads (the paper's event size in §4.2.3).
+func makeBatch(n int) [][]byte {
+	batch := make([][]byte, n)
+	for i := range batch {
+		batch[i] = []byte(fmt.Sprintf("event-%010d", i))
+	}
+	return batch
+}
+
+// BenchmarkPublishInProc compares tuple-at-a-time against batched publish on
+// the in-process broker. Each iteration moves `size` entries, so ns/op
+// divided by size is the per-entry cost.
+func BenchmarkPublishInProc(b *testing.B) {
+	for _, size := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			br := NewBroker(1 << 12)
+			defer br.Close()
+			ctx := context.Background()
+			batch := makeBatch(size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if size == 1 {
+					if _, err := br.Publish(ctx, "t", batch[0]); err != nil {
+						b.Fatal(err)
+					}
+				} else if _, err := br.PublishBatch(ctx, "t", batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "entries/sec")
+		})
+	}
+}
+
+// BenchmarkPublishTCP is the same comparison over the loopback transport,
+// where batching also amortizes the frame round-trip.
+func BenchmarkPublishTCP(b *testing.B) {
+	for _, size := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			br := NewBroker(1 << 12)
+			defer br.Close()
+			srv, err := Serve(br, "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			ctx := context.Background()
+			batch := makeBatch(size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if size == 1 {
+					if _, err := c.Publish(ctx, "t", batch[0]); err != nil {
+						b.Fatal(err)
+					}
+				} else if _, err := c.PublishBatch(ctx, "t", batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "entries/sec")
+		})
+	}
+}
+
+// BenchmarkShardedPublish hammers many topics from parallel goroutines at
+// 1, 4, and 16 shards: lock striping should show up as scaling headroom.
+func BenchmarkShardedPublish(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			br := NewBroker(1<<12, WithShardCount(shards))
+			defer br.Close()
+			ctx := context.Background()
+			payload := []byte("event-0000000000")
+			var worker atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				topic := fmt.Sprintf("topic%02d", worker.Add(1))
+				for pb.Next() {
+					if _, err := br.Publish(ctx, topic, payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkShardedPublishBatch is the batched variant of the shard sweep:
+// parallel producers each appending 64-entry batches to their own topic.
+func BenchmarkShardedPublishBatch(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			br := NewBroker(1<<12, WithShardCount(shards))
+			defer br.Close()
+			ctx := context.Background()
+			batch := makeBatch(64)
+			var worker atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				topic := fmt.Sprintf("topic%02d", worker.Add(1))
+				for pb.Next() {
+					if _, err := br.PublishBatch(ctx, topic, batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.ReportMetric(64*float64(b.N)/b.Elapsed().Seconds(), "entries/sec")
+		})
+	}
+}
+
+// BenchmarkCoalescedPublishTCP drives the group-commit coalescer: async
+// publishes stream into the flush loop while the previous batch's acks
+// resolve, pipelining the wire round-trips.
+func BenchmarkCoalescedPublishTCP(b *testing.B) {
+	br := NewBroker(1 << 14)
+	defer br.Close()
+	srv, err := Serve(br, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr(), WithCoalesce(64, 2*time.Millisecond))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	payload := []byte("event-0000000000")
+	const window = 256 // in-flight asyncs before draining
+	pending := make([]<-chan PublishResult, 0, window)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pending = append(pending, c.PublishAsync(ctx, "t", payload))
+		if len(pending) == window {
+			for _, ch := range pending {
+				if res := <-ch; res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+			pending = pending[:0]
+		}
+	}
+	for _, ch := range pending {
+		if res := <-ch; res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "entries/sec")
+}
+
+// BenchmarkConsumeBatch drains a prefilled topic tuple-at-a-time vs in
+// 64-entry batches.
+func BenchmarkConsumeBatch(b *testing.B) {
+	for _, size := range []int{1, 64} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			// A fixed prefill the consumer cycles over; `after` rewinds to
+			// the start before it can catch the head and block.
+			const prefill = 1 << 16
+			br := NewBroker(prefill)
+			defer br.Close()
+			ctx := context.Background()
+			batch := makeBatch(64)
+			for have := 0; have < prefill; have += 64 {
+				if _, err := br.PublishBatch(ctx, "t", batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var after uint64
+			for i := 0; i < b.N; i++ {
+				es, err := br.ConsumeBatch(ctx, "t", after, size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				after = es[len(es)-1].ID
+				if after+uint64(size) >= prefill {
+					after = 0
+				}
+			}
+			b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "entries/sec")
+		})
+	}
+}

@@ -1,0 +1,551 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestBrokerPublishBatch(t *testing.T) {
+	b := NewBroker(0)
+	defer b.Close()
+	ctx := context.Background()
+
+	first, err := b.PublishBatch(ctx, "t", [][]byte{[]byte("a"), []byte("b"), []byte("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 {
+		t.Fatalf("first=%d want 1", first)
+	}
+	// IDs are contiguous: a second batch continues where the first ended.
+	first, err = b.PublishBatch(ctx, "t", [][]byte{[]byte("d"), []byte("e")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 4 {
+		t.Fatalf("second batch first=%d want 4", first)
+	}
+	es, err := b.Range(ctx, "t", 1, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c", "d", "e"}
+	if len(es) != len(want) {
+		t.Fatalf("len=%d want %d", len(es), len(want))
+	}
+	for i, e := range es {
+		if e.ID != uint64(i+1) || string(e.Payload) != want[i] {
+			t.Fatalf("entry %d = (%d, %q) want (%d, %q)", i, e.ID, e.Payload, i+1, want[i])
+		}
+	}
+}
+
+func TestBrokerPublishBatchEmptyAndInvalid(t *testing.T) {
+	b := NewBroker(0)
+	defer b.Close()
+	ctx := context.Background()
+
+	// Empty batch is an accepted no-op.
+	if id, err := b.PublishBatch(ctx, "t", nil); err != nil || id != 0 {
+		t.Fatalf("empty batch = (%d, %v) want (0, nil)", id, err)
+	}
+	// One empty payload rejects the whole batch before anything lands.
+	_, err := b.PublishBatch(ctx, "t", [][]byte{[]byte("ok"), nil})
+	if !errors.Is(err, ErrEmptyPayload) {
+		t.Fatalf("err=%v want ErrEmptyPayload", err)
+	}
+	if n, _ := b.Published("t"); n != 0 {
+		t.Fatalf("published=%d after rejected batch, want 0 (atomic reject)", n)
+	}
+	b.Close()
+	if _, err := b.PublishBatch(ctx, "t", [][]byte{[]byte("x")}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err=%v want ErrClosed", err)
+	}
+}
+
+func TestBrokerPublishBatchIsolation(t *testing.T) {
+	// Batch entries are sliced from one shared blob; appending to one
+	// payload must never bleed into its neighbor.
+	b := NewBroker(0)
+	defer b.Close()
+	ctx := context.Background()
+	if _, err := b.PublishBatch(ctx, "t", [][]byte{[]byte("aaaa"), []byte("bbbb")}); err != nil {
+		t.Fatal(err)
+	}
+	es, err := b.Range(ctx, "t", 1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = append(es[0].Payload, 'X') // would corrupt entry 2 without a cap-capped slice
+	es2, err := b.Range(ctx, "t", 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(es2[0].Payload, []byte("bbbb")) {
+		t.Fatalf("neighbor payload corrupted: %q", es2[0].Payload)
+	}
+}
+
+func TestBrokerPublishBatchEviction(t *testing.T) {
+	// A batch larger than retention keeps only the newest entries.
+	b := NewBroker(4)
+	defer b.Close()
+	ctx := context.Background()
+	var batch [][]byte
+	for i := 0; i < 10; i++ {
+		batch = append(batch, []byte{byte(i)})
+	}
+	if _, err := b.PublishBatch(ctx, "t", batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Range(ctx, "t", 1, 10, 0); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("err=%v want ErrEvicted for evicted prefix", err)
+	}
+	es, err := b.Range(ctx, "t", 7, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 4 || es[0].ID != 7 || es[3].ID != 10 {
+		t.Fatalf("retained window wrong: %v", es)
+	}
+}
+
+func TestBrokerConsumeBatch(t *testing.T) {
+	b := NewBroker(0)
+	defer b.Close()
+	ctx := context.Background()
+	for i := 1; i <= 10; i++ {
+		b.Publish(ctx, "t", []byte{byte(i)})
+	}
+	// One call drains a burst, capped at max.
+	es, err := b.ConsumeBatch(ctx, "t", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 4 || es[0].ID != 1 || es[3].ID != 4 {
+		t.Fatalf("batch = %v want IDs 1..4", es)
+	}
+	// max <= 0 means everything retained after afterID.
+	es, err = b.ConsumeBatch(ctx, "t", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 6 || es[0].ID != 5 {
+		t.Fatalf("drain = %d entries first ID %d, want 6 from 5", len(es), es[0].ID)
+	}
+	// Blocks until the next publish, then wakes with the new entry.
+	done := make(chan []Entry, 1)
+	go func() {
+		es, err := b.ConsumeBatch(ctx, "t", 10, 8)
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- es
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Publish(ctx, "t", []byte("new"))
+	select {
+	case es := <-done:
+		if len(es) != 1 || es[0].ID != 11 {
+			t.Fatalf("woke with %v want single ID 11", es)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ConsumeBatch never woke")
+	}
+	// Context cancellation unblocks a waiting consumer.
+	cctx, cancel := context.WithCancel(ctx)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.ConsumeBatch(cctx, "t", 11, 8)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err=%v want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not unblock ConsumeBatch")
+	}
+}
+
+func TestBrokerShardedConcurrentPublish(t *testing.T) {
+	// Many goroutines hammer distinct topics on a sharded broker; every
+	// topic must end with its own dense 1..N ID sequence and Topics() must
+	// see all of them (sorted) across shards.
+	for _, shards := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			b := NewBroker(0, WithShardCount(shards))
+			defer b.Close()
+			ctx := context.Background()
+			const topics, perTopic = 32, 50
+			var wg sync.WaitGroup
+			for i := 0; i < topics; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					name := fmt.Sprintf("topic%02d", i)
+					for j := 0; j < perTopic; j += 5 {
+						batch := [][]byte{{1}, {2}, {3}, {4}, {5}}
+						if _, err := b.PublishBatch(ctx, name, batch); err != nil {
+							t.Errorf("publish %s: %v", name, err)
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			names := b.Topics()
+			if len(names) != topics {
+				t.Fatalf("Topics len=%d want %d", len(names), topics)
+			}
+			for i := 1; i < len(names); i++ {
+				if names[i-1] >= names[i] {
+					t.Fatalf("Topics not sorted: %q >= %q", names[i-1], names[i])
+				}
+			}
+			for i := 0; i < topics; i++ {
+				name := fmt.Sprintf("topic%02d", i)
+				n, err := b.Published(name)
+				if err != nil || n != perTopic {
+					t.Fatalf("%s published=%d (%v) want %d", name, n, err, perTopic)
+				}
+			}
+		})
+	}
+}
+
+func TestShardCountClamped(t *testing.T) {
+	b := NewBroker(0, WithShardCount(-3))
+	defer b.Close()
+	if _, err := b.Publish(context.Background(), "t", []byte("x")); err != nil {
+		t.Fatalf("broker with clamped shard count unusable: %v", err)
+	}
+}
+
+func TestClientPublishBatchTCP(t *testing.T) {
+	b, s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	payloads := make([][]byte, 64)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf("entry-%02d", i))
+	}
+	first, err := c.PublishBatch(ctx, "t", payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 {
+		t.Fatalf("first=%d want 1", first)
+	}
+	if n, _ := b.Published("t"); n != 64 {
+		t.Fatalf("broker saw %d entries want 64", n)
+	}
+	es, err := c.ConsumeBatch(ctx, "t", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 64 {
+		t.Fatalf("ConsumeBatch len=%d want 64", len(es))
+	}
+	for i, e := range es {
+		if e.ID != uint64(i+1) || string(e.Payload) != string(payloads[i]) {
+			t.Fatalf("entry %d = (%d, %q)", i, e.ID, e.Payload)
+		}
+	}
+	// Empty batch short-circuits client-side.
+	if id, err := c.PublishBatch(ctx, "t", nil); err != nil || id != 0 {
+		t.Fatalf("empty batch = (%d, %v) want (0, nil)", id, err)
+	}
+	// Broker-side validation travels back as the sentinel error.
+	if _, err := c.PublishBatch(ctx, "t", [][]byte{nil}); !errors.Is(err, ErrEmptyPayload) {
+		t.Fatalf("err=%v want ErrEmptyPayload", err)
+	}
+}
+
+func TestClientConsumeBatchBlocksAndCancels(t *testing.T) {
+	b, s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	b.Publish(context.Background(), "t", []byte("seed"))
+
+	// Blocking wait is released by a later publish.
+	got := make(chan []Entry, 1)
+	go func() {
+		es, err := c.ConsumeBatch(context.Background(), "t", 1, 8)
+		if err != nil {
+			got <- nil
+			return
+		}
+		got <- es
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b.PublishBatch(context.Background(), "t", [][]byte{[]byte("a"), []byte("b")})
+	select {
+	case es := <-got:
+		if len(es) != 2 || es[0].ID != 2 {
+			t.Fatalf("got %v want IDs 2,3", es)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ConsumeBatch over TCP never woke")
+	}
+
+	// Context cancellation interrupts the blocking read promptly.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.ConsumeBatch(ctx, "t", 3, 8)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err=%v want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not interrupt blocking ConsumeBatch")
+	}
+	// The provoked deadline must not poison the connection for later calls.
+	if _, err := c.Latest(context.Background(), "t"); err != nil {
+		t.Fatalf("Latest after cancel: %v", err)
+	}
+}
+
+func TestCoalescerGroupCommit(t *testing.T) {
+	// With maxBatch=4 and a long maxDelay, four async publishes must leave
+	// as exactly one PublishBatch (one histogram observation of size 4) and
+	// resolve contiguous IDs in submission order.
+	_, s := startServer(t)
+	r := obs.NewRegistry()
+	c, err := Dial(s.Addr(), WithObs(r), WithCoalesce(4, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	var chans []<-chan PublishResult
+	for i := 0; i < 4; i++ {
+		chans = append(chans, c.PublishAsync(ctx, "t", []byte{byte(i + 1)}))
+	}
+	for i, ch := range chans {
+		select {
+		case res := <-ch:
+			if res.Err != nil {
+				t.Fatalf("async %d: %v", i, res.Err)
+			}
+			if res.ID != uint64(i+1) {
+				t.Fatalf("async %d resolved ID %d want %d", i, res.ID, i+1)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("async %d never resolved (flush at maxBatch broken)", i)
+		}
+	}
+	snap := r.Snapshot()
+	h, ok := snap.Histograms["stream_client_batch_size"]
+	if !ok {
+		t.Fatal("stream_client_batch_size not registered")
+	}
+	if h.Count != 1 || h.Sum != 4 {
+		t.Fatalf("batch histogram count=%d sum=%g want one flush of 4", h.Count, h.Sum)
+	}
+}
+
+func TestCoalescerFlushesOnDelay(t *testing.T) {
+	// Fewer tuples than maxBatch still flush once maxDelay elapses.
+	_, s := startServer(t)
+	c, err := Dial(s.Addr(), WithCoalesce(64, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ch := c.PublishAsync(context.Background(), "t", []byte("solo"))
+	select {
+	case res := <-ch:
+		if res.Err != nil || res.ID != 1 {
+			t.Fatalf("res=%+v want ID 1", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delay-triggered flush never happened")
+	}
+}
+
+func TestCoalescerMixedTopics(t *testing.T) {
+	// Interleaved topics split into per-topic runs but still all resolve.
+	b, s := startServer(t)
+	c, err := Dial(s.Addr(), WithCoalesce(8, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	const n = 40
+	chans := make([]<-chan PublishResult, n)
+	for i := 0; i < n; i++ {
+		topic := "even"
+		if i%2 == 1 {
+			topic = "odd"
+		}
+		chans[i] = c.PublishAsync(ctx, topic, []byte{byte(i)})
+	}
+	seen := map[string]map[uint64]bool{"even": {}, "odd": {}}
+	for i, ch := range chans {
+		res := <-ch
+		if res.Err != nil {
+			t.Fatalf("async %d: %v", i, res.Err)
+		}
+		topic := "even"
+		if i%2 == 1 {
+			topic = "odd"
+		}
+		if seen[topic][res.ID] {
+			t.Fatalf("duplicate ID %d on %s", res.ID, topic)
+		}
+		seen[topic][res.ID] = true
+	}
+	for _, topic := range []string{"even", "odd"} {
+		if n, _ := b.Published(topic); n != 20 {
+			t.Fatalf("%s published=%d want 20", topic, n)
+		}
+	}
+}
+
+func TestCoalescerEmptyPayloadAndClose(t *testing.T) {
+	_, s := startServer(t)
+	c, err := Dial(s.Addr(), WithCoalesce(64, time.Hour)) // never auto-flush
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty payloads are rejected synchronously.
+	res := <-c.PublishAsync(context.Background(), "t", nil)
+	if !errors.Is(res.Err, ErrEmptyPayload) {
+		t.Fatalf("err=%v want ErrEmptyPayload", res.Err)
+	}
+	// Close drains the queue: parked tuples resolve (with ErrClientClosed)
+	// instead of hanging their waiters forever.
+	ch := c.PublishAsync(context.Background(), "t", []byte("parked"))
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-ch:
+		if res.Err == nil {
+			t.Fatal("parked tuple resolved nil error after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close left an async publish hanging")
+	}
+	// After Close, PublishAsync fails fast.
+	res = <-c.PublishAsync(context.Background(), "t", []byte("late"))
+	if !errors.Is(res.Err, ErrClientClosed) {
+		t.Fatalf("err=%v want ErrClientClosed", res.Err)
+	}
+}
+
+// TestSubscriptionCloseResumeRace is the regression test for the dangling-conn
+// race: Close racing resume() could leave the freshly-dialed connection
+// uninstalled and unclosed, leaking it and (worse) leaving the reader
+// goroutine alive. Chaos resets force constant resumes while Close fires at
+// staggered points; every Close must return promptly.
+func TestSubscriptionCloseResumeRace(t *testing.T) {
+	b, s := startServer(t)
+	ctx := context.Background()
+	for i := 1; i <= 10; i++ {
+		b.Publish(ctx, "m", []byte{byte(i)})
+	}
+	for i := 0; i < 30; i++ {
+		chaos := NewChaos(ChaosConfig{Seed: int64(i), ResetProb: 0.2, DelayProb: 0.3, Delay: time.Millisecond})
+		sub, err := Subscribe(s.Addr(), "m", 0, append(fastOpts(), WithDialer(chaos))...)
+		if err != nil {
+			continue // initial dial ate a reset; the race needs a live sub
+		}
+		go func() { // keep the stream and the resume loop busy
+			for range sub.C() {
+			}
+		}()
+		// Stagger Close across the dial/adopt/read phases of resume.
+		time.Sleep(time.Duration(i%7) * 500 * time.Microsecond)
+		done := make(chan struct{})
+		go func() {
+			sub.Close()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("iteration %d: Close hung against resume", i)
+		}
+	}
+}
+
+// TestSubscriptionCloseDuringOutage closes a subscription while the server is
+// down and resume is mid-backoff; Close must still return promptly.
+func TestSubscriptionCloseDuringOutage(t *testing.T) {
+	b := NewBroker(0)
+	defer b.Close()
+	s, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Publish(context.Background(), "m", []byte("x"))
+	sub, err := Subscribe(s.Addr(), "m", 0, fastOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-sub.C()
+	s.Close() // force resume into dial-retry backoff
+	time.Sleep(5 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		sub.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung while resume was backing off")
+	}
+}
+
+func TestDeprecatedNoCtxWrappers(t *testing.T) {
+	b, s := startServer(t)
+	if _, err := b.PublishNoCtx("t", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := b.LatestNoCtx("t"); err != nil || e.ID != 1 {
+		t.Fatalf("LatestNoCtx = (%v, %v)", e, err)
+	}
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.PublishNoCtx("t", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if es, err := c.RangeNoCtx("t", 1, 10, 0); err != nil || len(es) != 2 {
+		t.Fatalf("RangeNoCtx = (%d entries, %v) want 2", len(es), err)
+	}
+	if names, err := c.TopicsNoCtx(); err != nil || len(names) != 1 {
+		t.Fatalf("TopicsNoCtx = (%v, %v)", names, err)
+	}
+}

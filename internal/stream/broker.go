@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -33,6 +34,11 @@ var (
 
 // DefaultRetention is how many entries a topic retains when not configured.
 const DefaultRetention = 1 << 14
+
+// DefaultShardCount is how many lock-striped shards the topic map is split
+// into when not configured. Publishers on different topics contend only
+// within their shard, so independent metric streams scale across cores.
+const DefaultShardCount = 8
 
 // group tracks one consumer group's cursor and unacknowledged deliveries.
 type group struct {
@@ -70,13 +76,44 @@ func newTopic(name string, retention int) *topic {
 	}
 }
 
-// Broker owns a set of topics.
+// appendLocked appends one payload (already copied) and returns its ID. The
+// caller holds t.mu and must wake consumers with wakeLocked once the whole
+// append — single entry or batch — is in place.
+func (t *topic) appendLocked(p []byte, evicted *obs.Counter) uint64 {
+	id := t.nextID
+	t.nextID++
+	if t.count == len(t.buf) {
+		// Evict oldest.
+		t.start = (t.start + 1) % len(t.buf)
+		t.firstID++
+		t.count--
+		evicted.Inc()
+	}
+	t.buf[(t.start+t.count)%len(t.buf)] = Entry{ID: id, Payload: p}
+	t.count++
+	t.published++
+	return id
+}
+
+// wakeLocked wakes all blocked consumers; one wake covers a whole batch.
+func (t *topic) wakeLocked() {
+	close(t.notify)
+	t.notify = make(chan struct{})
+}
+
+// shard is one lock stripe over the topic map.
+type shard struct {
+	mu     sync.RWMutex
+	topics map[string]*topic
+}
+
+// Broker owns a set of topics, lock-striped into shards by topic name.
 type Broker struct {
-	mu        sync.RWMutex
-	topics    map[string]*topic
+	shards    []shard
 	retention int
-	closed    bool
+	closed    atomic.Bool
 	done      chan struct{} // closed by Close; unblocks waiting consumers
+	nTopics   atomic.Int64
 
 	// Optional obs instruments (nil-safe no-ops when not instrumented).
 	obsPublishes    *obs.Counter
@@ -84,66 +121,108 @@ type Broker struct {
 	obsEvicted      *obs.Counter
 	obsTopics       *obs.Gauge
 	obsConsumeLag   *obs.Histogram
+	obsBatchSize    *obs.Histogram
+}
+
+// BrokerOption customizes a Broker.
+type BrokerOption func(*Broker)
+
+// WithShardCount sets how many lock stripes the topic map uses
+// (default DefaultShardCount; values < 1 are clamped to 1).
+func WithShardCount(n int) BrokerOption {
+	return func(b *Broker) {
+		if n < 1 {
+			n = 1
+		}
+		b.shards = make([]shard, n)
+	}
 }
 
 // Instrument registers the broker's instruments on r:
 // stream_broker_publish_total, stream_broker_publish_bytes_total,
 // stream_broker_evicted_total (entries pushed out of the retention window),
-// the stream_broker_topics gauge, and the stream_broker_consume_lag
-// histogram (how many entries behind the topic head a consumer was when its
-// read was served). Call before the broker is shared between goroutines.
+// the stream_broker_topics gauge, the stream_broker_consume_lag histogram
+// (how many entries behind the topic head a consumer was when its read was
+// served), and the stream_broker_publish_batch_size histogram. Call before
+// the broker is shared between goroutines.
 func (b *Broker) Instrument(r *obs.Registry) {
-	b.mu.Lock()
 	b.obsPublishes = r.Counter("stream_broker_publish_total")
 	b.obsPublishBytes = r.Counter("stream_broker_publish_bytes_total")
 	b.obsEvicted = r.Counter("stream_broker_evicted_total")
 	b.obsTopics = r.Gauge("stream_broker_topics")
 	b.obsConsumeLag = r.Histogram("stream_broker_consume_lag", 0, 1, 10, 100, 1000, 10000)
-	b.obsTopics.Set(float64(len(b.topics)))
-	b.mu.Unlock()
+	b.obsBatchSize = r.Histogram("stream_broker_publish_batch_size", 1, 2, 4, 8, 16, 32, 64, 128, 256)
+	b.obsTopics.Set(float64(b.nTopics.Load()))
 }
 
 // NewBroker returns a broker whose topics retain up to retention entries
 // each (0 means DefaultRetention).
-func NewBroker(retention int) *Broker {
+func NewBroker(retention int, opts ...BrokerOption) *Broker {
 	if retention <= 0 {
 		retention = DefaultRetention
 	}
-	return &Broker{topics: make(map[string]*topic), retention: retention, done: make(chan struct{})}
+	b := &Broker{retention: retention, done: make(chan struct{})}
+	for _, o := range opts {
+		o(b)
+	}
+	if b.shards == nil {
+		b.shards = make([]shard, DefaultShardCount)
+	}
+	for i := range b.shards {
+		b.shards[i].topics = make(map[string]*topic)
+	}
+	return b
+}
+
+// shardFor hashes a topic name (FNV-1a) onto its lock stripe.
+func (b *Broker) shardFor(name string) *shard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime32
+	}
+	return &b.shards[h%uint32(len(b.shards))]
 }
 
 // topicFor returns (creating if needed) the named topic.
 func (b *Broker) topicFor(name string, create bool) (*topic, error) {
-	b.mu.RLock()
-	t, ok := b.topics[name]
-	closed := b.closed
-	b.mu.RUnlock()
-	if closed {
+	if b.closed.Load() {
 		return nil, ErrClosed
 	}
+	s := b.shardFor(name)
+	s.mu.RLock()
+	t, ok := s.topics[name]
+	s.mu.RUnlock()
 	if ok {
 		return t, nil
 	}
 	if !create {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchTopic, name)
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b.closed.Load() {
 		return nil, ErrClosed
 	}
-	if t, ok = b.topics[name]; ok {
+	if t, ok = s.topics[name]; ok {
 		return t, nil
 	}
 	t = newTopic(name, b.retention)
-	b.topics[name] = t
-	b.obsTopics.Set(float64(len(b.topics)))
+	s.topics[name] = t
+	b.obsTopics.Set(float64(b.nTopics.Add(1)))
 	return t, nil
 }
 
 // Publish appends payload to the named topic (creating it on first use) and
 // returns the assigned entry ID.
-func (b *Broker) Publish(topicName string, payload []byte) (uint64, error) {
+func (b *Broker) Publish(ctx context.Context, topicName string, payload []byte) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if len(payload) == 0 {
 		return 0, ErrEmptyPayload
 	}
@@ -155,34 +234,71 @@ func (b *Broker) Publish(topicName string, payload []byte) (uint64, error) {
 	copy(p, payload)
 
 	t.mu.Lock()
-	id := t.nextID
-	t.nextID++
-	if t.count == len(t.buf) {
-		// Evict oldest.
-		t.start = (t.start + 1) % len(t.buf)
-		t.firstID++
-		t.count--
-		b.obsEvicted.Inc()
-	}
-	t.buf[(t.start+t.count)%len(t.buf)] = Entry{ID: id, Payload: p}
-	t.count++
-	t.published++
-	// Wake all blocked consumers.
-	close(t.notify)
-	t.notify = make(chan struct{})
+	id := t.appendLocked(p, b.obsEvicted)
+	t.wakeLocked()
 	t.mu.Unlock()
 	b.obsPublishes.Inc()
 	b.obsPublishBytes.Add(uint64(len(p)))
 	return id, nil
 }
 
+// PublishBatch appends every payload to the named topic under one lock
+// acquisition and one consumer wake-up, returning the ID of the first entry;
+// the batch receives contiguous IDs firstID..firstID+len(payloads)-1. The
+// payloads are copied into a single contiguous allocation. An empty batch is
+// a no-op returning (0, nil); any empty payload rejects the whole batch
+// before anything is appended.
+func (b *Broker) PublishBatch(ctx context.Context, topicName string, payloads [][]byte) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if len(payloads) == 0 {
+		return 0, nil
+	}
+	total := 0
+	for _, p := range payloads {
+		if len(p) == 0 {
+			return 0, ErrEmptyPayload
+		}
+		total += len(p)
+	}
+	t, err := b.topicFor(topicName, true)
+	if err != nil {
+		return 0, err
+	}
+	// One blob for the whole batch, sliced per entry (capacity-capped so an
+	// append on one slice cannot bleed into the next).
+	blob := make([]byte, 0, total)
+	entries := make([][]byte, len(payloads))
+	for i, p := range payloads {
+		off := len(blob)
+		blob = append(blob, p...)
+		entries[i] = blob[off:len(blob):len(blob)]
+	}
+
+	t.mu.Lock()
+	first := t.nextID
+	for _, p := range entries {
+		t.appendLocked(p, b.obsEvicted)
+	}
+	t.wakeLocked()
+	t.mu.Unlock()
+	b.obsPublishes.Add(uint64(len(payloads)))
+	b.obsPublishBytes.Add(uint64(total))
+	b.obsBatchSize.Observe(float64(len(payloads)))
+	return first, nil
+}
+
 // Topics returns the sorted names of all topics.
 func (b *Broker) Topics() []string {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	out := make([]string, 0, len(b.topics))
-	for name := range b.topics {
-		out = append(out, name)
+	out := make([]string, 0, b.nTopics.Load())
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.RLock()
+		for name := range s.topics {
+			out = append(out, name)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -200,7 +316,10 @@ func (b *Broker) Published(topicName string) (uint64, error) {
 }
 
 // Latest returns the newest entry of a topic.
-func (b *Broker) Latest(topicName string) (Entry, error) {
+func (b *Broker) Latest(ctx context.Context, topicName string) (Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return Entry{}, err
+	}
 	t, err := b.topicFor(topicName, false)
 	if err != nil {
 		return Entry{}, err
@@ -216,7 +335,10 @@ func (b *Broker) Latest(topicName string) (Entry, error) {
 // Range returns up to max entries with from <= ID <= to (max<=0 means all
 // retained). Requesting a from older than the retention window returns
 // ErrEvicted so callers can fall back to the Archiver.
-func (b *Broker) Range(topicName string, from, to uint64, max int) ([]Entry, error) {
+func (b *Broker) Range(ctx context.Context, topicName string, from, to uint64, max int) ([]Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t, err := b.topicFor(topicName, false)
 	if err != nil {
 		return nil, err
@@ -251,9 +373,21 @@ func (b *Broker) Range(topicName string, from, to uint64, max int) ([]Entry, err
 // earliest such entry. This is the pull-based subscription primitive: every
 // independent subscriber tracks its own afterID, giving Pub-Sub fan-out.
 func (b *Broker) Consume(ctx context.Context, topicName string, afterID uint64) (Entry, error) {
-	t, err := b.topicFor(topicName, true)
+	es, err := b.ConsumeBatch(ctx, topicName, afterID, 1)
 	if err != nil {
 		return Entry{}, err
+	}
+	return es[0], nil
+}
+
+// ConsumeBatch blocks until at least one entry with ID > afterID exists, then
+// returns up to max available entries in ID order (max <= 0 means everything
+// retained). One blocking wait can drain a whole burst, which is what makes
+// batched delivery amortize the wake-up cost.
+func (b *Broker) ConsumeBatch(ctx context.Context, topicName string, afterID uint64, max int) ([]Entry, error) {
+	t, err := b.topicFor(topicName, true)
+	if err != nil {
+		return nil, err
 	}
 	for {
 		t.mu.Lock()
@@ -262,19 +396,27 @@ func (b *Broker) Consume(ctx context.Context, topicName string, afterID uint64) 
 			if from < t.firstID {
 				from = t.firstID // skip evicted entries
 			}
-			e := t.buf[(t.start+int(from-t.firstID))%len(t.buf)]
-			lag := t.nextID - 1 - e.ID // entries behind the topic head
+			n := int(t.nextID - from)
+			if max > 0 && n > max {
+				n = max
+			}
+			out := make([]Entry, 0, n)
+			base := int(from - t.firstID)
+			for i := 0; i < n; i++ {
+				out = append(out, t.buf[(t.start+base+i)%len(t.buf)])
+			}
+			lag := t.nextID - 1 - out[0].ID // entries behind the topic head
 			t.mu.Unlock()
 			b.obsConsumeLag.Observe(float64(lag))
-			return e, nil
+			return out, nil
 		}
 		wait := t.notify
 		t.mu.Unlock()
 		select {
 		case <-ctx.Done():
-			return Entry{}, ctx.Err()
+			return nil, ctx.Err()
 		case <-b.done:
-			return Entry{}, ErrClosed
+			return nil, ErrClosed
 		case <-wait:
 		}
 	}
@@ -291,15 +433,17 @@ func (b *Broker) Subscribe(ctx context.Context, topicName string, afterID uint64
 		defer close(ch)
 		last := afterID
 		for {
-			e, err := b.Consume(ctx, topicName, last)
+			es, err := b.ConsumeBatch(ctx, topicName, last, 64)
 			if err != nil {
 				return
 			}
-			select {
-			case ch <- e:
-				last = e.ID
-			case <-ctx.Done():
-				return
+			for _, e := range es {
+				select {
+				case ch <- e:
+					last = e.ID
+				case <-ctx.Done():
+					return
+				}
 			}
 		}
 	}()
@@ -308,7 +452,10 @@ func (b *Broker) Subscribe(ctx context.Context, topicName string, afterID uint64
 
 // CreateGroup registers a consumer group on a topic starting after afterID
 // (0 = from the beginning of retention).
-func (b *Broker) CreateGroup(topicName, groupName string, afterID uint64) error {
+func (b *Broker) CreateGroup(ctx context.Context, topicName, groupName string, afterID uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	t, err := b.topicFor(topicName, true)
 	if err != nil {
 		return err
@@ -360,7 +507,10 @@ func (b *Broker) GroupRead(ctx context.Context, topicName, groupName string) (En
 }
 
 // Ack acknowledges a group-delivered entry.
-func (b *Broker) Ack(topicName, groupName string, id uint64) error {
+func (b *Broker) Ack(ctx context.Context, topicName, groupName string, id uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	t, err := b.topicFor(topicName, false)
 	if err != nil {
 		return err
@@ -401,12 +551,7 @@ func (b *Broker) Pending(topicName, groupName string) ([]Entry, error) {
 // Close marks the broker closed; subsequent operations fail with ErrClosed
 // and blocked consumers are woken.
 func (b *Broker) Close() {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
-		return
+	if b.closed.CompareAndSwap(false, true) {
+		close(b.done)
 	}
-	b.closed = true
-	close(b.done)
-	b.mu.Unlock()
 }

@@ -12,7 +12,7 @@ import (
 func TestPublishAssignsSequentialIDs(t *testing.T) {
 	b := NewBroker(0)
 	for i := 1; i <= 5; i++ {
-		id, err := b.Publish("t", []byte{byte(i)})
+		id, err := b.Publish(context.Background(), "t", []byte{byte(i)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -28,7 +28,7 @@ func TestPublishAssignsSequentialIDs(t *testing.T) {
 
 func TestPublishEmptyPayload(t *testing.T) {
 	b := NewBroker(0)
-	if _, err := b.Publish("t", nil); !errors.Is(err, ErrEmptyPayload) {
+	if _, err := b.Publish(context.Background(), "t", nil); !errors.Is(err, ErrEmptyPayload) {
 		t.Fatalf("err=%v", err)
 	}
 }
@@ -36,9 +36,9 @@ func TestPublishEmptyPayload(t *testing.T) {
 func TestPublishCopiesPayload(t *testing.T) {
 	b := NewBroker(0)
 	p := []byte{1, 2, 3}
-	b.Publish("t", p)
+	b.Publish(context.Background(), "t", p)
 	p[0] = 99
-	e, err := b.Latest("t")
+	e, err := b.Latest(context.Background(), "t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,24 +50,24 @@ func TestPublishCopiesPayload(t *testing.T) {
 func TestLatestAndRange(t *testing.T) {
 	b := NewBroker(0)
 	for i := 1; i <= 10; i++ {
-		b.Publish("t", []byte{byte(i)})
+		b.Publish(context.Background(), "t", []byte{byte(i)})
 	}
-	e, err := b.Latest("t")
+	e, err := b.Latest(context.Background(), "t")
 	if err != nil || e.ID != 10 {
 		t.Fatalf("Latest=%v err=%v", e, err)
 	}
-	es, err := b.Range("t", 3, 6, 0)
+	es, err := b.Range(context.Background(), "t", 3, 6, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(es) != 4 || es[0].ID != 3 || es[3].ID != 6 {
 		t.Fatalf("Range=%v", es)
 	}
-	es, err = b.Range("t", 3, 100, 2)
+	es, err = b.Range(context.Background(), "t", 3, 100, 2)
 	if err != nil || len(es) != 2 {
 		t.Fatalf("capped Range=%v err=%v", es, err)
 	}
-	es, err = b.Range("t", 11, 20, 0)
+	es, err = b.Range(context.Background(), "t", 11, 20, 0)
 	if err != nil || es != nil {
 		t.Fatalf("future Range=%v err=%v", es, err)
 	}
@@ -75,10 +75,10 @@ func TestLatestAndRange(t *testing.T) {
 
 func TestRangeMissingTopic(t *testing.T) {
 	b := NewBroker(0)
-	if _, err := b.Range("nope", 1, 2, 0); !errors.Is(err, ErrNoSuchTopic) {
+	if _, err := b.Range(context.Background(), "nope", 1, 2, 0); !errors.Is(err, ErrNoSuchTopic) {
 		t.Fatalf("err=%v", err)
 	}
-	if _, err := b.Latest("nope"); !errors.Is(err, ErrNoSuchTopic) {
+	if _, err := b.Latest(context.Background(), "nope"); !errors.Is(err, ErrNoSuchTopic) {
 		t.Fatalf("err=%v", err)
 	}
 }
@@ -86,13 +86,13 @@ func TestRangeMissingTopic(t *testing.T) {
 func TestRetentionEviction(t *testing.T) {
 	b := NewBroker(4)
 	for i := 1; i <= 10; i++ {
-		b.Publish("t", []byte{byte(i)})
+		b.Publish(context.Background(), "t", []byte{byte(i)})
 	}
 	// IDs 1..6 evicted, 7..10 retained.
-	if _, err := b.Range("t", 1, 10, 0); !errors.Is(err, ErrEvicted) {
+	if _, err := b.Range(context.Background(), "t", 1, 10, 0); !errors.Is(err, ErrEvicted) {
 		t.Fatalf("err=%v", err)
 	}
-	es, err := b.Range("t", 7, 10, 0)
+	es, err := b.Range(context.Background(), "t", 7, 10, 0)
 	if err != nil || len(es) != 4 || es[0].ID != 7 {
 		t.Fatalf("retained Range=%v err=%v", es, err)
 	}
@@ -110,7 +110,7 @@ func TestConsumeBlocksUntilPublish(t *testing.T) {
 		}
 	}()
 	time.Sleep(10 * time.Millisecond)
-	b.Publish("t", []byte("x"))
+	b.Publish(context.Background(), "t", []byte("x"))
 	select {
 	case e := <-got:
 		if e.ID != 1 || string(e.Payload) != "x" {
@@ -158,7 +158,7 @@ func TestCloseUnblocksConsumers(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("Close did not unblock consumer")
 	}
-	if _, err := b.Publish("t", []byte("x")); !errors.Is(err, ErrClosed) {
+	if _, err := b.Publish(context.Background(), "t", []byte("x")); !errors.Is(err, ErrClosed) {
 		t.Fatalf("publish after close: %v", err)
 	}
 }
@@ -178,7 +178,7 @@ func TestSubscribeFanOut(t *testing.T) {
 	}
 	go func() {
 		for i := 1; i <= events; i++ {
-			b.Publish("t", []byte{byte(i)})
+			b.Publish(context.Background(), "t", []byte{byte(i)})
 		}
 	}()
 	for si, ch := range chans {
@@ -197,12 +197,12 @@ func TestSubscribeFanOut(t *testing.T) {
 
 func TestConsumerGroupPartitionsWork(t *testing.T) {
 	b := NewBroker(0)
-	if err := b.CreateGroup("t", "g", 0); err != nil {
+	if err := b.CreateGroup(context.Background(), "t", "g", 0); err != nil {
 		t.Fatal(err)
 	}
 	const events = 30
 	for i := 1; i <= events; i++ {
-		b.Publish("t", []byte{byte(i)})
+		b.Publish(context.Background(), "t", []byte{byte(i)})
 	}
 	ctx := context.Background()
 	var mu sync.Mutex
@@ -221,7 +221,7 @@ func TestConsumerGroupPartitionsWork(t *testing.T) {
 				mu.Lock()
 				seen[e.ID]++
 				mu.Unlock()
-				if err := b.Ack("t", "g", e.ID); err != nil {
+				if err := b.Ack(context.Background(), "t", "g", e.ID); err != nil {
 					t.Errorf("Ack: %v", err)
 				}
 			}
@@ -244,8 +244,8 @@ func TestConsumerGroupPartitionsWork(t *testing.T) {
 
 func TestGroupPendingAndAckErrors(t *testing.T) {
 	b := NewBroker(0)
-	b.CreateGroup("t", "g", 0)
-	b.Publish("t", []byte("a"))
+	b.CreateGroup(context.Background(), "t", "g", 0)
+	b.Publish(context.Background(), "t", []byte("a"))
 	e, err := b.GroupRead(context.Background(), "t", "g")
 	if err != nil {
 		t.Fatal(err)
@@ -254,10 +254,10 @@ func TestGroupPendingAndAckErrors(t *testing.T) {
 	if len(p) != 1 || p[0].ID != e.ID {
 		t.Fatalf("pending=%v", p)
 	}
-	if err := b.Ack("t", "g", 999); !errors.Is(err, ErrNotPending) {
+	if err := b.Ack(context.Background(), "t", "g", 999); !errors.Is(err, ErrNotPending) {
 		t.Fatalf("err=%v", err)
 	}
-	if err := b.Ack("t", "nope", e.ID); !errors.Is(err, ErrNoSuchGroup) {
+	if err := b.Ack(context.Background(), "t", "nope", e.ID); !errors.Is(err, ErrNoSuchGroup) {
 		t.Fatalf("err=%v", err)
 	}
 	if _, err := b.GroupRead(context.Background(), "t", "nope"); !errors.Is(err, ErrNoSuchGroup) {
@@ -268,7 +268,7 @@ func TestGroupPendingAndAckErrors(t *testing.T) {
 func TestTopicsSorted(t *testing.T) {
 	b := NewBroker(0)
 	for _, n := range []string{"zebra", "alpha", "mid"} {
-		b.Publish(n, []byte("x"))
+		b.Publish(context.Background(), n, []byte("x"))
 	}
 	got := b.Topics()
 	want := []string{"alpha", "mid", "zebra"}
@@ -280,7 +280,7 @@ func TestTopicsSorted(t *testing.T) {
 func TestConsumeSkipsEvicted(t *testing.T) {
 	b := NewBroker(4)
 	for i := 1; i <= 10; i++ {
-		b.Publish("t", []byte{byte(i)})
+		b.Publish(context.Background(), "t", []byte{byte(i)})
 	}
 	e, err := b.Consume(context.Background(), "t", 2)
 	if err != nil {
@@ -296,7 +296,7 @@ func BenchmarkBrokerPublish(b *testing.B) {
 	payload := make([]byte, 16)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := br.Publish("t", payload); err != nil {
+		if _, err := br.Publish(context.Background(), "t", payload); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -311,7 +311,7 @@ func BenchmarkBrokerConsume(b *testing.B) {
 	b.ResetTimer()
 	var last uint64
 	for i := 0; i < b.N; i++ {
-		if _, err := br.Publish("t", payload); err != nil {
+		if _, err := br.Publish(context.Background(), "t", payload); err != nil {
 			b.Fatal(err)
 		}
 		e, err := br.Consume(ctx, "t", last)

@@ -2,39 +2,62 @@ package stream
 
 import "context"
 
-// Bus is the communication-fabric interface SCoRe vertices publish to and
-// subscribe from. Broker implements it in-process; RemoteBus implements it
-// against a TCP stream server, letting a vertex live on a different node
-// than its queue.
-type Bus interface {
+// Publisher is the single write surface of the fabric: everything that
+// appends entries to a topic — the in-process Broker, the TCP Client, and
+// score's store-and-forward BufferedPublisher — implements it, in both
+// tuple-at-a-time and batched form.
+type Publisher interface {
 	// Publish appends payload to topic, returning the entry ID.
-	Publish(topic string, payload []byte) (uint64, error)
-	// Subscribe delivers every entry with ID > afterID until ctx ends.
-	Subscribe(ctx context.Context, topic string, afterID uint64) (<-chan Entry, error)
-	// Latest returns the newest entry of topic.
-	Latest(topic string) (Entry, error)
-	// Range returns entries with from <= ID <= to (max<=0: unlimited).
-	Range(topic string, from, to uint64, max int) ([]Entry, error)
+	Publish(ctx context.Context, topic string, payload []byte) (uint64, error)
+	// PublishBatch appends every payload under one append, returning the ID
+	// of the first entry; the batch receives contiguous IDs. An empty batch
+	// is a no-op returning (0, nil).
+	PublishBatch(ctx context.Context, topic string, payloads [][]byte) (uint64, error)
 }
 
-var _ Bus = (*Broker)(nil)
+// Bus is the communication-fabric interface SCoRe vertices publish to and
+// subscribe from. Broker implements it in-process; Client implements it
+// against a TCP stream server, letting a vertex live on a different node
+// than its queue. Every operation takes a context bounding the call.
+type Bus interface {
+	Publisher
+	// Latest returns the newest entry of topic.
+	Latest(ctx context.Context, topic string) (Entry, error)
+	// Range returns entries with from <= ID <= to (max<=0: unlimited).
+	Range(ctx context.Context, topic string, from, to uint64, max int) ([]Entry, error)
+	// Consume blocks until an entry with ID > afterID exists and returns the
+	// earliest such entry.
+	Consume(ctx context.Context, topic string, afterID uint64) (Entry, error)
+	// ConsumeBatch blocks until at least one entry with ID > afterID exists
+	// and returns up to max of them in ID order (max<=0: all available).
+	ConsumeBatch(ctx context.Context, topic string, afterID uint64, max int) ([]Entry, error)
+	// Subscribe delivers every entry with ID > afterID until ctx ends.
+	Subscribe(ctx context.Context, topic string, afterID uint64) (<-chan Entry, error)
+}
 
-// RemoteBus adapts a TCP stream server to the Bus interface. It inherits the
-// Client's fault tolerance (deadlines, reconnect, idempotent retries) and
-// its Subscriptions auto-resume across connection loss.
+var (
+	_ Bus = (*Broker)(nil)
+	_ Bus = (*Client)(nil)
+)
+
+// RemoteBus adapts a TCP stream server to the Bus interface.
+//
+// Deprecated: Client itself satisfies Bus now that its operations take a
+// context; Dial a Client instead. RemoteBus remains for one release as a
+// thin alias over its Client.
 type RemoteBus struct {
-	addr   string
-	opts   []Option
 	client *Client
 }
 
 // NewRemoteBus dials addr and returns a Bus backed by the remote broker.
+//
+// Deprecated: use Dial; the returned Client is a Bus.
 func NewRemoteBus(addr string, opts ...Option) (*RemoteBus, error) {
 	c, err := Dial(addr, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &RemoteBus{addr: addr, opts: opts, client: c}, nil
+	return &RemoteBus{client: c}, nil
 }
 
 // Client exposes the underlying request client (e.g. for its reconnect
@@ -42,46 +65,39 @@ func NewRemoteBus(addr string, opts ...Option) (*RemoteBus, error) {
 func (r *RemoteBus) Client() *Client { return r.client }
 
 // Publish implements Bus.
-func (r *RemoteBus) Publish(topic string, payload []byte) (uint64, error) {
-	return r.client.Publish(topic, payload)
+func (r *RemoteBus) Publish(ctx context.Context, topic string, payload []byte) (uint64, error) {
+	return r.client.Publish(ctx, topic, payload)
+}
+
+// PublishBatch implements Bus.
+func (r *RemoteBus) PublishBatch(ctx context.Context, topic string, payloads [][]byte) (uint64, error) {
+	return r.client.PublishBatch(ctx, topic, payloads)
 }
 
 // Latest implements Bus.
-func (r *RemoteBus) Latest(topic string) (Entry, error) { return r.client.Latest(topic) }
+func (r *RemoteBus) Latest(ctx context.Context, topic string) (Entry, error) {
+	return r.client.Latest(ctx, topic)
+}
 
 // Range implements Bus.
-func (r *RemoteBus) Range(topic string, from, to uint64, max int) ([]Entry, error) {
-	return r.client.Range(topic, from, to, max)
+func (r *RemoteBus) Range(ctx context.Context, topic string, from, to uint64, max int) ([]Entry, error) {
+	return r.client.Range(ctx, topic, from, to, max)
+}
+
+// Consume implements Bus.
+func (r *RemoteBus) Consume(ctx context.Context, topic string, afterID uint64) (Entry, error) {
+	return r.client.Consume(ctx, topic, afterID)
+}
+
+// ConsumeBatch implements Bus.
+func (r *RemoteBus) ConsumeBatch(ctx context.Context, topic string, afterID uint64, max int) ([]Entry, error) {
+	return r.client.ConsumeBatch(ctx, topic, afterID, max)
 }
 
 // Subscribe implements Bus using a dedicated streaming connection that is
 // torn down when ctx ends.
 func (r *RemoteBus) Subscribe(ctx context.Context, topic string, afterID uint64) (<-chan Entry, error) {
-	sub, err := Subscribe(r.addr, topic, afterID, r.opts...)
-	if err != nil {
-		return nil, err
-	}
-	out := make(chan Entry, 64)
-	go func() {
-		defer close(out)
-		defer sub.Close()
-		for {
-			select {
-			case e, ok := <-sub.C():
-				if !ok {
-					return
-				}
-				select {
-				case out <- e:
-				case <-ctx.Done():
-					return
-				}
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	return out, nil
+	return r.client.Subscribe(ctx, topic, afterID)
 }
 
 // Close releases the request connection.

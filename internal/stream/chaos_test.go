@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"net"
 	"testing"
@@ -50,7 +51,7 @@ func TestChaosSeededDeterminism(t *testing.T) {
 func TestClientSurvivesInjectedResets(t *testing.T) {
 	b, s := startServer(t)
 	for i := 1; i <= 20; i++ {
-		b.Publish("m", []byte{byte(i)})
+		b.Publish(context.Background(), "m", []byte{byte(i)})
 	}
 	chaos := NewChaos(ChaosConfig{Seed: 42, ResetProb: 0.08, DelayProb: 0.2, Delay: time.Millisecond})
 	c, err := Dial(s.Addr(), append(fastOpts(), WithDialer(chaos))...)
@@ -59,21 +60,21 @@ func TestClientSurvivesInjectedResets(t *testing.T) {
 	}
 	defer c.Close()
 	for i := 0; i < 50; i++ {
-		e, err := c.Latest("m")
+		e, err := c.Latest(context.Background(), "m")
 		if err != nil {
 			t.Fatalf("Latest %d: %v", i, err)
 		}
 		if e.ID != 20 {
 			t.Fatalf("Latest id=%d want 20", e.ID)
 		}
-		es, err := c.Range("m", 1, 20, 0)
+		es, err := c.Range(context.Background(), "m", 1, 20, 0)
 		if err != nil {
 			t.Fatalf("Range %d: %v", i, err)
 		}
 		if len(es) != 20 {
 			t.Fatalf("Range len=%d want 20", len(es))
 		}
-		if _, err := c.Topics(); err != nil {
+		if _, err := c.Topics(context.Background()); err != nil {
 			t.Fatalf("Topics %d: %v", i, err)
 		}
 	}
@@ -90,7 +91,7 @@ func TestClientSurvivesInjectedResets(t *testing.T) {
 // writes tear the request; both must be retried transparently.
 func TestClientSurvivesCorruptionAndPartialWrites(t *testing.T) {
 	b, s := startServer(t)
-	b.Publish("m", []byte("payload"))
+	b.Publish(context.Background(), "m", []byte("payload"))
 	chaos := NewChaos(ChaosConfig{Seed: 3, CorruptProb: 0.05, PartialWriteProb: 0.05})
 	c, err := Dial(s.Addr(), append(fastOpts(), WithDialer(chaos))...)
 	if err != nil {
@@ -98,7 +99,7 @@ func TestClientSurvivesCorruptionAndPartialWrites(t *testing.T) {
 	}
 	defer c.Close()
 	for i := 0; i < 60; i++ {
-		if _, err := c.Latest("m"); err != nil {
+		if _, err := c.Latest(context.Background(), "m"); err != nil {
 			t.Fatalf("Latest %d: %v", i, err)
 		}
 	}
@@ -119,13 +120,13 @@ func TestRoundTripDropsDeadConn(t *testing.T) {
 		t.Fatal(err)
 	}
 	addr := s.Addr()
-	b.Publish("m", []byte("x"))
+	b.Publish(context.Background(), "m", []byte("x"))
 	c, err := Dial(addr, fastOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Latest("m"); err != nil {
+	if _, err := c.Latest(context.Background(), "m"); err != nil {
 		t.Fatal(err)
 	}
 	s.Close() // kill every conn; the client's socket is now dead
@@ -134,7 +135,7 @@ func TestRoundTripDropsDeadConn(t *testing.T) {
 		t.Fatalf("restart on %s: %v", addr, err)
 	}
 	defer s2.Close()
-	e, err := c.Latest("m") // must drop the dead conn and re-dial
+	e, err := c.Latest(context.Background(), "m") // must drop the dead conn and re-dial
 	if err != nil {
 		t.Fatalf("Latest after restart: %v", err)
 	}
@@ -161,11 +162,11 @@ func TestPublishNotRetriedButConnRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Publish("m", []byte("a")); err != nil {
+	if _, err := c.Publish(context.Background(), "m", []byte("a")); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
-	if _, err := c.Publish("m", []byte("b")); err == nil {
+	if _, err := c.Publish(context.Background(), "m", []byte("b")); err == nil {
 		t.Fatal("publish against dead server must error, not silently retry")
 	} else if !IsTransient(err) {
 		t.Fatalf("want transient transport error, got %v", err)
@@ -175,14 +176,14 @@ func TestPublishNotRetriedButConnRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	id, err := c.Publish("m", []byte("b"))
+	id, err := c.Publish(context.Background(), "m", []byte("b"))
 	if err != nil {
 		t.Fatalf("publish after recovery: %v", err)
 	}
 	if id != 2 {
 		t.Fatalf("id=%d want 2 (no duplicate from blind retry)", id)
 	}
-	if err := c.Ping(); err != nil {
+	if err := c.Ping(context.Background()); err != nil {
 		t.Fatalf("ping: %v", err)
 	}
 }
@@ -207,7 +208,7 @@ func TestSubscriptionResumesAcrossServerRestart(t *testing.T) {
 	defer sub.Close()
 
 	for i := 1; i <= 40; i++ {
-		b.Publish("m", []byte{byte(i)})
+		b.Publish(context.Background(), "m", []byte{byte(i)})
 	}
 	recv := make([]Entry, 0, total)
 	collect := func(n int) {
@@ -229,7 +230,7 @@ func TestSubscriptionResumesAcrossServerRestart(t *testing.T) {
 
 	s.Close() // outage: entries 41..80 published while the server is down
 	for i := 41; i <= 80; i++ {
-		b.Publish("m", []byte{byte(i)})
+		b.Publish(context.Background(), "m", []byte{byte(i)})
 	}
 	s2, err := Serve(b, addr)
 	if err != nil {
@@ -245,7 +246,7 @@ func TestSubscriptionResumesAcrossServerRestart(t *testing.T) {
 	}
 	defer s3.Close()
 	for i := 81; i <= total; i++ {
-		b.Publish("m", []byte{byte(i)})
+		b.Publish(context.Background(), "m", []byte{byte(i)})
 	}
 	collect(total)
 
@@ -273,7 +274,7 @@ func TestSubscriptionSurvivesInjectedResets(t *testing.T) {
 	const total = 300
 	go func() {
 		for i := 1; i <= total; i++ {
-			b.Publish("m", []byte{byte(i)})
+			b.Publish(context.Background(), "m", []byte{byte(i)})
 			time.Sleep(200 * time.Microsecond)
 		}
 	}()
@@ -307,7 +308,7 @@ func TestSubscriptionCloseWithAbandonedConsumer(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 200; i++ { // overflow the 64-entry channel buffer
-		b.Publish("m", []byte{byte(i)})
+		b.Publish(context.Background(), "m", []byte{byte(i)})
 	}
 	time.Sleep(50 * time.Millisecond) // let the reader block on a full channel
 	done := make(chan struct{})
@@ -334,7 +335,7 @@ func TestSubscriptionTerminalOnBrokerClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sub.Close()
-	b.Publish("m", []byte("x"))
+	b.Publish(context.Background(), "m", []byte("x"))
 	<-sub.C()
 	b.Close() // broker (not just the transport) goes away
 	select {
@@ -389,14 +390,14 @@ func TestServerSideChaosWrapper(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	b.Publish("m", []byte("x"))
+	b.Publish(context.Background(), "m", []byte("x"))
 	c, err := Dial(s.Addr(), fastOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 	for i := 0; i < 40; i++ {
-		if _, err := c.Latest("m"); err != nil {
+		if _, err := c.Latest(context.Background(), "m"); err != nil {
 			t.Fatalf("Latest %d: %v", i, err)
 		}
 	}
@@ -438,7 +439,7 @@ func TestIOTimeoutOnUnresponsiveServer(t *testing.T) {
 	}
 	defer c.Close()
 	start := time.Now()
-	if _, err := c.Latest("m"); err == nil {
+	if _, err := c.Latest(context.Background(), "m"); err == nil {
 		t.Fatal("expected timeout error")
 	} else if !IsTransient(err) {
 		t.Fatalf("want transient timeout, got %v", err)

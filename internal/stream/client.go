@@ -2,6 +2,7 @@ package stream
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -37,7 +38,8 @@ type Options struct {
 	DialTimeout time.Duration
 	// IOTimeout bounds each frame write and each non-blocking frame read
 	// (default 10s). Blocking reads (Consume, GroupRead, Subscription
-	// streams) have no read deadline: they legitimately wait for data.
+	// streams) have no read deadline: they legitimately wait for data. A
+	// context deadline tightens either bound.
 	IOTimeout time.Duration
 	// RetryMax is the attempt budget for idempotent operations across
 	// transient transport errors (default 4; minimum 1).
@@ -49,10 +51,16 @@ type Options struct {
 	// ResumeMax caps Subscription auto-resume attempts per outage
 	// (0 = retry until Close).
 	ResumeMax int
+	// CoalesceMaxBatch caps how many PublishAsync tuples one group-commit
+	// flush carries (default 64).
+	CoalesceMaxBatch int
+	// CoalesceMaxDelay bounds how long the first queued PublishAsync tuple
+	// waits before its batch is flushed (default 2ms).
+	CoalesceMaxDelay time.Duration
 	// Dialer establishes connections (default: net.Dialer).
 	Dialer Dialer
 	// Obs, if non-nil, receives the client/subscription instruments
-	// (reconnects, retries, frame bytes, resumes, dedups).
+	// (reconnects, retries, frame bytes, resumes, dedups, coalesce latency).
 	Obs *obs.Registry
 }
 
@@ -71,6 +79,12 @@ func (o *Options) defaults() {
 	}
 	if o.BackoffMax <= 0 {
 		o.BackoffMax = 2 * time.Second
+	}
+	if o.CoalesceMaxBatch < 1 {
+		o.CoalesceMaxBatch = 64
+	}
+	if o.CoalesceMaxDelay <= 0 {
+		o.CoalesceMaxDelay = 2 * time.Millisecond
 	}
 	if o.Dialer == nil {
 		o.Dialer = netDialer{}
@@ -96,6 +110,13 @@ func WithBackoff(min, max time.Duration) Option {
 
 // WithResumeMax caps Subscription auto-resume attempts per outage.
 func WithResumeMax(n int) Option { return func(o *Options) { o.ResumeMax = n } }
+
+// WithCoalesce tunes the PublishAsync group-commit coalescer: a batch is
+// flushed when it reaches maxBatch tuples or when the oldest queued tuple
+// has waited maxDelay, whichever comes first.
+func WithCoalesce(maxBatch int, maxDelay time.Duration) Option {
+	return func(o *Options) { o.CoalesceMaxBatch, o.CoalesceMaxDelay = maxBatch, maxDelay }
+}
 
 // WithDialer plugs in a custom Dialer (e.g. a Chaos fault injector).
 func WithDialer(d Dialer) Option { return func(o *Options) { o.Dialer = d } }
@@ -167,16 +188,19 @@ func IsTransient(err error) bool {
 
 // Client is a TCP client for a stream Server. A Client multiplexes one
 // request at a time over a single connection; Subscribe opens its own
-// dedicated connection. Client is safe for concurrent use.
+// dedicated connection. Client is safe for concurrent use and satisfies the
+// Bus interface, so a vertex can run against a remote broker unchanged.
 //
-// Every frame is written and (for non-blocking ops) read under a deadline.
-// On any transport error the connection is dropped and lazily re-established
-// by the next call; read-only operations (Latest, Range, Topics, Consume,
-// Ping) additionally retry across transient errors with capped exponential
-// backoff. Mutating operations (Publish, CreateGroup, Ack, GroupRead) are
-// never retried after the request may have been sent, so they cannot be
-// duplicated; callers that need delivery guarantees buffer and re-publish
-// (see score's store-and-forward vertices).
+// Every frame is written and (for non-blocking ops) read under a deadline;
+// a context deadline tightens it and a context cancellation interrupts even
+// blocking reads. On any transport error the connection is dropped and
+// lazily re-established by the next call; read-only operations (Latest,
+// Range, Topics, Consume, ConsumeBatch, Ping) additionally retry across
+// transient errors with capped exponential backoff. Mutating operations
+// (Publish, PublishBatch, CreateGroup, Ack, GroupRead) are never retried
+// after the request may have been sent, so they cannot be duplicated;
+// callers that need delivery guarantees buffer and re-publish (see score's
+// store-and-forward BufferedPublisher).
 type Client struct {
 	addr string
 	opt  Options
@@ -187,6 +211,12 @@ type Client struct {
 	w      *bufio.Writer
 	closed bool
 
+	// Group-commit coalescer state (lazily started by PublishAsync).
+	coMu     sync.Mutex
+	coCh     chan pendingPub
+	coDone   chan struct{}
+	coExited chan struct{}
+
 	reconnects atomic.Uint64
 	retries    atomic.Uint64
 
@@ -196,6 +226,8 @@ type Client struct {
 	obsRetries    *obs.Counter
 	obsTxBytes    *obs.Counter
 	obsRxBytes    *obs.Counter
+	obsCoalesce   *obs.Histogram // queue-to-flush latency of coalesced tuples
+	obsBatchSize  *obs.Histogram // tuples per coalesced flush
 }
 
 // Dial connects to a stream server.
@@ -206,6 +238,8 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		c.obsRetries = r.Counter("stream_client_retries_total")
 		c.obsTxBytes = r.Counter("stream_client_tx_bytes_total")
 		c.obsRxBytes = r.Counter("stream_client_rx_bytes_total")
+		c.obsCoalesce = r.Histogram("stream_client_coalesce_seconds", obs.DefLatencyBuckets...)
+		c.obsBatchSize = r.Histogram("stream_client_batch_size", 1, 2, 4, 8, 16, 32, 64, 128, 256)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -246,38 +280,79 @@ func (c *Client) Reconnects() uint64 { return c.reconnects.Load() }
 // Retries returns how many operation attempts beyond the first were made.
 func (c *Client) Retries() uint64 { return c.retries.Load() }
 
-// Close closes the request connection. Subsequent calls fail with
-// ErrClientClosed.
+// Close closes the request connection and shuts down the coalescer;
+// unflushed PublishAsync tuples resolve with ErrClientClosed. Subsequent
+// calls fail with ErrClientClosed.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
-	if c.conn == nil {
-		return nil
+	var err error
+	if c.conn != nil {
+		err = c.conn.Close()
+		c.conn = nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
+	c.mu.Unlock()
+
+	c.coMu.Lock()
+	done, exited := c.coDone, c.coExited
+	c.coDone = nil // mark shut down; PublishAsync rejects from here on
+	c.coMu.Unlock()
+	if done != nil {
+		close(done)
+		<-exited
+	}
 	return err
+}
+
+// deadlineFor combines a relative timeout with the context deadline,
+// returning the earlier of the two (zero time = no deadline).
+func deadlineFor(ctx context.Context, d time.Duration) time.Time {
+	var t time.Time
+	if d > 0 {
+		t = time.Now().Add(d)
+	}
+	if cd, ok := ctx.Deadline(); ok && (t.IsZero() || cd.Before(t)) {
+		t = cd
+	}
+	return t
 }
 
 // roundTrip sends one request frame and reads one response frame, decoding
 // the payload via decode (which may be nil). Any connection-level failure —
 // including a response that fails to decode, which desyncs the stream —
 // drops the connection and is reported as a transient transportError.
-func (c *Client) roundTrip(op byte, payload []byte, blocking bool, decode func(*buf)) error {
+// Cancelling ctx forces a past read deadline so even a blocking read
+// returns promptly.
+func (c *Client) roundTrip(ctx context.Context, op byte, payload []byte, blocking bool, decode func(*buf)) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return ErrClientClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if c.conn == nil {
 		if err := c.connectLocked(); err != nil {
 			return &transportError{err}
 		}
 	}
-	if c.opt.IOTimeout > 0 {
-		c.conn.SetWriteDeadline(time.Now().Add(c.opt.IOTimeout))
+	conn := c.conn
+	if stop := ctx.Done(); stop != nil {
+		// Interrupt in-flight I/O when the context ends: a past deadline
+		// fails the pending read/write with a (transient) timeout, and the
+		// caller maps it back to ctx.Err().
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-stop:
+				conn.SetDeadline(time.Now().Add(-time.Second))
+			case <-watchDone:
+			}
+		}()
 	}
+	conn.SetWriteDeadline(deadlineFor(ctx, c.opt.IOTimeout))
 	if err := writeFrame(c.w, op, payload); err != nil {
 		if errors.Is(err, errFrameTooLarge) {
 			return err // caller error; the connection is still clean
@@ -290,9 +365,9 @@ func (c *Client) roundTrip(op byte, payload []byte, blocking bool, decode func(*
 		return &transportError{err}
 	}
 	if blocking {
-		c.conn.SetReadDeadline(time.Time{})
-	} else if c.opt.IOTimeout > 0 {
-		c.conn.SetReadDeadline(time.Now().Add(c.opt.IOTimeout))
+		conn.SetReadDeadline(deadlineFor(ctx, 0))
+	} else {
+		conn.SetReadDeadline(deadlineFor(ctx, c.opt.IOTimeout))
 	}
 	c.obsTxBytes.Add(uint64(frameOverhead + len(payload)))
 	status, resp, err := readFrame(c.r)
@@ -316,18 +391,26 @@ func (c *Client) roundTrip(op byte, payload []byte, blocking bool, decode func(*
 }
 
 // call wraps roundTrip with the retry policy: idempotent operations retry
-// across transient transport errors with jittered exponential backoff.
-func (c *Client) call(op byte, payload []byte, idempotent, blocking bool, decode func(*buf)) error {
+// across transient transport errors with jittered exponential backoff. A
+// done context always wins over the transport error it provoked.
+func (c *Client) call(ctx context.Context, op byte, payload []byte, idempotent, blocking bool, decode func(*buf)) error {
 	var last error
 	for attempt := 0; attempt < c.opt.RetryMax; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
 			c.obsRetries.Inc()
-			time.Sleep(Backoff(attempt-1, c.opt.BackoffMin, c.opt.BackoffMax))
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(Backoff(attempt-1, c.opt.BackoffMin, c.opt.BackoffMax)):
+			}
 		}
-		err := c.roundTrip(op, payload, blocking, decode)
+		err := c.roundTrip(ctx, op, payload, blocking, decode)
 		if err == nil {
 			return nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
 		}
 		last = err
 		if !idempotent || !IsTransient(err) {
@@ -339,27 +422,53 @@ func (c *Client) call(op byte, payload []byte, idempotent, blocking bool, decode
 
 // Ping round-trips an empty frame, verifying the connection (reconnecting if
 // needed) without touching any topic.
-func (c *Client) Ping() error {
-	return c.call(opPing, nil, true, false, nil)
+func (c *Client) Ping(ctx context.Context) error {
+	return c.call(ctx, opPing, nil, true, false, nil)
 }
 
 // Publish appends payload to topic on the server. Publish is not retried
 // after the request may have been sent (it would duplicate the entry), but a
 // failed connection is dropped so the next call re-dials.
-func (c *Client) Publish(topic string, payload []byte) (uint64, error) {
-	req := (&enc{}).str(topic).bytes(payload)
+func (c *Client) Publish(ctx context.Context, topic string, payload []byte) (uint64, error) {
+	req := getEnc()
+	defer putEnc(req)
+	req.str(topic).bytes(payload)
 	var id uint64
-	err := c.call(opPublish, req.b, false, false, func(d *buf) { id = d.u64() })
+	err := c.call(ctx, opPublish, req.b, false, false, func(d *buf) { id = d.u64() })
 	if err != nil {
 		return 0, err
 	}
 	return id, nil
 }
 
+// PublishBatch appends every payload to topic in one wire round-trip,
+// returning the ID of the first entry; the batch receives contiguous IDs.
+// Like Publish it is not retried. An empty batch is a local no-op.
+func (c *Client) PublishBatch(ctx context.Context, topic string, payloads [][]byte) (uint64, error) {
+	if len(payloads) == 0 {
+		return 0, nil
+	}
+	req := getEnc()
+	defer putEnc(req)
+	req.str(topic).u32(uint32(len(payloads)))
+	for _, p := range payloads {
+		req.bytes(p)
+	}
+	var first uint64
+	err := c.call(ctx, opPublishBatch, req.b, false, false, func(d *buf) {
+		first = d.u64()
+		d.u32() // count, echoed for symmetry
+	})
+	if err != nil {
+		return 0, err
+	}
+	return first, nil
+}
+
 // Latest fetches the newest entry of topic.
-func (c *Client) Latest(topic string) (Entry, error) {
+func (c *Client) Latest(ctx context.Context, topic string) (Entry, error) {
 	var e Entry
-	err := c.call(opLatest, (&enc{}).str(topic).b, true, false, func(d *buf) { e = decodeEntry(d) })
+	err := c.call(ctx, opLatest, (&enc{}).str(topic).b, true, false, func(d *buf) { e = decodeEntry(d) })
 	if err != nil {
 		return Entry{}, err
 	}
@@ -367,10 +476,10 @@ func (c *Client) Latest(topic string) (Entry, error) {
 }
 
 // Range fetches entries with from <= ID <= to (max <= 0 means unlimited).
-func (c *Client) Range(topic string, from, to uint64, max int) ([]Entry, error) {
+func (c *Client) Range(ctx context.Context, topic string, from, to uint64, max int) ([]Entry, error) {
 	req := (&enc{}).str(topic).u64(from).u64(to).u32(uint32(max))
 	var out []Entry
-	err := c.call(opRange, req.b, true, false, func(d *buf) {
+	err := c.call(ctx, opRange, req.b, true, false, func(d *buf) {
 		n := int(d.u32())
 		out = make([]Entry, 0, n)
 		for i := 0; i < n; i++ {
@@ -385,28 +494,45 @@ func (c *Client) Range(topic string, from, to uint64, max int) ([]Entry, error) 
 
 // Consume blocks server-side until an entry newer than afterID exists. It is
 // read-only and retried across transient transport errors.
-func (c *Client) Consume(topic string, afterID uint64) (Entry, error) {
-	req := (&enc{}).str(topic).u64(afterID)
+func (c *Client) Consume(ctx context.Context, topic string, afterID uint64) (Entry, error) {
+	req := getEnc()
+	defer putEnc(req)
+	req.str(topic).u64(afterID)
 	var e Entry
-	err := c.call(opConsume, req.b, true, true, func(d *buf) { e = decodeEntry(d) })
+	err := c.call(ctx, opConsume, req.b, true, true, func(d *buf) { e = decodeEntry(d) })
 	if err != nil {
 		return Entry{}, err
 	}
 	return e, nil
 }
 
+// ConsumeBatch blocks server-side until at least one entry newer than
+// afterID exists, then returns up to max of them in one frame (max <= 0:
+// everything available). Read-only and retried like Consume.
+func (c *Client) ConsumeBatch(ctx context.Context, topic string, afterID uint64, max int) ([]Entry, error) {
+	req := getEnc()
+	defer putEnc(req)
+	req.str(topic).u64(afterID).u32(uint32(max))
+	var out []Entry
+	err := c.call(ctx, opConsumeBatch, req.b, true, true, func(d *buf) { out = decodeEntries(d) })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // CreateGroup registers a consumer group.
-func (c *Client) CreateGroup(topic, group string, afterID uint64) error {
+func (c *Client) CreateGroup(ctx context.Context, topic, group string, afterID uint64) error {
 	req := (&enc{}).str(topic).str(group).u64(afterID)
-	return c.call(opGroupNew, req.b, false, false, nil)
+	return c.call(ctx, opGroupNew, req.b, false, false, nil)
 }
 
 // GroupRead claims the next entry for the group, blocking server-side. It
 // advances the group cursor, so it is not retried automatically.
-func (c *Client) GroupRead(topic, group string) (Entry, error) {
+func (c *Client) GroupRead(ctx context.Context, topic, group string) (Entry, error) {
 	req := (&enc{}).str(topic).str(group)
 	var e Entry
-	err := c.call(opGroupRead, req.b, false, true, func(d *buf) { e = decodeEntry(d) })
+	err := c.call(ctx, opGroupRead, req.b, false, true, func(d *buf) { e = decodeEntry(d) })
 	if err != nil {
 		return Entry{}, err
 	}
@@ -414,15 +540,15 @@ func (c *Client) GroupRead(topic, group string) (Entry, error) {
 }
 
 // Ack acknowledges a group-delivered entry.
-func (c *Client) Ack(topic, group string, id uint64) error {
+func (c *Client) Ack(ctx context.Context, topic, group string, id uint64) error {
 	req := (&enc{}).str(topic).str(group).u64(id)
-	return c.call(opAck, req.b, false, false, nil)
+	return c.call(ctx, opAck, req.b, false, false, nil)
 }
 
 // Topics lists topic names on the server.
-func (c *Client) Topics() ([]string, error) {
+func (c *Client) Topics(ctx context.Context) ([]string, error) {
 	var out []string
-	err := c.call(opTopics, nil, true, false, func(d *buf) {
+	err := c.call(ctx, opTopics, nil, true, false, func(d *buf) {
 		n := int(d.u32())
 		out = make([]string, 0, n)
 		for i := 0; i < n; i++ {
@@ -435,8 +561,191 @@ func (c *Client) Topics() ([]string, error) {
 	return out, nil
 }
 
+// Subscribe implements Bus: it opens a dedicated auto-resuming streaming
+// connection (see Subscription) delivering entries of topic with ID >
+// afterID until ctx ends.
+func (c *Client) Subscribe(ctx context.Context, topic string, afterID uint64) (<-chan Entry, error) {
+	sub, err := subscribeOpt(c.addr, topic, afterID, c.opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan Entry, 64)
+	go func() {
+		defer close(out)
+		defer sub.Close()
+		for {
+			select {
+			case e, ok := <-sub.C():
+				if !ok {
+					return
+				}
+				select {
+				case out <- e:
+				case <-ctx.Done():
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+// PublishResult resolves one PublishAsync call: the assigned entry ID, or
+// the error that failed its batch.
+type PublishResult struct {
+	ID  uint64
+	Err error
+}
+
+// pendingPub is one queued tuple awaiting a group-commit flush.
+type pendingPub struct {
+	topic   string
+	payload []byte
+	queued  time.Time
+	done    chan PublishResult
+}
+
+// PublishAsync queues payload for a group-commit flush and returns a
+// 1-buffered channel that resolves with the assigned ID (or error) once its
+// batch lands. Tuples are coalesced into PublishBatch frames of up to
+// Options.CoalesceMaxBatch entries, flushed at the latest after
+// Options.CoalesceMaxDelay — amortizing the per-frame round-trip across the
+// batch while bounding added latency. The payload is copied, so the caller
+// may reuse its buffer. Queue-order is flush-order, so one topic's tuples
+// keep their relative order.
+func (c *Client) PublishAsync(ctx context.Context, topic string, payload []byte) <-chan PublishResult {
+	done := make(chan PublishResult, 1)
+	if len(payload) == 0 {
+		done <- PublishResult{Err: ErrEmptyPayload}
+		return done
+	}
+	p := pendingPub{topic: topic, payload: append([]byte(nil), payload...), queued: time.Now(), done: done}
+
+	c.coMu.Lock()
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		c.coMu.Unlock()
+		done <- PublishResult{Err: ErrClientClosed}
+		return done
+	}
+	if c.coCh == nil {
+		c.coCh = make(chan pendingPub, 4*c.opt.CoalesceMaxBatch)
+		c.coDone = make(chan struct{})
+		c.coExited = make(chan struct{})
+		go c.coalesceLoop(c.coCh, c.coDone, c.coExited)
+	}
+	ch, stop := c.coCh, c.coDone
+	c.coMu.Unlock()
+	if stop == nil { // Close already ran
+		done <- PublishResult{Err: ErrClientClosed}
+		return done
+	}
+
+	select {
+	case ch <- p:
+	case <-stop:
+		done <- PublishResult{Err: ErrClientClosed}
+	case <-ctx.Done():
+		done <- PublishResult{Err: ctx.Err()}
+	}
+	return done
+}
+
+// coalesceLoop is the bounded flush loop behind PublishAsync: it accumulates
+// tuples and flushes when the batch is full or the oldest tuple has waited
+// CoalesceMaxDelay.
+func (c *Client) coalesceLoop(in <-chan pendingPub, stop <-chan struct{}, exited chan<- struct{}) {
+	defer close(exited)
+	var pending []pendingPub
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	armed := false
+	flush := func() {
+		if armed {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			armed = false
+		}
+		c.flushPending(pending)
+		pending = pending[:0]
+	}
+	for {
+		select {
+		case p := <-in:
+			pending = append(pending, p)
+			if len(pending) == 1 {
+				timer.Reset(c.opt.CoalesceMaxDelay)
+				armed = true
+			}
+			if len(pending) >= c.opt.CoalesceMaxBatch {
+				flush()
+			}
+		case <-timer.C:
+			armed = false
+			c.flushPending(pending)
+			pending = pending[:0]
+		case <-stop:
+			// Resolve everything still queued: the connection is gone.
+			for {
+				select {
+				case p := <-in:
+					pending = append(pending, p)
+					continue
+				default:
+				}
+				break
+			}
+			for _, p := range pending {
+				p.done <- PublishResult{Err: ErrClientClosed}
+			}
+			return
+		}
+	}
+}
+
+// flushPending group-commits queued tuples: consecutive same-topic runs
+// become one PublishBatch each, and every tuple resolves with its assigned
+// ID (first + offset, IDs being contiguous per batch) or the batch error.
+func (c *Client) flushPending(pending []pendingPub) {
+	for start := 0; start < len(pending); {
+		end := start + 1
+		for end < len(pending) && pending[end].topic == pending[start].topic {
+			end++
+		}
+		run := pending[start:end]
+		payloads := make([][]byte, len(run))
+		for i, p := range run {
+			payloads[i] = p.payload
+		}
+		first, err := c.PublishBatch(context.Background(), run[0].topic, payloads)
+		now := time.Now()
+		for i, p := range run {
+			if err != nil {
+				p.done <- PublishResult{Err: err}
+			} else {
+				p.done <- PublishResult{ID: first + uint64(i)}
+			}
+			c.obsCoalesce.ObserveDuration(now.Sub(p.queued))
+		}
+		c.obsBatchSize.Observe(float64(len(run)))
+		start = end
+	}
+}
+
 // Subscription is a dedicated streaming connection delivering every entry of
-// one topic after a starting ID.
+// one topic after a starting ID. The server streams entries in batched
+// frames (one frame per wake-up, not per entry), which the subscription
+// unpacks in order.
 //
 // A Subscription survives connection loss: on a transient transport error it
 // re-dials with capped backoff and re-subscribes from the last delivered
@@ -469,7 +778,10 @@ type Subscription struct {
 // Subscribe opens a dedicated connection that streams entries of topic with
 // ID > afterID into the returned Subscription's channel.
 func Subscribe(addr, topic string, afterID uint64, opts ...Option) (*Subscription, error) {
-	opt := buildOptions(opts)
+	return subscribeOpt(addr, topic, afterID, buildOptions(opts))
+}
+
+func subscribeOpt(addr, topic string, afterID uint64, opt Options) (*Subscription, error) {
 	conn, err := subscribeConn(opt, addr, topic, afterID)
 	if err != nil {
 		return nil, err
@@ -522,7 +834,9 @@ func (s *Subscription) run() {
 	conn := s.currentConn()
 	for {
 		err := s.readStream(conn)
-		conn.Close()
+		if conn != nil {
+			conn.Close()
+		}
 		if err == nil || s.isClosed() {
 			return
 		}
@@ -538,7 +852,10 @@ func (s *Subscription) run() {
 }
 
 // resume re-dials and re-subscribes from the last delivered ID, backing off
-// between attempts. It returns nil when the subscription should end.
+// between attempts. It returns nil when the subscription should end. The
+// freshly-dialed connection is adopted under the subscription lock so a
+// concurrent Close either closes it itself or is observed here — a conn can
+// never be left dangling.
 func (s *Subscription) resume() net.Conn {
 	for attempt := 0; ; attempt++ {
 		if s.opt.ResumeMax > 0 && attempt >= s.opt.ResumeMax {
@@ -558,11 +875,10 @@ func (s *Subscription) resume() net.Conn {
 			}
 			continue
 		}
-		if s.isClosed() {
+		if !s.adoptConn(conn) { // Close won the race
 			conn.Close()
 			return nil
 		}
-		s.setConn(conn)
 		s.resumes.Add(1)
 		s.obsResumes.Inc()
 		return conn
@@ -570,9 +886,13 @@ func (s *Subscription) resume() net.Conn {
 }
 
 // readStream delivers entries from one connection until it fails or the
-// subscription closes (nil return). Entries at or below the last delivered
-// ID — replays after a resume — are dropped.
+// subscription closes (nil return). Each frame carries a batch of entries;
+// entries at or below the last delivered ID — replays after a resume — are
+// dropped.
 func (s *Subscription) readStream(conn net.Conn) error {
+	if conn == nil {
+		return nil // Close raced subscription start
+	}
 	r := bufio.NewReader(conn)
 	for {
 		status, payload, err := readFrame(r)
@@ -583,20 +903,22 @@ func (s *Subscription) readStream(conn net.Conn) error {
 			return remoteError(payload)
 		}
 		d := &buf{b: payload}
-		e := decodeEntry(d)
+		entries := decodeEntries(d)
 		if d.err != nil {
 			return &transportError{d.err}
 		}
-		if e.ID <= s.last.Load() {
-			s.dedups.Add(1)
-			s.obsDedups.Inc()
-			continue
-		}
-		select {
-		case s.ch <- e:
-			s.last.Store(e.ID)
-		case <-s.closed:
-			return nil
+		for _, e := range entries {
+			if e.ID <= s.last.Load() {
+				s.dedups.Add(1)
+				s.obsDedups.Inc()
+				continue
+			}
+			select {
+			case s.ch <- e:
+				s.last.Store(e.ID)
+			case <-s.closed:
+				return nil
+			}
 		}
 	}
 }
@@ -607,10 +929,17 @@ func (s *Subscription) currentConn() net.Conn {
 	return s.conn
 }
 
-func (s *Subscription) setConn(c net.Conn) {
+// adoptConn installs a resumed connection unless the subscription was closed
+// in the meantime; the check and the install are atomic with respect to
+// Close's grab-and-close.
+func (s *Subscription) adoptConn(c net.Conn) bool {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.isClosed() {
+		return false
+	}
 	s.conn = c
-	s.mu.Unlock()
+	return true
 }
 
 func (s *Subscription) isClosed() bool {
@@ -655,9 +984,15 @@ func (s *Subscription) Err() error {
 
 // Close terminates the subscription. It returns once the reader goroutine
 // has exited, even if the consumer abandoned the channel without draining.
+// The current connection is grabbed and nil'd under the lock so a racing
+// resume cannot install one that nobody closes.
 func (s *Subscription) Close() error {
 	s.once.Do(func() { close(s.closed) })
-	if c := s.currentConn(); c != nil {
+	s.mu.Lock()
+	c := s.conn
+	s.conn = nil
+	s.mu.Unlock()
+	if c != nil {
 		c.Close()
 	}
 	<-s.done

@@ -1,0 +1,99 @@
+package stream
+
+import "context"
+
+// Deprecated context-less wrappers, kept for one release while external
+// callers migrate to the unified context-aware Bus API. Each delegates to
+// its context-taking counterpart with context.Background(). No internal
+// caller uses these.
+
+// PublishNoCtx appends payload to topic.
+//
+// Deprecated: use Publish with a context.
+func (b *Broker) PublishNoCtx(topic string, payload []byte) (uint64, error) {
+	return b.Publish(context.Background(), topic, payload)
+}
+
+// LatestNoCtx returns the newest entry of topic.
+//
+// Deprecated: use Latest with a context.
+func (b *Broker) LatestNoCtx(topic string) (Entry, error) {
+	return b.Latest(context.Background(), topic)
+}
+
+// RangeNoCtx returns entries with from <= ID <= to.
+//
+// Deprecated: use Range with a context.
+func (b *Broker) RangeNoCtx(topic string, from, to uint64, max int) ([]Entry, error) {
+	return b.Range(context.Background(), topic, from, to, max)
+}
+
+// CreateGroupNoCtx registers a consumer group.
+//
+// Deprecated: use CreateGroup with a context.
+func (b *Broker) CreateGroupNoCtx(topic, group string, afterID uint64) error {
+	return b.CreateGroup(context.Background(), topic, group, afterID)
+}
+
+// AckNoCtx acknowledges a group-delivered entry.
+//
+// Deprecated: use Ack with a context.
+func (b *Broker) AckNoCtx(topic, group string, id uint64) error {
+	return b.Ack(context.Background(), topic, group, id)
+}
+
+// PublishNoCtx appends payload to topic on the server.
+//
+// Deprecated: use Publish with a context.
+func (c *Client) PublishNoCtx(topic string, payload []byte) (uint64, error) {
+	return c.Publish(context.Background(), topic, payload)
+}
+
+// LatestNoCtx fetches the newest entry of topic.
+//
+// Deprecated: use Latest with a context.
+func (c *Client) LatestNoCtx(topic string) (Entry, error) {
+	return c.Latest(context.Background(), topic)
+}
+
+// RangeNoCtx fetches entries with from <= ID <= to.
+//
+// Deprecated: use Range with a context.
+func (c *Client) RangeNoCtx(topic string, from, to uint64, max int) ([]Entry, error) {
+	return c.Range(context.Background(), topic, from, to, max)
+}
+
+// ConsumeNoCtx blocks server-side until an entry newer than afterID exists.
+//
+// Deprecated: use Consume with a context.
+func (c *Client) ConsumeNoCtx(topic string, afterID uint64) (Entry, error) {
+	return c.Consume(context.Background(), topic, afterID)
+}
+
+// CreateGroupNoCtx registers a consumer group.
+//
+// Deprecated: use CreateGroup with a context.
+func (c *Client) CreateGroupNoCtx(topic, group string, afterID uint64) error {
+	return c.CreateGroup(context.Background(), topic, group, afterID)
+}
+
+// GroupReadNoCtx claims the next entry for the group.
+//
+// Deprecated: use GroupRead with a context.
+func (c *Client) GroupReadNoCtx(topic, group string) (Entry, error) {
+	return c.GroupRead(context.Background(), topic, group)
+}
+
+// AckNoCtx acknowledges a group-delivered entry.
+//
+// Deprecated: use Ack with a context.
+func (c *Client) AckNoCtx(topic, group string, id uint64) error {
+	return c.Ack(context.Background(), topic, group, id)
+}
+
+// TopicsNoCtx lists topic names on the server.
+//
+// Deprecated: use Topics with a context.
+func (c *Client) TopicsNoCtx() ([]string, error) {
+	return c.Topics(context.Background())
+}

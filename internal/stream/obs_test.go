@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/obs"
@@ -27,11 +28,11 @@ func TestStreamObsCounters(t *testing.T) {
 	defer c.Close()
 
 	for i := 0; i < 3; i++ {
-		if _, err := c.Publish("cpu", []byte("v")); err != nil {
+		if _, err := c.Publish(context.Background(), "cpu", []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := c.Consume("cpu", 0); err != nil {
+	if _, err := c.Consume(context.Background(), "cpu", 0); err != nil {
 		t.Fatal(err)
 	}
 

@@ -126,22 +126,49 @@ func (s *Server) handle(conn net.Conn) {
 	w := bufio.NewWriter(conn)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	for {
-		op, payload, err := readFrame(r)
-		if err != nil {
-			return // connection closed or corrupt
+	// Requests are read by a dedicated goroutine so a dropped connection
+	// cancels ctx even while dispatch is parked in a blocking Consume —
+	// otherwise the handler (and Server.Close) would wait for a publish
+	// that may never come.
+	type frame struct {
+		op      byte
+		payload []byte
+	}
+	frames := make(chan frame)
+	go func() {
+		defer cancel()
+		for {
+			op, payload, err := readFrame(r)
+			if err != nil {
+				return // connection closed or corrupt
+			}
+			select {
+			case frames <- frame{op, payload}:
+			case <-ctx.Done():
+				return
+			}
 		}
-		if op == opSubscribe {
-			s.serveSubscribe(ctx, cancel, conn, w, payload)
+	}()
+	out := getEnc() // response builder, reused across this conn's requests
+	defer putEnc(out)
+	for {
+		var f frame
+		select {
+		case f = <-frames:
+		case <-ctx.Done():
 			return
 		}
-		resp, err := s.dispatch(ctx, op, payload)
-		if err != nil {
+		if f.op == opSubscribe {
+			s.serveSubscribe(ctx, w, f.payload)
+			return
+		}
+		out.b = out.b[:0]
+		if err := s.dispatch(ctx, f.op, f.payload, out); err != nil {
 			if writeFrame(w, statusErr, errPayload(err)) != nil {
 				return
 			}
 		} else {
-			if writeFrame(w, statusOK, resp) != nil {
+			if writeFrame(w, statusOK, out.b) != nil {
 				return
 			}
 		}
@@ -151,118 +178,144 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-func (s *Server) dispatch(ctx context.Context, op byte, payload []byte) ([]byte, error) {
+// dispatch executes one request, appending the response payload to out.
+func (s *Server) dispatch(ctx context.Context, op byte, payload []byte, out *enc) error {
 	d := &buf{b: payload}
 	switch op {
 	case opPublish:
 		topic := d.str()
 		p := d.bytes()
 		if d.err != nil {
-			return nil, d.err
+			return d.err
 		}
-		id, err := s.broker.Publish(topic, p)
+		id, err := s.broker.Publish(ctx, topic, p)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return (&enc{}).u64(id).b, nil
+		out.u64(id)
+		return nil
+
+	case opPublishBatch:
+		topic := d.str()
+		n := int(d.u32())
+		if d.err != nil {
+			return d.err
+		}
+		payloads := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			payloads = append(payloads, d.bytes())
+			if d.err != nil {
+				return d.err
+			}
+		}
+		first, err := s.broker.PublishBatch(ctx, topic, payloads)
+		if err != nil {
+			return err
+		}
+		out.u64(first).u32(uint32(n))
+		return nil
 
 	case opLatest:
 		topic := d.str()
 		if d.err != nil {
-			return nil, d.err
+			return d.err
 		}
-		e, err := s.broker.Latest(topic)
+		e, err := s.broker.Latest(ctx, topic)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out := &enc{}
 		encodeEntry(out, e)
-		return out.b, nil
+		return nil
 
 	case opRange:
 		topic := d.str()
 		from, to := d.u64(), d.u64()
 		max := int(d.u32())
 		if d.err != nil {
-			return nil, d.err
+			return d.err
 		}
-		entries, err := s.broker.Range(topic, from, to, max)
+		entries, err := s.broker.Range(ctx, topic, from, to, max)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out := (&enc{}).u32(uint32(len(entries)))
-		for _, e := range entries {
-			encodeEntry(out, e)
-		}
-		return out.b, nil
+		encodeEntries(out, entries)
+		return nil
 
 	case opConsume:
 		topic := d.str()
 		after := d.u64()
 		if d.err != nil {
-			return nil, d.err
+			return d.err
 		}
 		e, err := s.broker.Consume(ctx, topic, after)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out := &enc{}
 		encodeEntry(out, e)
-		return out.b, nil
+		return nil
+
+	case opConsumeBatch:
+		topic := d.str()
+		after := d.u64()
+		max := int(d.u32())
+		if d.err != nil {
+			return d.err
+		}
+		entries, err := s.broker.ConsumeBatch(ctx, topic, after, max)
+		if err != nil {
+			return err
+		}
+		encodeEntries(out, entries)
+		return nil
 
 	case opGroupNew:
 		topic, group := d.str(), d.str()
 		after := d.u64()
 		if d.err != nil {
-			return nil, d.err
+			return d.err
 		}
-		if err := s.broker.CreateGroup(topic, group, after); err != nil {
-			return nil, err
-		}
-		return nil, nil
+		return s.broker.CreateGroup(ctx, topic, group, after)
 
 	case opGroupRead:
 		topic, group := d.str(), d.str()
 		if d.err != nil {
-			return nil, d.err
+			return d.err
 		}
 		e, err := s.broker.GroupRead(ctx, topic, group)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out := &enc{}
 		encodeEntry(out, e)
-		return out.b, nil
+		return nil
 
 	case opAck:
 		topic, group := d.str(), d.str()
 		id := d.u64()
 		if d.err != nil {
-			return nil, d.err
+			return d.err
 		}
-		if err := s.broker.Ack(topic, group, id); err != nil {
-			return nil, err
-		}
-		return nil, nil
+		return s.broker.Ack(ctx, topic, group, id)
 
 	case opTopics:
 		names := s.broker.Topics()
-		out := (&enc{}).u32(uint32(len(names)))
+		out.u32(uint32(len(names)))
 		for _, n := range names {
 			out.str(n)
 		}
-		return out.b, nil
+		return nil
 
 	case opPing:
-		return nil, nil
+		return nil
 
 	default:
-		return nil, errors.New("stream: unknown opcode")
+		return errors.New("stream: unknown opcode")
 	}
 }
 
 // serveSubscribe streams entries to the client until the connection drops.
-func (s *Server) serveSubscribe(ctx context.Context, cancel context.CancelFunc, conn net.Conn, w *bufio.Writer, payload []byte) {
+// The handler's request-reader goroutine keeps watching the connection, so
+// a client hangup cancels ctx and unparks the blocked ConsumeBatch.
+func (s *Server) serveSubscribe(ctx context.Context, w *bufio.Writer, payload []byte) {
 	d := &buf{b: payload}
 	topic := d.str()
 	after := d.u64()
@@ -271,30 +324,24 @@ func (s *Server) serveSubscribe(ctx context.Context, cancel context.CancelFunc, 
 		w.Flush()
 		return
 	}
-	// Watch for the client closing the connection so a blocked Consume is
-	// cancelled instead of leaking until the next publish.
-	go func() {
-		defer cancel()
-		var one [1]byte
-		for {
-			if _, err := conn.Read(one[:]); err != nil {
-				return
-			}
-		}
-	}()
+	// Each wake-up drains up to a full batch into one frame, so a burst of
+	// publishes costs one syscall on the wire instead of one per entry.
+	const subscribeBatch = 64
+	out := getEnc()
+	defer putEnc(out)
 	last := after
 	for {
-		e, err := s.broker.Consume(ctx, topic, last)
+		entries, err := s.broker.ConsumeBatch(ctx, topic, last, subscribeBatch)
 		if err != nil {
 			writeFrame(w, statusErr, errPayload(err))
 			w.Flush()
 			return
 		}
-		out := &enc{}
-		encodeEntry(out, e)
+		out.b = out.b[:0]
+		encodeEntries(out, entries)
 		if writeFrame(w, statusOK, out.b) != nil || w.Flush() != nil {
 			return
 		}
-		last = e.ID
+		last = entries[len(entries)-1].ID
 	}
 }

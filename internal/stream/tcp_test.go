@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -34,11 +35,11 @@ func dialT(t testing.TB, s *Server) *Client {
 func TestTCPPublishLatest(t *testing.T) {
 	_, s := startServer(t)
 	c := dialT(t, s)
-	id, err := c.Publish("cap", []byte("42"))
+	id, err := c.Publish(context.Background(), "cap", []byte("42"))
 	if err != nil || id != 1 {
 		t.Fatalf("id=%d err=%v", id, err)
 	}
-	e, err := c.Latest("cap")
+	e, err := c.Latest(context.Background(), "cap")
 	if err != nil || string(e.Payload) != "42" {
 		t.Fatalf("entry=%v err=%v", e, err)
 	}
@@ -48,9 +49,9 @@ func TestTCPRange(t *testing.T) {
 	b, s := startServer(t)
 	c := dialT(t, s)
 	for i := 1; i <= 10; i++ {
-		b.Publish("m", []byte{byte(i)})
+		b.Publish(context.Background(), "m", []byte{byte(i)})
 	}
-	es, err := c.Range("m", 2, 5, 0)
+	es, err := c.Range(context.Background(), "m", 2, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,10 +63,10 @@ func TestTCPRange(t *testing.T) {
 func TestTCPErrorMapping(t *testing.T) {
 	_, s := startServer(t)
 	c := dialT(t, s)
-	if _, err := c.Latest("ghost"); !errors.Is(err, ErrNoSuchTopic) {
+	if _, err := c.Latest(context.Background(), "ghost"); !errors.Is(err, ErrNoSuchTopic) {
 		t.Fatalf("err=%v", err)
 	}
-	if _, err := c.Publish("t", nil); !errors.Is(err, ErrEmptyPayload) {
+	if _, err := c.Publish(context.Background(), "t", nil); !errors.Is(err, ErrEmptyPayload) {
 		t.Fatalf("err=%v", err)
 	}
 }
@@ -75,13 +76,13 @@ func TestTCPConsumeBlocking(t *testing.T) {
 	c := dialT(t, s)
 	got := make(chan Entry, 1)
 	go func() {
-		e, err := c.Consume("m", 0)
+		e, err := c.Consume(context.Background(), "m", 0)
 		if err == nil {
 			got <- e
 		}
 	}()
 	time.Sleep(20 * time.Millisecond)
-	b.Publish("m", []byte("late"))
+	b.Publish(context.Background(), "m", []byte("late"))
 	select {
 	case e := <-got:
 		if string(e.Payload) != "late" {
@@ -102,7 +103,7 @@ func TestTCPSubscriptionStream(t *testing.T) {
 	const n = 25
 	go func() {
 		for i := 1; i <= n; i++ {
-			b.Publish("m", []byte{byte(i)})
+			b.Publish(context.Background(), "m", []byte{byte(i)})
 		}
 	}()
 	for i := 1; i <= n; i++ {
@@ -129,7 +130,7 @@ func TestTCPSubscriptionStream(t *testing.T) {
 func TestTCPSubscriptionFromOffset(t *testing.T) {
 	b, s := startServer(t)
 	for i := 1; i <= 5; i++ {
-		b.Publish("m", []byte{byte(i)})
+		b.Publish(context.Background(), "m", []byte{byte(i)})
 	}
 	sub, err := Subscribe(s.Addr(), "m", 3)
 	if err != nil {
@@ -145,18 +146,18 @@ func TestTCPSubscriptionFromOffset(t *testing.T) {
 func TestTCPGroupReadAck(t *testing.T) {
 	b, s := startServer(t)
 	c := dialT(t, s)
-	if err := c.CreateGroup("m", "g", 0); err != nil {
+	if err := c.CreateGroup(context.Background(), "m", "g", 0); err != nil {
 		t.Fatal(err)
 	}
-	b.Publish("m", []byte("a"))
-	e, err := c.GroupRead("m", "g")
+	b.Publish(context.Background(), "m", []byte("a"))
+	e, err := c.GroupRead(context.Background(), "m", "g")
 	if err != nil || e.ID != 1 {
 		t.Fatalf("e=%v err=%v", e, err)
 	}
-	if err := c.Ack("m", "g", e.ID); err != nil {
+	if err := c.Ack(context.Background(), "m", "g", e.ID); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Ack("m", "g", e.ID); !errors.Is(err, ErrNotPending) {
+	if err := c.Ack(context.Background(), "m", "g", e.ID); !errors.Is(err, ErrNotPending) {
 		t.Fatalf("double ack err=%v", err)
 	}
 }
@@ -164,9 +165,9 @@ func TestTCPGroupReadAck(t *testing.T) {
 func TestTCPTopics(t *testing.T) {
 	b, s := startServer(t)
 	c := dialT(t, s)
-	b.Publish("b-topic", []byte("x"))
-	b.Publish("a-topic", []byte("x"))
-	names, err := c.Topics()
+	b.Publish(context.Background(), "b-topic", []byte("x"))
+	b.Publish(context.Background(), "a-topic", []byte("x"))
+	names, err := c.Topics(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestTCPConcurrentClients(t *testing.T) {
 			}
 			defer c.Close()
 			for j := 0; j < per; j++ {
-				if _, err := c.Publish("shared", []byte{byte(i), byte(j)}); err != nil {
+				if _, err := c.Publish(context.Background(), "shared", []byte{byte(i), byte(j)}); err != nil {
 					t.Errorf("publish: %v", err)
 					return
 				}
@@ -199,7 +200,7 @@ func TestTCPConcurrentClients(t *testing.T) {
 	}
 	wg.Wait()
 	c := dialT(t, s)
-	e, err := c.Latest("shared")
+	e, err := c.Latest(context.Background(), "shared")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func BenchmarkTCPPublish(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Publish("bench", payload); err != nil {
+		if _, err := c.Publish(context.Background(), "bench", payload); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Wire protocol: every frame is
@@ -28,6 +29,11 @@ const (
 	opAck       = 0x08 // topic, group, id         -> ok
 	opTopics    = 0x09 //                          -> u32 n, n strings
 	opPing      = 0x0A //                          -> ok (liveness / conn check)
+
+	// Batched hot path: one frame carries many entries, amortizing the
+	// per-frame syscall + header cost and (broker-side) the per-append lock.
+	opPublishBatch = 0x0B // topic, u32 n, n payloads -> u64 firstID, u32 n
+	opConsumeBatch = 0x0C // topic, afterID, u32 max  -> u32 n, n entries (blocks)
 )
 
 // Response statuses.
@@ -166,6 +172,58 @@ func decodeEntry(d *buf) Entry {
 	id := d.u64()
 	p := d.bytes()
 	return Entry{ID: id, Payload: p}
+}
+
+// encodeEntries appends a u32 count followed by each entry — the multi-entry
+// frame body shared by opConsumeBatch responses and subscription stream
+// frames.
+func encodeEntries(e *enc, entries []Entry) {
+	e.u32(uint32(len(entries)))
+	for _, en := range entries {
+		encodeEntry(e, en)
+	}
+}
+
+// decodeEntries reads a u32-counted entry list. The count is sanity-checked
+// against the bytes remaining (every entry costs at least 12 bytes) so a
+// corrupt header cannot trigger a huge allocation.
+func decodeEntries(d *buf) []Entry {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b)-d.pos < 12*n {
+		d.fail()
+		return nil
+	}
+	out := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, decodeEntry(d))
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// encPool recycles payload builders across requests and responses so the
+// steady-state hot path allocates nothing for framing. Builders that grew
+// past maxPooledEnc are dropped rather than hoarded.
+const maxPooledEnc = 64 << 10
+
+var encPool = sync.Pool{New: func() any { return new(enc) }}
+
+func getEnc() *enc {
+	e := encPool.Get().(*enc)
+	e.b = e.b[:0]
+	return e
+}
+
+func putEnc(e *enc) {
+	if cap(e.b) > maxPooledEnc {
+		return
+	}
+	encPool.Put(e)
 }
 
 // errPayload renders an error for a statusErr frame.

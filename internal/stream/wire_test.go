@@ -2,6 +2,7 @@ package stream
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -115,7 +116,7 @@ func TestBrokerRangeQuick(t *testing.T) {
 		b := NewBroker(256)
 		total := int(n%64) + 1
 		for i := 0; i < total; i++ {
-			if _, err := b.Publish("t", []byte{byte(i)}); err != nil {
+			if _, err := b.Publish(context.Background(), "t", []byte{byte(i)}); err != nil {
 				return false
 			}
 		}
@@ -124,7 +125,7 @@ func TestBrokerRangeQuick(t *testing.T) {
 		if from > to {
 			from, to = to, from
 		}
-		es, err := b.Range("t", from, to, 0)
+		es, err := b.Range(context.Background(), "t", from, to, 0)
 		if err != nil {
 			return false
 		}

@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# Runs the batched-publish benchmark suite (internal/stream) and writes a
+# BENCH_<n>.json snapshot so the hot-path perf trajectory is tracked across
+# PRs. Usage: scripts/bench_batch.sh [n]   (default n=3)
+set -eu
+
+cd "$(dirname "$0")/.."
+N="${1:-3}"
+OUT="BENCH_${N}.json"
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run xxx \
+    -bench 'BenchmarkPublishInProc|BenchmarkPublishTCP|BenchmarkShardedPublish|BenchmarkCoalescedPublishTCP|BenchmarkConsumeBatch' \
+    -benchtime 500ms ./internal/stream/ | tee "$RAW"
+
+python3 - "$RAW" "$OUT" <<'EOF'
+import json, re, subprocess, sys
+
+raw, out = sys.argv[1], sys.argv[2]
+results = {}
+cpu = goos = ""
+for line in open(raw):
+    if line.startswith("cpu:"):
+        cpu = line.split(":", 1)[1].strip()
+    if line.startswith("goos:"):
+        goos = line.split(":", 1)[1].strip()
+    m = re.match(r"^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)", line)
+    if not m:
+        continue
+    name, iters, ns, rest = m.group(1), int(m.group(2)), float(m.group(3)), m.group(4)
+    entry = {"iterations": iters, "ns_per_op": ns}
+    eps = re.search(r"([\d.]+) entries/sec", rest)
+    if eps:
+        entry["entries_per_sec"] = float(eps.group(1))
+    ba = re.search(r"(\d+) B/op", rest)
+    if ba:
+        entry["bytes_per_op"] = int(ba.group(1))
+    results[name] = entry
+
+def eps(name):
+    e = results.get(name, {})
+    return e.get("entries_per_sec") or (1e9 / e["ns_per_op"] if e.get("ns_per_op") else None)
+
+summary = {}
+base, batched = eps("BenchmarkPublishInProc/batch=1"), eps("BenchmarkPublishInProc/batch=64")
+if base and batched:
+    summary["inproc_batch64_speedup_vs_single"] = round(batched / base, 2)
+base, batched = eps("BenchmarkPublishTCP/batch=1"), eps("BenchmarkPublishTCP/batch=64")
+if base and batched:
+    summary["tcp_batch64_speedup_vs_single"] = round(batched / base, 2)
+
+go_version = subprocess.run(["go", "version"], capture_output=True, text=True).stdout.strip()
+doc = {
+    "bench": "batched sharded publish hot path (internal/stream)",
+    "go": go_version,
+    "goos": goos,
+    "cpu": cpu,
+    "benchtime": "500ms",
+    "results": results,
+    "summary": summary,
+}
+json.dump(doc, open(out, "w"), indent=2)
+print(f"wrote {out}: {summary}")
+EOF

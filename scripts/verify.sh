@@ -27,4 +27,10 @@ go test ./...
 echo "==> go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/..."
 go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/...
 
+# Benchmark smoke: one iteration of the hot-path suite so the benchmarks
+# themselves can't rot. (The full-length run is scripts/bench_batch.sh,
+# which writes BENCH_<n>.json.)
+echo "==> go test -run xxx -bench . -benchtime 1x ./internal/stream/..."
+go test -run xxx -bench . -benchtime 1x ./internal/stream/...
+
 echo "verify: OK"
