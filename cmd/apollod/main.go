@@ -38,6 +38,7 @@ func main() {
 		duration = flag.Duration("duration", 0, "exit after this long (0 = run until signal)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		shards   = flag.Int("shards", 0, "broker topic-map shard count (0 = default)")
+		planC    = flag.Int("plan-cache", 128, "query-plan LRU capacity (0 = default, negative disables)")
 		metricsA = flag.String("metrics-addr", "", "HTTP address serving /metrics (Prometheus text) and /debug/pprof; empty disables")
 	)
 	flag.Parse()
@@ -64,10 +65,11 @@ func main() {
 
 	sim := cluster.BuildAres(time.Now(), *compute, *storage)
 	svc := core.New(core.Config{
-		Mode:     core.IntervalMode(cfg.Mode),
-		Delphi:   cfg.Delphi,
-		BaseTick: time.Second,
-		Shards:   *shards,
+		Mode:      core.IntervalMode(cfg.Mode),
+		Delphi:    cfg.Delphi,
+		BaseTick:  time.Second,
+		Shards:    *shards,
+		PlanCache: *planC,
 	})
 	var metrics int
 	for _, n := range sim.Nodes() {

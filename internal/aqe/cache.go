@@ -1,0 +1,73 @@
+package aqe
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultPlanCacheSize is the prepared-plan cache capacity used when none is
+// configured.
+const DefaultPlanCacheSize = 128
+
+// planCache is an LRU of prepared plans keyed on query text. Middleware
+// services issue the same handful of query shapes at high rate (§3.3), so a
+// small cache removes lexing, parsing, and compilation from the hot path.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key  string
+	plan *Plan
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached plan for src, promoting it to most recently used.
+func (c *planCache) get(src string) (*Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[src]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).plan, true
+}
+
+// put inserts a plan, evicting the least recently used entry at capacity.
+func (c *planCache) put(src string, p *Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[src]; ok {
+		el.Value.(*cacheEntry).plan = p
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+	}
+	c.entries[src] = c.order.PushFront(&cacheEntry{key: src, plan: p})
+}
+
+// stats returns hit/miss totals and current occupancy.
+func (c *planCache) stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}

@@ -3,8 +3,11 @@ package aqe
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/score"
 	"repro/internal/telemetry"
 )
@@ -18,6 +21,11 @@ type Resolver interface {
 
 // ErrNoSuchTable is returned when a queried table has no vertex.
 var ErrNoSuchTable = errors.New("aqe: no such table")
+
+var (
+	errEmptyQuery = errors.New("aqe: empty query")
+	errUnionArity = errors.New("aqe: UNION branches have different arity")
+)
 
 // GraphResolver adapts a SCoRe graph to the Resolver interface.
 type GraphResolver struct {
@@ -75,64 +83,165 @@ type Result struct {
 	Rows    [][]Cell
 }
 
-// Engine executes parsed queries against a Resolver. The zero value is not
-// usable; construct with NewEngine.
+// Engine executes queries against a Resolver through prepared plans: query
+// text is lexed, parsed, and compiled once, cached in an LRU keyed on the
+// text, and re-executed from the compiled form. The zero value is not usable;
+// construct with NewEngine.
 type Engine struct {
 	res Resolver
 	// Sequential disables branch parallelism (ablation).
 	Sequential bool
+
+	cache   *planCache // nil when disabled
+	workers int        // branch fan-out bound
+
+	obsHits      *obs.Counter
+	obsMisses    *obs.Counter
+	obsOccupancy *obs.Gauge
+	obsLatency   *obs.Histogram
+}
+
+// Option configures an Engine.
+type Option func(*engineConfig)
+
+type engineConfig struct {
+	cacheSize   int
+	parallelism int
+}
+
+// WithPlanCache sets the prepared-plan LRU capacity. Zero selects
+// DefaultPlanCacheSize; negative disables caching (every Query re-parses, as
+// the cold-path benchmark baseline does).
+func WithPlanCache(n int) Option {
+	return func(c *engineConfig) { c.cacheSize = n }
+}
+
+// WithParallelism bounds the UNION-branch fan-out. Zero selects GOMAXPROCS.
+func WithParallelism(n int) Option {
+	return func(c *engineConfig) { c.parallelism = n }
 }
 
 // NewEngine builds a query engine.
-func NewEngine(res Resolver) *Engine { return &Engine{res: res} }
+func NewEngine(res Resolver, opts ...Option) *Engine {
+	cfg := engineConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.cacheSize == 0 {
+		cfg.cacheSize = DefaultPlanCacheSize
+	}
+	if cfg.parallelism <= 0 {
+		cfg.parallelism = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{res: res, workers: cfg.parallelism}
+	if cfg.cacheSize > 0 {
+		e.cache = newPlanCache(cfg.cacheSize)
+	}
+	return e
+}
 
-// Query parses and executes src.
-func (e *Engine) Query(src string) (*Result, error) {
+// Instrument registers the engine's instruments on r: plan-cache hit/miss
+// counters, a cache-occupancy gauge, and a query-latency histogram.
+func (e *Engine) Instrument(r *obs.Registry) {
+	e.obsHits = r.Counter("aqe_plan_cache_hits_total")
+	e.obsMisses = r.Counter("aqe_plan_cache_misses_total")
+	e.obsOccupancy = r.Gauge("aqe_plan_cache_size")
+	e.obsLatency = r.Histogram("aqe_query_seconds", obs.DefLatencyBuckets...)
+}
+
+// PlanCacheStats reports cache hit/miss totals and current occupancy (all
+// zero when the cache is disabled).
+func (e *Engine) PlanCacheStats() (hits, misses uint64, size int) {
+	if e.cache == nil {
+		return 0, 0, 0
+	}
+	return e.cache.stats()
+}
+
+// Prepare returns the compiled plan for src, from cache when possible.
+func (e *Engine) Prepare(src string) (*Plan, error) {
+	if e.cache != nil {
+		if p, ok := e.cache.get(src); ok {
+			e.obsHits.Inc()
+			return p, nil
+		}
+		e.obsMisses.Inc()
+	}
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.Execute(q)
+	p, err := compileQuery(src, q)
+	if err != nil {
+		return nil, err
+	}
+	if e.cache != nil {
+		e.cache.put(src, p)
+		_, _, size := e.cache.stats()
+		e.obsOccupancy.Set(float64(size))
+	}
+	return p, nil
 }
 
-// Execute runs a parsed query. UNION branches are resolved in parallel —
-// "highly parallel and decoupled access to information within the Apollo
-// service" (§3.1) — and their rows concatenated in branch order.
-func (e *Engine) Execute(q *Query) (*Result, error) {
-	if len(q.Selects) == 0 {
-		return nil, errors.New("aqe: empty query")
+// Query parses (or recalls) and executes src.
+func (e *Engine) Query(src string) (*Result, error) {
+	p, err := e.Prepare(src)
+	if err != nil {
+		return nil, err
 	}
-	// Column headers come from the first branch; all branches must have the
-	// same arity (standard UNION semantics).
-	arity := len(q.Selects[0].Items)
-	for _, s := range q.Selects {
-		if len(s.Items) != arity {
-			return nil, errors.New("aqe: UNION branches have different arity")
-		}
-	}
-	cols := make([]string, arity)
-	for i, it := range q.Selects[0].Items {
-		cols[i] = it.Label()
-	}
+	return e.ExecutePlan(p)
+}
 
-	branchRows := make([][][]Cell, len(q.Selects))
-	branchErrs := make([]error, len(q.Selects))
+// Execute runs an already-parsed query, compiling it without touching the
+// plan cache (the AST has no canonical text to key on).
+func (e *Engine) Execute(q *Query) (*Result, error) {
+	p, err := compileQuery("", q)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecutePlan(p)
+}
+
+// ExecutePlan runs a prepared plan. UNION branches are resolved with bounded
+// parallelism — "highly parallel and decoupled access to information within
+// the Apollo service" (§3.1) — and their rows concatenated in branch order.
+func (e *Engine) ExecutePlan(p *Plan) (*Result, error) {
+	start := time.Now()
+	defer func() { e.obsLatency.ObserveDuration(time.Since(start)) }()
+
+	n := len(p.branches)
+	branchRows := make([][][]Cell, n)
+	branchErrs := make([]error, n)
+	workers := e.workers
 	if e.Sequential {
-		for i := range q.Selects {
-			branchRows[i], branchErrs[i] = e.execSelect(q.Selects[i])
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range p.branches {
+			branchRows[i], branchErrs[i] = e.execBranch(&p.branches[i])
 		}
 	} else {
+		idx := make(chan int)
 		var wg sync.WaitGroup
-		for i := range q.Selects {
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(i int) {
+			go func() {
 				defer wg.Done()
-				branchRows[i], branchErrs[i] = e.execSelect(q.Selects[i])
-			}(i)
+				for i := range idx {
+					branchRows[i], branchErrs[i] = e.execBranch(&p.branches[i])
+				}
+			}()
 		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
 		wg.Wait()
 	}
-	res := &Result{Columns: cols}
+	res := &Result{Columns: p.Columns()}
 	for i := range branchRows {
 		if branchErrs[i] != nil {
 			return nil, branchErrs[i]
@@ -142,58 +251,101 @@ func (e *Engine) Execute(q *Query) (*Result, error) {
 	return res, nil
 }
 
-// execSelect evaluates one branch.
-func (e *Engine) execSelect(s SelectStmt) ([][]Cell, error) {
-	ex, err := e.res.Resolve(s.Table)
+// scanRange streams ex's entries in [from, to] through the zero-copy Scanner
+// fast path when the executor provides one, falling back to a materializing
+// Range for foreign executors (e.g. the LDMS comparison store).
+func scanRange(ex score.Executor, from, to int64, fn func(telemetry.Info) bool) {
+	if sc, ok := ex.(score.Scanner); ok {
+		sc.ScanRange(from, to, fn)
+		return
+	}
+	for _, in := range ex.Range(from, to) {
+		if !fn(in) {
+			return
+		}
+	}
+}
+
+// execBranch evaluates one compiled branch.
+func (e *Engine) execBranch(cs *compiledSelect) ([][]Cell, error) {
+	ex, err := e.res.Resolve(cs.table)
 	if err != nil {
 		return nil, err
-	}
-	hasAgg := false
-	for _, it := range s.Items {
-		if it.Agg != AggNone {
-			hasAgg = true
-			break
-		}
 	}
 
 	// Fast path for the canonical latest-value query:
 	// every item is either MAX(Timestamp) or a bare column, no WHERE.
-	if s.Where == nil && s.Order == nil && s.Limit == 0 && hasAgg && latestOnly(s.Items) {
+	if cs.latest {
 		info, ok := ex.Latest()
 		if !ok {
 			return nil, nil
 		}
-		return [][]Cell{rowFor(s.Items, info)}, nil
+		return [][]Cell{rowFromProj(cs.proj, info)}, nil
 	}
 
-	// General path: scan the (possibly archive-backed) range, which yields
-	// entries in ascending timestamp order.
-	from, to := int64(-1<<62), int64(1<<62)
-	if s.Where != nil {
-		from, to = s.Where.From, s.Where.To
-	}
-	entries := ex.Range(from, to)
-	if !hasAgg {
-		if s.Order != nil && s.Order.Desc {
-			for i, j := 0, len(entries)-1; i < j; i, j = i+1, j-1 {
-				entries[i], entries[j] = entries[j], entries[i]
-			}
+	// Aggregate path: one streaming pass accumulates every aggregate; no
+	// row materialization at all.
+	if cs.hasAgg {
+		var st aggState
+		scanRange(ex, cs.from, cs.to, func(in telemetry.Info) bool {
+			st.observe(in)
+			return true
+		})
+		if st.n == 0 {
+			return nil, nil
 		}
-		if s.Limit > 0 && len(entries) > s.Limit {
-			entries = entries[:s.Limit]
+		row := make([]Cell, len(cs.aggs))
+		for i, ext := range cs.aggs {
+			row[i] = ext(&st)
 		}
-		rows := make([][]Cell, 0, len(entries))
-		for _, in := range entries {
-			rows = append(rows, rowFor(s.Items, in))
+		rows := [][]Cell{row}
+		if cs.limit > 0 && len(rows) > cs.limit {
+			rows = rows[:cs.limit]
 		}
 		return rows, nil
 	}
-	rows, err := aggregateRows(s.Items, entries)
-	if err != nil {
-		return nil, err
+
+	// Row path. Ascending scans stop as soon as LIMIT rows are produced
+	// (early-LIMIT cutoff); descending ones keep a ring of the newest LIMIT
+	// entries and emit it reversed.
+	desc := cs.order != nil && cs.order.Desc
+	if !desc {
+		var rows [][]Cell
+		if cs.limit > 0 {
+			rows = make([][]Cell, 0, cs.limit)
+		}
+		scanRange(ex, cs.from, cs.to, func(in telemetry.Info) bool {
+			rows = append(rows, rowFromProj(cs.proj, in))
+			return cs.limit == 0 || len(rows) < cs.limit
+		})
+		return rows, nil
 	}
-	if s.Limit > 0 && len(rows) > s.Limit {
-		rows = rows[:s.Limit]
+	if cs.limit > 0 {
+		ring := make([]telemetry.Info, 0, cs.limit)
+		pos := 0
+		scanRange(ex, cs.from, cs.to, func(in telemetry.Info) bool {
+			if len(ring) < cs.limit {
+				ring = append(ring, in)
+			} else {
+				ring[pos] = in
+				pos = (pos + 1) % cs.limit
+			}
+			return true
+		})
+		rows := make([][]Cell, 0, len(ring))
+		for k := len(ring) - 1; k >= 0; k-- {
+			rows = append(rows, rowFromProj(cs.proj, ring[(pos+k)%len(ring)]))
+		}
+		return rows, nil
+	}
+	var entries []telemetry.Info
+	scanRange(ex, cs.from, cs.to, func(in telemetry.Info) bool {
+		entries = append(entries, in)
+		return true
+	})
+	rows := make([][]Cell, 0, len(entries))
+	for i := len(entries) - 1; i >= 0; i-- {
+		rows = append(rows, rowFromProj(cs.proj, entries[i]))
 	}
 	return rows, nil
 }
@@ -210,72 +362,4 @@ func latestOnly(items []SelectItem) bool {
 		}
 	}
 	return true
-}
-
-// rowFor renders one Information tuple through the select list.
-func rowFor(items []SelectItem, in telemetry.Info) []Cell {
-	row := make([]Cell, len(items))
-	for i, it := range items {
-		switch it.Col {
-		case ColTimestamp:
-			row[i] = intCell(in.Timestamp)
-		case ColMetric:
-			row[i] = floatCell(in.Value)
-		case ColSource:
-			row[i] = strCell(in.Source.String())
-		default:
-			row[i] = intCell(1)
-		}
-	}
-	return row
-}
-
-// aggregateRows evaluates a select list with aggregates over a scanned range,
-// producing a single row.
-func aggregateRows(items []SelectItem, entries []telemetry.Info) ([][]Cell, error) {
-	if len(entries) == 0 {
-		return nil, nil
-	}
-	row := make([]Cell, len(items))
-	for i, it := range items {
-		switch it.Agg {
-		case AggNone:
-			// Bare columns alongside aggregates take the newest entry's
-			// value (the paper's query pairs MAX(Timestamp) with metric).
-			row[i] = rowFor([]SelectItem{it}, entries[len(entries)-1])[0]
-		case AggCount:
-			row[i] = intCell(int64(len(entries)))
-		case AggMax, AggMin:
-			if it.Col == ColTimestamp {
-				v := entries[0].Timestamp
-				for _, in := range entries[1:] {
-					if (it.Agg == AggMax && in.Timestamp > v) || (it.Agg == AggMin && in.Timestamp < v) {
-						v = in.Timestamp
-					}
-				}
-				row[i] = intCell(v)
-			} else {
-				v := entries[0].Value
-				for _, in := range entries[1:] {
-					if (it.Agg == AggMax && in.Value > v) || (it.Agg == AggMin && in.Value < v) {
-						v = in.Value
-					}
-				}
-				row[i] = floatCell(v)
-			}
-		case AggAvg, AggSum:
-			if it.Col != ColMetric {
-				return nil, fmt.Errorf("aqe: %s supports only the metric column", it.Agg)
-			}
-			sum := 0.0
-			for _, in := range entries {
-				sum += in.Value
-			}
-			if it.Agg == AggAvg {
-				sum /= float64(len(entries))
-			}
-			row[i] = floatCell(sum)
-		}
-	}
-	return [][]Cell{row}, nil
 }

@@ -1,0 +1,190 @@
+package aqe
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// Plan is a prepared query: the parsed AST plus per-branch compiled
+// projections and aggregate extractors, so execution never re-interprets the
+// select list per row. Plans are immutable and safe for concurrent reuse;
+// Engine.Prepare returns cached plans keyed on the query text.
+type Plan struct {
+	src      string
+	cols     []string
+	branches []compiledSelect
+}
+
+// Columns returns the result column headers.
+func (p *Plan) Columns() []string { return append([]string(nil), p.cols...) }
+
+// Complexity returns the number of UNION branches (the x-axis of Fig. 12b).
+func (p *Plan) Complexity() int { return len(p.branches) }
+
+// projector renders one cell of a row from an Information tuple, compiled
+// once per plan instead of switching on (Agg, Col) for every row.
+type projector func(telemetry.Info) Cell
+
+// aggState accumulates every aggregate of one branch in a single pass over
+// the scanned entries.
+type aggState struct {
+	n            int64
+	sum          float64
+	minV, maxV   float64
+	minTS, maxTS int64
+	last         telemetry.Info // newest visited entry, for bare columns
+}
+
+func (st *aggState) observe(in telemetry.Info) {
+	if st.n == 0 {
+		st.minV, st.maxV = in.Value, in.Value
+		st.minTS, st.maxTS = in.Timestamp, in.Timestamp
+	} else {
+		if in.Value < st.minV {
+			st.minV = in.Value
+		}
+		if in.Value > st.maxV {
+			st.maxV = in.Value
+		}
+		if in.Timestamp < st.minTS {
+			st.minTS = in.Timestamp
+		}
+		if in.Timestamp > st.maxTS {
+			st.maxTS = in.Timestamp
+		}
+	}
+	st.n++
+	st.sum += in.Value
+	st.last = in
+}
+
+// extractor renders one cell of the aggregate row from the final state.
+type extractor func(*aggState) Cell
+
+// compiledSelect is one UNION branch with its row machinery pre-bound.
+type compiledSelect struct {
+	table    string
+	from, to int64
+	order    *OrderBy
+	limit    int
+	hasAgg   bool
+	latest   bool // serviceable by Executor.Latest alone
+
+	proj []projector // row projection (non-aggregate path)
+	aggs []extractor // aggregate row extraction (aggregate path)
+}
+
+// compileQuery validates and compiles a parsed query. Aggregate/column
+// mismatches (e.g. AVG(Timestamp)) are rejected here, at prepare time,
+// instead of surfacing per execution.
+func compileQuery(src string, q *Query) (*Plan, error) {
+	if len(q.Selects) == 0 {
+		return nil, errEmptyQuery
+	}
+	arity := len(q.Selects[0].Items)
+	for _, s := range q.Selects {
+		if len(s.Items) != arity {
+			return nil, errUnionArity
+		}
+	}
+	p := &Plan{src: src, cols: make([]string, arity), branches: make([]compiledSelect, 0, len(q.Selects))}
+	for i, it := range q.Selects[0].Items {
+		p.cols[i] = it.Label()
+	}
+	for _, s := range q.Selects {
+		cs, err := compileSelect(s)
+		if err != nil {
+			return nil, err
+		}
+		p.branches = append(p.branches, cs)
+	}
+	return p, nil
+}
+
+func compileSelect(s SelectStmt) (compiledSelect, error) {
+	cs := compiledSelect{table: s.Table, order: s.Order, limit: s.Limit, from: -1 << 62, to: 1 << 62}
+	if s.Where != nil {
+		cs.from, cs.to = s.Where.From, s.Where.To
+	}
+	for _, it := range s.Items {
+		if it.Agg != AggNone {
+			cs.hasAgg = true
+			break
+		}
+	}
+	cs.latest = s.Where == nil && s.Order == nil && s.Limit == 0 && cs.hasAgg && latestOnly(s.Items)
+
+	cs.proj = make([]projector, len(s.Items))
+	if cs.hasAgg {
+		cs.aggs = make([]extractor, len(s.Items))
+	}
+	for i, it := range s.Items {
+		cs.proj[i] = compileProjector(it)
+		if cs.hasAgg {
+			ext, err := compileExtractor(it)
+			if err != nil {
+				return cs, err
+			}
+			cs.aggs[i] = ext
+		}
+	}
+	return cs, nil
+}
+
+// compileProjector binds a select item to its tuple field once.
+func compileProjector(it SelectItem) projector {
+	switch it.Col {
+	case ColTimestamp:
+		return func(in telemetry.Info) Cell { return intCell(in.Timestamp) }
+	case ColMetric:
+		return func(in telemetry.Info) Cell { return floatCell(in.Value) }
+	case ColSource:
+		return func(in telemetry.Info) Cell { return strCell(in.Source.String()) }
+	default:
+		return func(telemetry.Info) Cell { return intCell(1) }
+	}
+}
+
+// compileExtractor binds an aggregate item to its aggState field once,
+// rejecting unsupported combinations at compile time.
+func compileExtractor(it SelectItem) (extractor, error) {
+	switch it.Agg {
+	case AggNone:
+		// Bare columns alongside aggregates take the newest entry's value
+		// (the paper's query pairs MAX(Timestamp) with metric).
+		proj := compileProjector(it)
+		return func(st *aggState) Cell { return proj(st.last) }, nil
+	case AggCount:
+		return func(st *aggState) Cell { return intCell(st.n) }, nil
+	case AggMax:
+		if it.Col == ColTimestamp {
+			return func(st *aggState) Cell { return intCell(st.maxTS) }, nil
+		}
+		return func(st *aggState) Cell { return floatCell(st.maxV) }, nil
+	case AggMin:
+		if it.Col == ColTimestamp {
+			return func(st *aggState) Cell { return intCell(st.minTS) }, nil
+		}
+		return func(st *aggState) Cell { return floatCell(st.minV) }, nil
+	case AggAvg, AggSum:
+		if it.Col != ColMetric {
+			return nil, fmt.Errorf("aqe: %s supports only the metric column", it.Agg)
+		}
+		if it.Agg == AggAvg {
+			return func(st *aggState) Cell { return floatCell(st.sum / float64(st.n)) }, nil
+		}
+		return func(st *aggState) Cell { return floatCell(st.sum) }, nil
+	default:
+		return nil, fmt.Errorf("aqe: unsupported aggregate %v", it.Agg)
+	}
+}
+
+// rowFromProj renders one row through compiled projectors.
+func rowFromProj(proj []projector, in telemetry.Info) []Cell {
+	row := make([]Cell, len(proj))
+	for i, p := range proj {
+		row[i] = p(in)
+	}
+	return row
+}

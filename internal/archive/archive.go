@@ -5,7 +5,9 @@
 //
 // The log is a sequence of fixed-framing records, each the CRC-guarded
 // binary encoding from package telemetry, optionally split across size-capped
-// segment files so old segments can be pruned.
+// segment files so old segments can be pruned. Every sealed segment carries a
+// sparse timestamp index sidecar (see index.go) so timestamp-bounded reads
+// seek instead of replaying the world.
 package archive
 
 import (
@@ -43,10 +45,19 @@ type Log struct {
 	corrupt      uint64 // corrupt records skipped during replays
 	closed       bool
 
+	idx         map[int]*segIndex // sealed-segment indexes
+	active      *segIndex         // incrementally-built index of the open segment
+	readBytes   uint64            // bytes read by Replay/Range
+	idxRebuilds uint64            // sidecars rebuilt (missing, corrupt, stale)
+	segSkipped  uint64            // segments skipped entirely by Range
+
 	// Optional obs instruments (nil-safe no-ops when not instrumented).
-	obsAppends   *obs.Counter
-	obsRotations *obs.Counter
-	obsCorrupt   *obs.Counter
+	obsAppends    *obs.Counter
+	obsRotations  *obs.Counter
+	obsCorrupt    *obs.Counter
+	obsReadBytes  *obs.Counter
+	obsRebuilds   *obs.Counter
+	obsSegSkipped *obs.Counter
 }
 
 // Options configures a Log.
@@ -56,7 +67,10 @@ type Options struct {
 }
 
 // Open creates or reopens a Log rooted at dir. Existing segments are kept and
-// appends continue in a fresh segment after the highest existing index.
+// appends continue in a fresh segment after the highest existing index. Every
+// existing segment's index sidecar is loaded; missing, corrupt, or stale
+// sidecars are rebuilt from the segment (crash safety: the sidecar is a pure
+// accelerator, never trusted over the log).
 func Open(dir string, opts Options) (*Log, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
@@ -64,10 +78,30 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("archive: %w", err)
 	}
-	l := &Log{dir: dir, segmentBytes: opts.SegmentBytes}
+	l := &Log{dir: dir, segmentBytes: opts.SegmentBytes, idx: make(map[int]*segIndex)}
 	segs, err := l.segments()
 	if err != nil {
 		return nil, err
+	}
+	for _, i := range segs {
+		seg := filepath.Join(dir, segmentName(i))
+		st, err := os.Stat(seg)
+		if err != nil {
+			return nil, fmt.Errorf("archive: %w", err)
+		}
+		side := filepath.Join(dir, indexName(i))
+		si, err := loadSidecar(side, st.Size())
+		if err != nil {
+			si, err = buildSegIndex(seg)
+			if err != nil {
+				return nil, err
+			}
+			if err := writeSidecar(side, si); err != nil {
+				return nil, err
+			}
+			l.idxRebuilds++
+		}
+		l.idx[i] = si
 	}
 	next := 0
 	if len(segs) > 0 {
@@ -118,6 +152,7 @@ func (l *Log) openSegment(i int) error {
 	l.curW = bufio.NewWriter(f)
 	l.curSize = st.Size()
 	l.curIndex = i
+	l.active = &segIndex{size: l.curSize, sorted: true}
 	return nil
 }
 
@@ -137,21 +172,37 @@ func (l *Log) Append(info telemetry.Info) error {
 			return err
 		}
 	}
+	off := l.curSize
 	if _, err := l.curW.Write(b); err != nil {
 		return fmt.Errorf("archive: %w", err)
 	}
 	l.curSize += int64(len(b))
+	l.active.note(off, info.Timestamp, l.curSize)
 	l.appended++
 	l.obsAppends.Inc()
 	return nil
 }
 
-func (l *Log) rotateLocked() error {
+// sealLocked flushes and closes the active segment, persists its index
+// sidecar, and promotes the in-memory index to the sealed map.
+func (l *Log) sealLocked() error {
 	if err := l.curW.Flush(); err != nil {
+		l.cur.Close()
 		return fmt.Errorf("archive: %w", err)
 	}
 	if err := l.cur.Close(); err != nil {
 		return fmt.Errorf("archive: %w", err)
+	}
+	if err := writeSidecar(filepath.Join(l.dir, indexName(l.curIndex)), l.active); err != nil {
+		return err
+	}
+	l.idx[l.curIndex] = l.active
+	return nil
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.sealLocked(); err != nil {
+		return err
 	}
 	l.rotations++
 	l.obsRotations.Inc()
@@ -159,13 +210,22 @@ func (l *Log) rotateLocked() error {
 }
 
 // Instrument registers the log's instruments on r, labelled by name (usually
-// the vertex metric): archive_appends_total, archive_rotations_total, and
-// archive_corrupt_records_total.
+// the vertex metric): archive_appends_total, archive_rotations_total,
+// archive_corrupt_records_total, archive_read_bytes_total,
+// archive_index_rebuilds_total, and archive_range_segments_skipped_total.
+// Events that happened before instrumentation (e.g. sidecar rebuilds during
+// Open) are folded into the counters so snapshots stay truthful.
 func (l *Log) Instrument(r *obs.Registry, name string) {
 	l.mu.Lock()
 	l.obsAppends = r.Counter(obs.Name("archive_appends_total", "log", name))
 	l.obsRotations = r.Counter(obs.Name("archive_rotations_total", "log", name))
 	l.obsCorrupt = r.Counter(obs.Name("archive_corrupt_records_total", "log", name))
+	l.obsReadBytes = r.Counter(obs.Name("archive_read_bytes_total", "log", name))
+	l.obsRebuilds = r.Counter(obs.Name("archive_index_rebuilds_total", "log", name))
+	l.obsSegSkipped = r.Counter(obs.Name("archive_range_segments_skipped_total", "log", name))
+	l.obsRebuilds.Add(l.idxRebuilds)
+	l.obsReadBytes.Add(l.readBytes)
+	l.obsSegSkipped.Add(l.segSkipped)
 	l.mu.Unlock()
 }
 
@@ -191,6 +251,29 @@ func (l *Log) CorruptRecords() uint64 {
 	return l.corrupt
 }
 
+// ReadBytes returns how many segment bytes Replay and Range have read since
+// Open — the denominator of the indexed-read win.
+func (l *Log) ReadBytes() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.readBytes
+}
+
+// IndexRebuilds returns how many sidecars Open had to rebuild (missing,
+// corrupt, or stale).
+func (l *Log) IndexRebuilds() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.idxRebuilds
+}
+
+// SegmentsSkipped returns how many whole segments Range pruned via the index.
+func (l *Log) SegmentsSkipped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segSkipped
+}
+
 // Sync flushes buffered appends to the OS.
 func (l *Log) Sync() error {
 	l.mu.Lock()
@@ -204,7 +287,8 @@ func (l *Log) Sync() error {
 	return l.cur.Sync()
 }
 
-// Close flushes and closes the active segment.
+// Close flushes and closes the active segment, sealing its index sidecar so
+// the next Open needs no rebuild.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -212,11 +296,7 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
-	if err := l.curW.Flush(); err != nil {
-		l.cur.Close()
-		return fmt.Errorf("archive: %w", err)
-	}
-	return l.cur.Close()
+	return l.sealLocked()
 }
 
 // Replay streams every archived tuple, oldest first, to fn. Replay stops at
@@ -242,13 +322,8 @@ func (l *Log) Replay(fn func(telemetry.Info) error) error {
 	}
 	for n, i := range segs {
 		active := n == len(segs)-1
-		corrupt, err := replayFile(filepath.Join(l.dir, segmentName(i)), active, fn)
-		if corrupt > 0 {
-			l.mu.Lock()
-			l.corrupt += uint64(corrupt)
-			l.mu.Unlock()
-			l.obsCorrupt.Add(uint64(corrupt))
-		}
+		corrupt, bytes, err := replayFile(filepath.Join(l.dir, segmentName(i)), active, fn)
+		l.account(corrupt, bytes, 0)
 		if err != nil {
 			return err
 		}
@@ -256,30 +331,156 @@ func (l *Log) Replay(fn func(telemetry.Info) error) error {
 	return nil
 }
 
-// Range replays only tuples whose Timestamp lies in [from, to].
+// account folds per-segment read statistics into the log's counters.
+func (l *Log) account(corrupt int, bytes int64, skipped int) {
+	if corrupt == 0 && bytes == 0 && skipped == 0 {
+		return
+	}
+	l.mu.Lock()
+	l.corrupt += uint64(corrupt)
+	l.readBytes += uint64(bytes)
+	l.segSkipped += uint64(skipped)
+	l.mu.Unlock()
+	l.obsCorrupt.Add(uint64(corrupt))
+	l.obsReadBytes.Add(uint64(bytes))
+	l.obsSegSkipped.Add(uint64(skipped))
+}
+
+// Range streams tuples whose Timestamp lies in [from, to], using the sparse
+// per-segment indexes: segments whose [firstTS, lastTS] envelope misses the
+// window are skipped without touching the file, and within a sorted segment
+// the read starts at the sparse offset preceding `from` and stops at the
+// first sparse offset past `to` — instead of replaying every segment from
+// byte zero. Unindexed or unsorted segments fall back to a full filtered
+// scan, so Range never misses records the index cannot vouch for.
 func (l *Log) Range(from, to int64, fn func(telemetry.Info) error) error {
-	return l.Replay(func(info telemetry.Info) error {
-		if info.Timestamp < from || info.Timestamp > to {
-			return nil
+	if from > to {
+		return nil
+	}
+	l.mu.Lock()
+	if !l.closed {
+		if err := l.curW.Flush(); err != nil {
+			l.mu.Unlock()
+			return fmt.Errorf("archive: %w", err)
 		}
-		return fn(info)
-	})
+	}
+	segs, err := l.segments()
+	if err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	type segPlan struct {
+		index  int
+		si     *segIndex
+		active bool
+	}
+	plans := make([]segPlan, 0, len(segs))
+	for _, i := range segs {
+		p := segPlan{index: i}
+		if i == l.curIndex && !l.closed {
+			// Snapshot the building index: the header copy is safe to read
+			// after unlock (appends beyond len are invisible; reallocation
+			// leaves our view intact).
+			cp := *l.active
+			p.si, p.active = &cp, true
+		} else {
+			p.si = l.idx[i]
+		}
+		plans = append(plans, p)
+	}
+	l.mu.Unlock()
+
+	for _, p := range plans {
+		if p.si != nil && !p.si.covers(from, to) {
+			l.account(0, 0, 1)
+			continue
+		}
+		corrupt, bytes, err := l.scanSegment(p.index, p.si, p.active, from, to, fn)
+		l.account(corrupt, bytes, 0)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanSegment streams the in-window records of one segment, reading only the
+// byte range the index says can matter.
+func (l *Log) scanSegment(index int, si *segIndex, active bool, from, to int64, fn func(telemetry.Info) error) (corrupt int, bytes int64, err error) {
+	path := filepath.Join(l.dir, segmentName(index))
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("archive: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, 0, fmt.Errorf("archive: %w", err)
+	}
+	size := st.Size()
+	start := si.seek(from)
+	end := si.seekEnd(to, size)
+	if start >= end {
+		return 0, 0, nil
+	}
+	if end > size {
+		end = size
+	}
+	data := make([]byte, end-start)
+	if _, err := io.ReadFull(io.NewSectionReader(f, start, end-start), data); err != nil {
+		return 0, 0, fmt.Errorf("archive: %w", err)
+	}
+	bytes = int64(len(data))
+	sorted := si != nil && si.sorted
+	// reachedEOF: a trailing undecodable run only counts as a torn tail when
+	// our read window extends to the physical end of the active segment.
+	reachedEOF := end == size
+	for len(data) > 0 {
+		info, n, derr := telemetry.DecodeInfo(data)
+		if derr != nil {
+			skip := resync(data[1:])
+			if skip < 0 {
+				if active && reachedEOF {
+					return corrupt, bytes, nil
+				}
+				return corrupt + 1, bytes, nil
+			}
+			corrupt++
+			data = data[1+skip:]
+			continue
+		}
+		data = data[n:]
+		if info.Timestamp > to {
+			if sorted {
+				return corrupt, bytes, nil
+			}
+			continue
+		}
+		if info.Timestamp < from {
+			continue
+		}
+		if err := fn(info); err != nil {
+			return corrupt, bytes, err
+		}
+	}
+	return corrupt, bytes, nil
 }
 
 // replayFile replays one segment, returning how many corrupt records were
-// skipped. Only the tail of the active segment may be treated as a torn
-// write (uncounted); any other decode failure resynchronizes on the next
-// CRC-valid record and is counted.
-func replayFile(path string, active bool, fn func(telemetry.Info) error) (int, error) {
+// skipped and how many bytes were read. Only the tail of the active segment
+// may be treated as a torn write (uncounted); any other decode failure
+// resynchronizes on the next CRC-valid record and is counted.
+func replayFile(path string, active bool, fn func(telemetry.Info) error) (int, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, fmt.Errorf("archive: %w", err)
+		return 0, 0, fmt.Errorf("archive: %w", err)
 	}
 	defer f.Close()
 	data, err := io.ReadAll(bufio.NewReader(f))
 	if err != nil {
-		return 0, fmt.Errorf("archive: %w", err)
+		return 0, 0, fmt.Errorf("archive: %w", err)
 	}
+	bytes := int64(len(data))
 	corrupt := 0
 	for len(data) > 0 {
 		info, n, err := telemetry.DecodeInfo(data)
@@ -291,9 +492,9 @@ func replayFile(path string, active bool, fn func(telemetry.Info) error) (int, e
 				// semantics, ended silently. Anywhere else the remainder is
 				// corrupt and counted.
 				if active {
-					return corrupt, nil
+					return corrupt, bytes, nil
 				}
-				return corrupt + 1, nil
+				return corrupt + 1, bytes, nil
 			}
 			// Mid-segment corruption: skip to the next decodable record.
 			corrupt++
@@ -301,11 +502,11 @@ func replayFile(path string, active bool, fn func(telemetry.Info) error) (int, e
 			continue
 		}
 		if err := fn(info); err != nil {
-			return corrupt, err
+			return corrupt, bytes, err
 		}
 		data = data[n:]
 	}
-	return corrupt, nil
+	return corrupt, bytes, nil
 }
 
 // resync scans forward for the next offset at which a record decodes. The
@@ -320,7 +521,8 @@ func resync(b []byte) int {
 	return -1
 }
 
-// Prune removes all segments except the active one, returning how many files
+// Prune removes all segments except the active one, along with their index
+// sidecars (and any orphaned sidecars), returning how many segment files
 // were deleted. SCoRe uses it to bound archive growth for long-lived
 // vertices.
 func (l *Log) Prune() (int, error) {
@@ -338,6 +540,11 @@ func (l *Log) Prune() (int, error) {
 		if err := os.Remove(filepath.Join(l.dir, segmentName(i))); err != nil {
 			return n, fmt.Errorf("archive: %w", err)
 		}
+		// Sidecars follow their segment; a missing one is fine.
+		if err := os.Remove(filepath.Join(l.dir, indexName(i))); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return n, fmt.Errorf("archive: %w", err)
+		}
+		delete(l.idx, i)
 		n++
 	}
 	return n, nil

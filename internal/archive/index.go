@@ -1,0 +1,246 @@
+package archive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// Sparse per-segment timestamp index. Each sealed segment gets a small
+// `segment-XXXXXXXX.idx` sidecar recording the segment's first/last record
+// timestamps plus the byte offset and timestamp of every IndexStride-th
+// record. Range uses it to (a) skip whole segments outside the query window
+// and (b) seek near the first relevant record inside a segment instead of
+// replaying it from byte zero.
+//
+// Sidecar framing (little endian):
+//
+//	u32  magic "AIDX"
+//	u8   version (1)
+//	u8   flags (bit0: records are timestamp-sorted)
+//	u16  stride
+//	i64  segment size in bytes when indexed (staleness check)
+//	u32  record count
+//	i64  first timestamp
+//	i64  last timestamp
+//	u32  sparse entry count
+//	[..] entries: { i64 offset, i64 timestamp }
+//	u32  crc32 (IEEE) of everything above
+//
+// The CRC plus the recorded segment size make the sidecar crash-safe: a
+// torn, corrupt, or stale sidecar is detected on Open and rebuilt from the
+// segment itself; a missing sidecar is likewise rebuilt. The index is purely
+// an accelerator — the segment log remains the source of truth.
+
+// IndexStride is the sparse sampling interval: every IndexStride-th record's
+// (offset, timestamp) lands in the sidecar. At the default segment size this
+// keeps sidecars a few hundred bytes while bounding an in-segment seek to at
+// most IndexStride records of overshoot.
+const IndexStride = 64
+
+const (
+	idxMagic   = 0x58444941 // "AIDX"
+	idxVersion = 1
+
+	idxFlagSorted = 1 << 0
+)
+
+// errIdxInvalid marks a sidecar that failed a structural or CRC check.
+var errIdxInvalid = errors.New("archive: invalid index sidecar")
+
+// idxEntry is one sparse index point.
+type idxEntry struct {
+	off int64 // byte offset of the record in the segment
+	ts  int64 // the record's timestamp
+}
+
+// segIndex is the in-memory index of one segment.
+type segIndex struct {
+	size    int64 // segment bytes covered by this index
+	records uint32
+	sorted  bool // timestamps non-decreasing across records
+	firstTS int64
+	lastTS  int64
+	offs    []idxEntry
+}
+
+// note records one appended record at offset off with timestamp ts,
+// maintaining the sparse table incrementally (used for the active segment).
+func (si *segIndex) note(off, ts int64, size int64) {
+	if si.records == 0 {
+		si.firstTS, si.lastTS, si.sorted = ts, ts, true
+	} else if ts < si.lastTS {
+		si.sorted = false
+	}
+	if ts < si.firstTS {
+		si.firstTS = ts
+	}
+	if ts > si.lastTS {
+		si.lastTS = ts
+	}
+	if si.records%IndexStride == 0 {
+		si.offs = append(si.offs, idxEntry{off: off, ts: ts})
+	}
+	si.records++
+	si.size = size
+}
+
+// covers reports whether the segment may contain records in [from, to].
+// firstTS/lastTS hold the min/max timestamp, so the envelope check is valid
+// even for unsorted segments; a nil index means "unknown, must scan".
+func (si *segIndex) covers(from, to int64) bool {
+	if si == nil {
+		return true
+	}
+	if si.records == 0 {
+		return false
+	}
+	return si.lastTS >= from && si.firstTS <= to
+}
+
+// seek returns the byte offset to start scanning for records with ts >=
+// from: the offset of the last sparse entry whose timestamp is < from
+// (records between two sparse points may straddle the boundary, so the scan
+// starts one stride early at worst). Returns 0 for unsorted segments.
+func (si *segIndex) seek(from int64) int64 {
+	if si == nil || !si.sorted || len(si.offs) == 0 {
+		return 0
+	}
+	// First sparse entry with ts >= from; start at its predecessor.
+	i := sort.Search(len(si.offs), func(i int) bool { return si.offs[i].ts >= from })
+	if i == 0 {
+		return si.offs[0].off
+	}
+	return si.offs[i-1].off
+}
+
+// seekEnd returns the byte offset past which no record with ts <= to can
+// exist (the first sparse entry with ts > to), or limit when the tail must
+// be scanned. Returns limit for unsorted segments.
+func (si *segIndex) seekEnd(to int64, limit int64) int64 {
+	if si == nil || !si.sorted {
+		return limit
+	}
+	i := sort.Search(len(si.offs), func(i int) bool { return si.offs[i].ts > to })
+	if i == len(si.offs) {
+		return limit
+	}
+	return si.offs[i].off
+}
+
+// marshal renders the sidecar bytes.
+func (si *segIndex) marshal() []byte {
+	b := make([]byte, 0, 34+16*len(si.offs)+4)
+	b = binary.LittleEndian.AppendUint32(b, idxMagic)
+	b = append(b, idxVersion)
+	var flags byte
+	if si.sorted {
+		flags |= idxFlagSorted
+	}
+	b = append(b, flags)
+	b = binary.LittleEndian.AppendUint16(b, IndexStride)
+	b = binary.LittleEndian.AppendUint64(b, uint64(si.size))
+	b = binary.LittleEndian.AppendUint32(b, si.records)
+	b = binary.LittleEndian.AppendUint64(b, uint64(si.firstTS))
+	b = binary.LittleEndian.AppendUint64(b, uint64(si.lastTS))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(si.offs)))
+	for _, e := range si.offs {
+		b = binary.LittleEndian.AppendUint64(b, uint64(e.off))
+		b = binary.LittleEndian.AppendUint64(b, uint64(e.ts))
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// unmarshalSegIndex parses and verifies a sidecar.
+func unmarshalSegIndex(b []byte) (*segIndex, error) {
+	if len(b) < 34+4 {
+		return nil, errIdxInvalid
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, errIdxInvalid
+	}
+	if binary.LittleEndian.Uint32(b) != idxMagic || b[4] != idxVersion {
+		return nil, errIdxInvalid
+	}
+	si := &segIndex{sorted: b[5]&idxFlagSorted != 0}
+	si.size = int64(binary.LittleEndian.Uint64(b[8:]))
+	si.records = binary.LittleEndian.Uint32(b[16:])
+	si.firstTS = int64(binary.LittleEndian.Uint64(b[20:]))
+	si.lastTS = int64(binary.LittleEndian.Uint64(b[28:]))
+	n := int(binary.LittleEndian.Uint32(b[36:]))
+	if len(body) != 40+16*n {
+		return nil, errIdxInvalid
+	}
+	si.offs = make([]idxEntry, n)
+	for i := 0; i < n; i++ {
+		si.offs[i].off = int64(binary.LittleEndian.Uint64(b[40+16*i:]))
+		si.offs[i].ts = int64(binary.LittleEndian.Uint64(b[48+16*i:]))
+	}
+	return si, nil
+}
+
+func indexName(i int) string { return fmt.Sprintf("segment-%08d.idx", i) }
+
+// writeSidecar persists si next to its segment, atomically (tmp + rename) so
+// a crash mid-write leaves either the old sidecar or none — never a torn one
+// that silently misdirects reads (the CRC would catch it regardless).
+func writeSidecar(path string, si *segIndex) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, si.marshal(), 0o644); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("archive: %w", err)
+	}
+	return nil
+}
+
+// loadSidecar reads a sidecar and validates it against the segment's current
+// size; any failure (missing, corrupt, stale) returns an error so the caller
+// rebuilds.
+func loadSidecar(path string, segSize int64) (*segIndex, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	si, err := unmarshalSegIndex(b)
+	if err != nil {
+		return nil, err
+	}
+	if si.size != segSize {
+		return nil, fmt.Errorf("%w: stale (indexed %d bytes, segment has %d)", errIdxInvalid, si.size, segSize)
+	}
+	return si, nil
+}
+
+// buildSegIndex scans a segment file and constructs its index, tolerating
+// corrupt records the same way replay does (skip and resync).
+func buildSegIndex(path string) (*segIndex, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	si := &segIndex{size: int64(len(data)), sorted: true}
+	off := int64(0)
+	for int(off) < len(data) {
+		info, n, err := telemetry.DecodeInfo(data[off:])
+		if err != nil {
+			skip := resync(data[off+1:])
+			if skip < 0 {
+				break
+			}
+			off += 1 + int64(skip)
+			continue
+		}
+		si.note(off, info.Timestamp, si.size)
+		off += int64(n)
+	}
+	return si, nil
+}

@@ -79,6 +79,9 @@ type Config struct {
 	ArchiveDir string
 	// HistorySize bounds per-vertex in-memory queues (0: default).
 	HistorySize int
+	// PlanCache sets the query engine's prepared-plan LRU capacity: 0 means
+	// aqe.DefaultPlanCacheSize, negative disables caching.
+	PlanCache int
 	// Obs is the metrics registry instrumenting the service; nil means a
 	// fresh per-service registry. Share one registry (e.g. obs.Default())
 	// to aggregate several services into one exposition endpoint.
@@ -121,7 +124,8 @@ func New(cfg Config) *Service {
 		obs:    cfg.Obs,
 	}
 	s.broker.Instrument(s.obs)
-	s.engine = aqe.NewEngine(aqe.GraphResolver{Graph: s.graph})
+	s.engine = aqe.NewEngine(aqe.GraphResolver{Graph: s.graph}, aqe.WithPlanCache(cfg.PlanCache))
+	s.engine.Instrument(s.obs)
 	return s
 }
 

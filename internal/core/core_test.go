@@ -235,7 +235,7 @@ func TestServeTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Stop()
-	bus, err := stream.NewRemoteBus(addr)
+	bus, err := stream.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,6 +31,11 @@ func (o *Online) Observe(v float64) {
 // Ready reports whether a full window of measurements exists.
 func (o *Online) Ready() bool { return o.n == WindowSize && o.model != nil }
 
+// Observed reports how many values the window currently holds (saturating at
+// WindowSize). A restarted vertex uses it to decide whether to backfill the
+// window from retained history.
+func (o *Online) Observed() int { return o.n }
+
 // Predict forecasts the next value. Before the window fills (or without a
 // model) it returns the last observed value and ok=false; with no
 // observations at all it returns (0, false).

@@ -110,29 +110,139 @@ func (h *History) Latest() (telemetry.Info, bool) {
 	return h.buf[(h.head+h.count-1)%len(h.buf)], true
 }
 
+// Bounds returns the oldest and newest retained timestamps, reporting false
+// when the window is empty. Callers that only need the retention horizon
+// (e.g. to decide whether a range query must spill to the archive) use this
+// instead of copying the whole window out.
+func (h *History) Bounds() (oldest, newest int64, ok bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.count == 0 {
+		return 0, 0, false
+	}
+	oldest = h.buf[h.head].Timestamp
+	newest = h.buf[(h.head+h.count-1)%len(h.buf)].Timestamp
+	return oldest, newest, true
+}
+
 // at returns the i-th oldest entry. Caller holds h.mu.
 func (h *History) at(i int) telemetry.Info {
 	return h.buf[(h.head+i)%len(h.buf)]
 }
 
+// boundsLocked returns the logical index window [lo, hi) of entries with
+// Timestamp in [from, to]. Caller holds h.mu.
+func (h *History) boundsLocked(from, to int64) (lo, hi int) {
+	if h.count == 0 || from > to {
+		return 0, 0
+	}
+	lo = sort.Search(h.count, func(i int) bool { return h.at(i).Timestamp >= from })
+	hi = sort.Search(h.count, func(i int) bool { return h.at(i).Timestamp > to })
+	if lo > hi {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// spansLocked maps the logical window [lo, hi) onto the at most two
+// contiguous slices of the ring buffer that back it, oldest span first.
+// Caller holds h.mu.
+func (h *History) spansLocked(lo, hi int) (a, b []telemetry.Info) {
+	n := hi - lo
+	if n <= 0 {
+		return nil, nil
+	}
+	start := h.head + lo
+	if start >= len(h.buf) {
+		start -= len(h.buf)
+	}
+	first := len(h.buf) - start
+	if first >= n {
+		return h.buf[start : start+n], nil
+	}
+	return h.buf[start:], h.buf[:n-first]
+}
+
 // Range returns a copy of all entries with Timestamp in [from, to],
-// inclusive, in timestamp order. Binary search locates the window bounds.
+// inclusive, in timestamp order. Binary search locates the window bounds and
+// the ring's two unwrapped halves are block-copied (no per-element modulo).
 func (h *History) Range(from, to int64) []telemetry.Info {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	if h.count == 0 || from > to {
-		return nil
-	}
-	lo := sort.Search(h.count, func(i int) bool { return h.at(i).Timestamp >= from })
-	hi := sort.Search(h.count, func(i int) bool { return h.at(i).Timestamp > to })
+	lo, hi := h.boundsLocked(from, to)
 	if lo >= hi {
 		return nil
 	}
-	out := make([]telemetry.Info, 0, hi-lo)
-	for i := lo; i < hi; i++ {
-		out = append(out, h.at(i))
-	}
+	out := make([]telemetry.Info, hi-lo)
+	a, b := h.spansLocked(lo, hi)
+	n := copy(out, a)
+	copy(out[n:], b)
 	return out
+}
+
+// RangeFunc visits every entry with Timestamp in [from, to], oldest first,
+// under the read lock and without copying. fn returns false to stop the scan
+// early. fn must be fast and must not call back into the History (readers
+// block writers for the duration of the scan); callers that need ownership
+// of the entries use Range or RangePooled instead.
+func (h *History) RangeFunc(from, to int64, fn func(telemetry.Info) bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	lo, hi := h.boundsLocked(from, to)
+	a, b := h.spansLocked(lo, hi)
+	for i := range a {
+		if !fn(a[i]) {
+			return
+		}
+	}
+	for i := range b {
+		if !fn(b[i]) {
+			return
+		}
+	}
+}
+
+// Fold accumulates over every entry with Timestamp in [from, to], oldest
+// first, under the read lock and without copying: acc = fn(acc, entry). It
+// exists so aggregate scans (AQE AVG/SUM/COUNT, Delphi feature extraction)
+// can run allocation-free over the window.
+func Fold[T any](h *History, from, to int64, acc T, fn func(T, telemetry.Info) T) T {
+	h.RangeFunc(from, to, func(in telemetry.Info) bool {
+		acc = fn(acc, in)
+		return true
+	})
+	return acc
+}
+
+// rangePool recycles the backing arrays handed out by RangePooled.
+var rangePool = sync.Pool{
+	New: func() any {
+		s := make([]telemetry.Info, 0, 512)
+		return &s
+	},
+}
+
+// RangePooled is the pooled-slice variant of Range for callers that need
+// ownership of a copy but release it promptly (e.g. a query branch that
+// renders rows and returns): the returned slice comes from a shared pool and
+// MUST NOT be used after release is called. release is never nil.
+func (h *History) RangePooled(from, to int64) (entries []telemetry.Info, release func()) {
+	p := rangePool.Get().(*[]telemetry.Info)
+	h.mu.RLock()
+	lo, hi := h.boundsLocked(from, to)
+	need := hi - lo
+	if cap(*p) < need {
+		*p = make([]telemetry.Info, need)
+	}
+	*p = (*p)[:need]
+	a, b := h.spansLocked(lo, hi)
+	n := copy(*p, a)
+	copy((*p)[n:], b)
+	h.mu.RUnlock()
+	return *p, func() {
+		*p = (*p)[:0]
+		rangePool.Put(p)
+	}
 }
 
 // Before returns the newest entry with Timestamp <= ts, reporting false when
@@ -147,13 +257,14 @@ func (h *History) Before(ts int64) (telemetry.Info, bool) {
 	return h.at(idx - 1), true
 }
 
-// Snapshot returns a copy of the full window in timestamp order.
+// Snapshot returns a copy of the full window in timestamp order, block-
+// copying the ring's two unwrapped halves.
 func (h *History) Snapshot() []telemetry.Info {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	out := make([]telemetry.Info, h.count)
-	for i := 0; i < h.count; i++ {
-		out[i] = h.at(i)
-	}
+	a, b := h.spansLocked(0, h.count)
+	n := copy(out, a)
+	copy(out[n:], b)
 	return out
 }

@@ -1,0 +1,273 @@
+package queue
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/telemetry"
+)
+
+// buildHistory fills a History of the given capacity with n entries whose
+// timestamps start at base and advance by 0..2 each step (duplicates and
+// gaps), wrapping the ring when n > capacity.
+func buildHistory(capacity, n int, base int64, r *rand.Rand) *History {
+	h := NewHistory(capacity, nil)
+	ts := base
+	for i := 0; i < n; i++ {
+		h.Append(telemetry.NewFact("m", ts, float64(i)))
+		ts += int64(r.Intn(3))
+	}
+	return h
+}
+
+// collectRangeFunc materializes a RangeFunc scan for comparison.
+func collectRangeFunc(h *History, from, to int64) []telemetry.Info {
+	var out []telemetry.Info
+	h.RangeFunc(from, to, func(in telemetry.Info) bool {
+		out = append(out, in)
+		return true
+	})
+	return out
+}
+
+// Property: RangeFunc observes exactly the entries Range copies, for any
+// fill level (wrapped and unwrapped rings) and any query window.
+func TestRangeFuncMatchesRangeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		capacity := 1 + r.Intn(64)
+		n := r.Intn(3 * capacity) // under-full, exactly full, and wrapped
+		h := buildHistory(capacity, n, int64(r.Intn(10)), r)
+		oldest, newest, _ := h.Bounds()
+		for trial := 0; trial < 8; trial++ {
+			from := oldest - 2 + int64(r.Intn(int(newest-oldest+5)))
+			to := from - 3 + int64(r.Intn(int(newest-oldest+8)))
+			got := collectRangeFunc(h, from, to)
+			want := h.Range(from, to)
+			if len(got) != len(want) {
+				t.Logf("seed=%d cap=%d n=%d [%d,%d]: RangeFunc %d entries, Range %d",
+					seed, capacity, n, from, to, len(got), len(want))
+				return false
+			}
+			if !reflect.DeepEqual(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Fold over the full window visits exactly the Snapshot entries in
+// order (checked via an order-sensitive accumulator).
+func TestFoldMatchesSnapshotQuick(t *testing.T) {
+	type acc struct {
+		n   int
+		sum float64
+		sig int64 // order-sensitive signature
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		capacity := 1 + r.Intn(48)
+		n := r.Intn(3 * capacity)
+		h := buildHistory(capacity, n, 0, r)
+		got := Fold(h, -1<<62, 1<<62, acc{}, func(a acc, in telemetry.Info) acc {
+			a.n++
+			a.sum += in.Value
+			a.sig = a.sig*31 + in.Timestamp
+			return a
+		})
+		var want acc
+		for _, in := range h.Snapshot() {
+			want.n++
+			want.sum += in.Value
+			want.sig = want.sig*31 + in.Timestamp
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRangeFuncEarlyStop verifies a false return halts the scan.
+func TestRangeFuncEarlyStop(t *testing.T) {
+	h := NewHistory(16, nil)
+	for i := 0; i < 10; i++ {
+		h.Append(telemetry.NewFact("m", int64(i), float64(i)))
+	}
+	visited := 0
+	h.RangeFunc(0, 1<<62, func(telemetry.Info) bool {
+		visited++
+		return visited < 3
+	})
+	if visited != 3 {
+		t.Fatalf("visited=%d want 3", visited)
+	}
+}
+
+// TestRangePooled verifies the pooled copy matches Range and that a released
+// slice is reused without corrupting later scans.
+func TestRangePooled(t *testing.T) {
+	h := NewHistory(8, nil)
+	for i := 0; i < 20; i++ { // wrap the ring
+		h.Append(telemetry.NewFact("m", int64(i), float64(i)))
+	}
+	got, release := h.RangePooled(14, 18)
+	want := h.Range(14, 18)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("RangePooled=%v want %v", got, want)
+	}
+	cp := append([]telemetry.Info(nil), got...)
+	release()
+	again, release2 := h.RangePooled(14, 18)
+	defer release2()
+	if !reflect.DeepEqual(again, cp) {
+		t.Fatalf("after release: %v want %v", again, cp)
+	}
+}
+
+// TestScanDuringEvictionRace hammers RangeFunc/Fold readers against an
+// appender that keeps the ring wrapping (evicting), so the race detector can
+// see any unsynchronized access, and asserts every observed scan is
+// internally timestamp-ordered.
+func TestScanDuringEvictionRace(t *testing.T) {
+	evicted := 0
+	h := NewHistory(32, func(telemetry.Info) { evicted++ })
+	done := make(chan struct{})
+	var appender, readers sync.WaitGroup
+	appender.Add(1)
+	go func() {
+		defer appender.Done()
+		for ts := int64(0); ; ts++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			h.Append(telemetry.NewFact("m", ts, float64(ts)))
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 300; i++ {
+				last := int64(-1)
+				ok := true
+				h.RangeFunc(-1<<62, 1<<62, func(in telemetry.Info) bool {
+					if in.Timestamp < last {
+						ok = false
+					}
+					last = in.Timestamp
+					return true
+				})
+				if !ok {
+					t.Error("RangeFunc observed out-of-order timestamps")
+					return
+				}
+				n := Fold(h, -1<<62, 1<<62, 0, func(acc int, _ telemetry.Info) int { return acc + 1 })
+				if n > 32 {
+					t.Errorf("Fold visited %d entries, capacity 32", n)
+					return
+				}
+			}
+		}()
+	}
+	// Let readers finish, then stop the appender.
+	readers.Wait()
+	close(done)
+	appender.Wait()
+}
+
+// TestRangeFuncZeroAlloc pins the headline property: an aggregate scan via
+// RangeFunc performs zero per-entry heap allocations.
+func TestRangeFuncZeroAlloc(t *testing.T) {
+	h := NewHistory(1024, nil)
+	for i := 0; i < 2048; i++ {
+		h.Append(telemetry.NewFact("m", int64(i), float64(i)))
+	}
+	var sum float64
+	fn := func(in telemetry.Info) bool { sum += in.Value; return true }
+	allocs := testing.AllocsPerRun(100, func() {
+		sum = 0
+		h.RangeFunc(-1<<62, 1<<62, fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("RangeFunc allocated %.1f objects per scan, want 0", allocs)
+	}
+}
+
+// TestSnapshotWrapped covers the two-span copy across the ring seam.
+func TestSnapshotWrapped(t *testing.T) {
+	h := NewHistory(5, nil)
+	for i := 0; i < 13; i++ {
+		h.Append(telemetry.NewFact("m", int64(i), float64(i)))
+	}
+	snap := h.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("len=%d", len(snap))
+	}
+	for i, in := range snap {
+		if in.Timestamp != int64(8+i) {
+			t.Fatalf("snap[%d].ts=%d want %d", i, in.Timestamp, 8+i)
+		}
+	}
+}
+
+func benchHistory(n int) *History {
+	h := NewHistory(n, nil)
+	for i := 0; i < n; i++ {
+		h.Append(telemetry.NewFact("bench.metric", int64(i), float64(i)))
+	}
+	return h
+}
+
+// BenchmarkHistoryRangeCopy is the baseline: materialize the window.
+func BenchmarkHistoryRangeCopy(b *testing.B) {
+	h := benchHistory(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sum float64
+	for i := 0; i < b.N; i++ {
+		for _, in := range h.Range(-1<<62, 1<<62) {
+			sum += in.Value
+		}
+	}
+	_ = sum
+}
+
+// BenchmarkHistoryRangeFunc is the zero-copy aggregate scan.
+func BenchmarkHistoryRangeFunc(b *testing.B) {
+	h := benchHistory(4096)
+	var sum float64
+	fn := func(in telemetry.Info) bool { sum += in.Value; return true }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum = 0
+		h.RangeFunc(-1<<62, 1<<62, fn)
+	}
+	_ = sum
+}
+
+// BenchmarkHistoryRangePooled measures the pooled ownership variant.
+func BenchmarkHistoryRangePooled(b *testing.B) {
+	h := benchHistory(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sum float64
+	for i := 0; i < b.N; i++ {
+		entries, release := h.RangePooled(-1<<62, 1<<62)
+		for _, in := range entries {
+			sum += in.Value
+		}
+		release()
+	}
+	_ = sum
+}

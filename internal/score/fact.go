@@ -138,6 +138,18 @@ func (v *FactVertex) Start() error {
 	if v.running {
 		return fmt.Errorf("score: fact vertex %s already running", v.metric)
 	}
+	// Backfill Delphi's observation window from retained history (measured
+	// values only) so a vertex created over a pre-populated queue predicts
+	// immediately instead of re-warming poll by poll. The zero-copy scan
+	// keeps this allocation-free even over a full window.
+	if d := v.cfg.Delphi; d != nil && d.Observed() == 0 {
+		v.history.RangeFunc(-1<<62, 1<<62, func(in telemetry.Info) bool {
+			if in.Source == telemetry.Measured {
+				d.Observe(in.Value)
+			}
+			return true
+		})
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	v.cancel = cancel
 	v.done = make(chan struct{})
@@ -330,18 +342,21 @@ func (v *FactVertex) Range(from, to int64) []telemetry.Info {
 	return rangeWithArchive(v.history, v.cfg.Archive, from, to)
 }
 
-// rangeWithArchive merges archive and history ranges.
+// ScanRange implements Scanner: the zero-copy streaming counterpart of Range.
+func (v *FactVertex) ScanRange(from, to int64, fn func(telemetry.Info) bool) {
+	scanWithArchive(v.history, v.cfg.Archive, from, to, fn)
+}
+
+// rangeWithArchive merges archive and history ranges. The retention horizon
+// comes from Bounds (two reads under the lock) rather than a full Snapshot
+// copy.
 func rangeWithArchive(h *queue.History, log *archive.Log, from, to int64) []telemetry.Info {
-	inMem := h.Snapshot()
-	var memFrom int64
-	if len(inMem) > 0 {
-		memFrom = inMem[0].Timestamp
-	}
+	oldest, _, ok := h.Bounds()
 	var out []telemetry.Info
-	if log != nil && (len(inMem) == 0 || from < memFrom) {
+	if log != nil && (!ok || from < oldest) {
 		hi := to
-		if len(inMem) > 0 && memFrom-1 < hi {
-			hi = memFrom - 1
+		if ok && oldest-1 < hi {
+			hi = oldest - 1
 		}
 		_ = log.Range(from, hi, func(i telemetry.Info) error {
 			out = append(out, i)
@@ -350,4 +365,33 @@ func rangeWithArchive(h *queue.History, log *archive.Log, from, to int64) []tele
 	}
 	out = append(out, h.Range(from, to)...)
 	return out
+}
+
+// errStopScan threads an early-stop request through archive.Log.Range's
+// error return without surfacing it to callers.
+var errStopScan = errors.New("score: scan stopped")
+
+// scanWithArchive streams entries with Timestamp in [from, to] to fn —
+// archived (evicted) entries first, then the in-memory window — without
+// materializing the merged slice. fn returns false to stop the scan.
+func scanWithArchive(h *queue.History, log *archive.Log, from, to int64, fn func(telemetry.Info) bool) {
+	oldest, _, ok := h.Bounds()
+	if log != nil && (!ok || from < oldest) {
+		hi := to
+		if ok && oldest-1 < hi {
+			hi = oldest - 1
+		}
+		stopped := false
+		_ = log.Range(from, hi, func(i telemetry.Info) error {
+			if !fn(i) {
+				stopped = true
+				return errStopScan
+			}
+			return nil
+		})
+		if stopped {
+			return
+		}
+	}
+	h.RangeFunc(from, to, fn)
 }

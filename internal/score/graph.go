@@ -17,6 +17,16 @@ type Executor interface {
 	Range(from, to int64) []telemetry.Info
 }
 
+// Scanner is the streaming counterpart of Executor.Range: it visits every
+// entry with Timestamp in [from, to], archive first then in-memory history,
+// without materializing a merged slice. fn returns false to stop the scan
+// early. The query engine type-asserts Scanner to aggregate and early-LIMIT
+// without copying; executors that do not implement it are served through
+// Range.
+type Scanner interface {
+	ScanRange(from, to int64, fn func(telemetry.Info) bool)
+}
+
 // Vertex is the common surface of Fact and Insight vertices.
 type Vertex interface {
 	Executor
@@ -27,8 +37,10 @@ type Vertex interface {
 }
 
 var (
-	_ Vertex = (*FactVertex)(nil)
-	_ Vertex = (*InsightVertex)(nil)
+	_ Vertex  = (*FactVertex)(nil)
+	_ Vertex  = (*InsightVertex)(nil)
+	_ Scanner = (*FactVertex)(nil)
+	_ Scanner = (*InsightVertex)(nil)
 )
 
 // Graph is the SCoRe DAG: it tracks registered vertices, their edges, and

@@ -311,3 +311,8 @@ func (v *InsightVertex) Latest() (telemetry.Info, bool) { return v.history.Lates
 func (v *InsightVertex) Range(from, to int64) []telemetry.Info {
 	return rangeWithArchive(v.history, v.cfg.Archive, from, to)
 }
+
+// ScanRange implements Scanner: the zero-copy streaming counterpart of Range.
+func (v *InsightVertex) ScanRange(from, to int64, fn func(telemetry.Info) bool) {
+	scanWithArchive(v.history, v.cfg.Archive, from, to, fn)
+}

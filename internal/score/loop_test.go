@@ -102,10 +102,10 @@ func TestFactVertexLoopStoppedLoop(t *testing.T) {
 	}
 }
 
-// TestInsightOverRemoteBus runs a full remote topology: fact vertices
+// TestInsightOverRemoteClient runs a full remote topology: fact vertices
 // publish to a broker served over TCP; the insight vertex lives on "another
-// node", subscribed through a RemoteBus.
-func TestInsightOverRemoteBus(t *testing.T) {
+// node", subscribed through a dialed stream.Client.
+func TestInsightOverRemoteClient(t *testing.T) {
 	broker := stream.NewBroker(0)
 	srv, err := stream.Serve(broker, "127.0.0.1:0")
 	if err != nil {
@@ -118,7 +118,7 @@ func TestInsightOverRemoteBus(t *testing.T) {
 	fa := newFact(t, broker, &ReplayHook{ID: "ra", Trace: []float64{7}}, func(c *FactConfig) { c.Clock = clock })
 	fb := newFact(t, broker, &ReplayHook{ID: "rb", Trace: []float64{35}}, func(c *FactConfig) { c.Clock = clock })
 
-	remote, err := stream.NewRemoteBus(srv.Addr())
+	remote, err := stream.Dial(srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}

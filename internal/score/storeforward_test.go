@@ -10,7 +10,7 @@ import (
 	"repro/internal/telemetry"
 )
 
-// fastBusOpts keeps RemoteBus transport failures/retries test-sized.
+// fastBusOpts keeps client transport failures/retries test-sized.
 func fastBusOpts() []stream.Option {
 	return []stream.Option{
 		stream.WithDialTimeout(time.Second),
@@ -57,7 +57,7 @@ func TestFactVertexStoreAndForward(t *testing.T) {
 		t.Fatal(err)
 	}
 	addr := srv.Addr()
-	bus, err := stream.NewRemoteBus(addr, fastBusOpts()...)
+	bus, err := stream.Dial(addr, fastBusOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestStoreAndForwardBacklogBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bus, err := stream.NewRemoteBus(srv.Addr(), fastBusOpts()...)
+	bus, err := stream.Dial(srv.Addr(), fastBusOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestInsightVertexStoreAndForward(t *testing.T) {
 		t.Fatal(err)
 	}
 	addr := srv.Addr()
-	bus, err := stream.NewRemoteBus(addr, fastBusOpts()...)
+	bus, err := stream.Dial(addr, fastBusOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -525,27 +525,3 @@ func TestSubscriptionCloseDuringOutage(t *testing.T) {
 		t.Fatal("Close hung while resume was backing off")
 	}
 }
-
-func TestDeprecatedNoCtxWrappers(t *testing.T) {
-	b, s := startServer(t)
-	if _, err := b.PublishNoCtx("t", []byte("x")); err != nil {
-		t.Fatal(err)
-	}
-	if e, err := b.LatestNoCtx("t"); err != nil || e.ID != 1 {
-		t.Fatalf("LatestNoCtx = (%v, %v)", e, err)
-	}
-	c, err := Dial(s.Addr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
-	if _, err := c.PublishNoCtx("t", []byte("y")); err != nil {
-		t.Fatal(err)
-	}
-	if es, err := c.RangeNoCtx("t", 1, 10, 0); err != nil || len(es) != 2 {
-		t.Fatalf("RangeNoCtx = (%d entries, %v) want 2", len(es), err)
-	}
-	if names, err := c.TopicsNoCtx(); err != nil || len(names) != 1 {
-		t.Fatalf("TopicsNoCtx = (%v, %v)", names, err)
-	}
-}

@@ -39,68 +39,3 @@ var (
 	_ Bus = (*Broker)(nil)
 	_ Bus = (*Client)(nil)
 )
-
-// RemoteBus adapts a TCP stream server to the Bus interface.
-//
-// Deprecated: Client itself satisfies Bus now that its operations take a
-// context; Dial a Client instead. RemoteBus remains for one release as a
-// thin alias over its Client.
-type RemoteBus struct {
-	client *Client
-}
-
-// NewRemoteBus dials addr and returns a Bus backed by the remote broker.
-//
-// Deprecated: use Dial; the returned Client is a Bus.
-func NewRemoteBus(addr string, opts ...Option) (*RemoteBus, error) {
-	c, err := Dial(addr, opts...)
-	if err != nil {
-		return nil, err
-	}
-	return &RemoteBus{client: c}, nil
-}
-
-// Client exposes the underlying request client (e.g. for its reconnect
-// counters).
-func (r *RemoteBus) Client() *Client { return r.client }
-
-// Publish implements Bus.
-func (r *RemoteBus) Publish(ctx context.Context, topic string, payload []byte) (uint64, error) {
-	return r.client.Publish(ctx, topic, payload)
-}
-
-// PublishBatch implements Bus.
-func (r *RemoteBus) PublishBatch(ctx context.Context, topic string, payloads [][]byte) (uint64, error) {
-	return r.client.PublishBatch(ctx, topic, payloads)
-}
-
-// Latest implements Bus.
-func (r *RemoteBus) Latest(ctx context.Context, topic string) (Entry, error) {
-	return r.client.Latest(ctx, topic)
-}
-
-// Range implements Bus.
-func (r *RemoteBus) Range(ctx context.Context, topic string, from, to uint64, max int) ([]Entry, error) {
-	return r.client.Range(ctx, topic, from, to, max)
-}
-
-// Consume implements Bus.
-func (r *RemoteBus) Consume(ctx context.Context, topic string, afterID uint64) (Entry, error) {
-	return r.client.Consume(ctx, topic, afterID)
-}
-
-// ConsumeBatch implements Bus.
-func (r *RemoteBus) ConsumeBatch(ctx context.Context, topic string, afterID uint64, max int) ([]Entry, error) {
-	return r.client.ConsumeBatch(ctx, topic, afterID, max)
-}
-
-// Subscribe implements Bus using a dedicated streaming connection that is
-// torn down when ctx ends.
-func (r *RemoteBus) Subscribe(ctx context.Context, topic string, afterID uint64) (<-chan Entry, error) {
-	return r.client.Subscribe(ctx, topic, afterID)
-}
-
-// Close releases the request connection.
-func (r *RemoteBus) Close() error { return r.client.Close() }
-
-var _ Bus = (*RemoteBus)(nil)

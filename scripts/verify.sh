@@ -24,13 +24,15 @@ go vet ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/..."
-go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/...
+echo "==> go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/... ./internal/archive/... ./internal/aqe/..."
+go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/... ./internal/archive/... ./internal/aqe/...
 
-# Benchmark smoke: one iteration of the hot-path suite so the benchmarks
-# themselves can't rot. (The full-length run is scripts/bench_batch.sh,
-# which writes BENCH_<n>.json.)
+# Benchmark smoke: one iteration of the hot-path suites so the benchmarks
+# themselves can't rot. (The full-length runs are scripts/bench_batch.sh and
+# scripts/bench_query.sh, which write BENCH_<n>.json.)
 echo "==> go test -run xxx -bench . -benchtime 1x ./internal/stream/..."
 go test -run xxx -bench . -benchtime 1x ./internal/stream/...
+echo "==> go test -run xxx -bench . -benchtime 1x ./internal/aqe/... ./internal/queue/... ./internal/archive/..."
+go test -run xxx -bench . -benchtime 1x ./internal/aqe/... ./internal/queue/... ./internal/archive/...
 
 echo "verify: OK"
