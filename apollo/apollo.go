@@ -28,6 +28,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/score"
+	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -187,9 +188,11 @@ type (
 
 // Clock abstraction (real or simulated time).
 type (
-	// Clock drives polling.
-	Clock = sched.Clock
-	// SimClock is a manually-advanced clock for replay and tests.
+	// Clock drives polling, backoff, and timestamps across every layer
+	// (alias of sim.Clock).
+	Clock = sim.Clock
+	// SimClock is a manually-advanced virtual clock for replay and
+	// deterministic simulation (alias of sim.Virtual).
 	SimClock = sched.SimClock
 )
 

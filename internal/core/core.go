@@ -20,8 +20,8 @@ import (
 	"repro/internal/delphi"
 	"repro/internal/middleware"
 	"repro/internal/obs"
-	"repro/internal/sched"
 	"repro/internal/score"
+	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 )
@@ -61,8 +61,10 @@ func (m IntervalMode) String() string {
 
 // Config configures an Apollo service.
 type Config struct {
-	// Clock drives all polling; nil means the real clock.
-	Clock sched.Clock
+	// Clock drives all polling; nil means the wall clock. Inject a
+	// *sched.SimClock (alias of *sim.Virtual) to run the whole service on
+	// deterministic virtual time.
+	Clock sim.Clock
 	// Retention bounds each metric's broker topic (0: default).
 	Retention int
 	// Shards sets the broker's topic-map lock-stripe count (0: default).
@@ -105,9 +107,7 @@ type Service struct {
 
 // New builds an Apollo service.
 func New(cfg Config) *Service {
-	if cfg.Clock == nil {
-		cfg.Clock = sched.RealClock{}
-	}
+	cfg.Clock = sim.Or(cfg.Clock)
 	if cfg.BaseTick <= 0 {
 		cfg.BaseTick = time.Second
 	}
@@ -143,7 +143,7 @@ func (s *Service) Graph() *score.Graph { return s.graph }
 func (s *Service) Broker() *stream.Broker { return s.broker }
 
 // Clock returns the service clock.
-func (s *Service) Clock() sched.Clock { return s.cfg.Clock }
+func (s *Service) Clock() sim.Clock { return s.cfg.Clock }
 
 // newController builds the configured interval controller.
 func (s *Service) newController() (adaptive.Controller, error) {

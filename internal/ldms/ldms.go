@@ -13,8 +13,8 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/sched"
 	"repro/internal/score"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
 
@@ -106,7 +106,7 @@ func (s *Store) burn() {
 type Sampler struct {
 	Hook     score.Hook
 	Interval time.Duration
-	Clock    sched.Clock
+	Clock    sim.Clock
 
 	store  *Store
 	mu     sync.Mutex
@@ -129,11 +129,8 @@ type Service struct {
 func NewService() *Service { return &Service{Store: NewStore()} }
 
 // AddSampler registers a fixed-interval sampler for hook.
-func (s *Service) AddSampler(hook score.Hook, interval time.Duration, clock sched.Clock) *Sampler {
-	if clock == nil {
-		clock = sched.RealClock{}
-	}
-	sm := &Sampler{Hook: hook, Interval: interval, Clock: clock, store: s.Store}
+func (s *Service) AddSampler(hook score.Hook, interval time.Duration, clock sim.Clock) *Sampler {
+	sm := &Sampler{Hook: hook, Interval: interval, Clock: sim.Or(clock), store: s.Store}
 	s.mu.Lock()
 	s.samplers = append(s.samplers, sm)
 	s.mu.Unlock()

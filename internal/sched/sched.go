@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // Callback runs when a timer fires. It receives the scheduled fire time and
@@ -20,22 +21,19 @@ import (
 // their vertex goroutine).
 type Callback func(now time.Time) (next time.Duration)
 
-// Clock abstracts time so benchmarks and the HACC replay harness can run on
-// simulated time. The package-level functions use the real clock.
+// Clock abstracts time so benchmarks and the simulation harness can run the
+// loop on virtual time. It is the minimal subset of sim.Clock the loop
+// needs, so any sim.Clock (sim.Wall, *sim.Virtual) drives it.
 type Clock interface {
 	Now() time.Time
-	// NewTimer returns a channel that delivers one tick after d.
+	// After returns a channel that delivers one tick after d.
 	After(d time.Duration) <-chan time.Time
 }
 
-// RealClock is the wall-clock implementation of Clock.
-type RealClock struct{}
-
-// Now implements Clock.
-func (RealClock) Now() time.Time { return time.Now() }
-
-// After implements Clock.
-func (RealClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+// RealClock is the wall-clock implementation of Clock, now an alias of
+// sim.Wall so one value satisfies both this package's Clock and the full
+// sim.Clock the vertex/transport layers take.
+type RealClock = sim.Wall
 
 // timer is one scheduled callback.
 type timer struct {

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -27,16 +28,30 @@ func TestLoopFiresOnce(t *testing.T) {
 	waitFor(t, func() bool { return l.Pending() == 0 })
 }
 
+// waitFor spins (yielding, never sleeping) until cond holds; the wall-clock
+// deadline is only a failure backstop, not synchronization.
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
+	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
 		if cond() {
 			return
 		}
-		time.Sleep(time.Millisecond)
+		runtime.Gosched()
 	}
 	t.Fatal("condition never met")
+}
+
+// waitForDeadline spins until the loop has parked on the virtual clock with
+// its earliest deadline at want — i.e. the previous fire is fully processed
+// and the next advance will be observed. Deterministic replacement for
+// "advance then sleep a little".
+func waitForDeadline(t *testing.T, clock *SimClock, want time.Time) {
+	t.Helper()
+	waitFor(t, func() bool {
+		next, ok := clock.NextDeadline()
+		return ok && next.Equal(want)
+	})
 }
 
 func TestLoopRepeats(t *testing.T) {
@@ -80,15 +95,19 @@ func TestAdaptiveIntervalReprogramming(t *testing.T) {
 		return d
 	})
 
-	// Let the loop block on its first wait before advancing.
-	waitFor(t, func() bool { return clock.PendingWaiters() > 0 })
-	for i := 0; i < 16; i++ {
-		clock.Advance(time.Second)
-		time.Sleep(2 * time.Millisecond)
+	// Virtual fire times follow the reprogrammed intervals: 1, 1+1, 2+2,
+	// 4+4 seconds. Advance deadline-by-deadline, waiting (sleep-free) for
+	// the loop to park on the next one before moving the clock again.
+	wantSecs := []int64{1, 2, 4, 8}
+	for i, sec := range wantSecs {
+		waitForDeadline(t, clock, time.Unix(sec, 0))
+		clock.AdvanceTo(time.Unix(sec, 0))
+		if i == len(wantSecs)-1 {
+			waitFor(t, func() bool { return l.Pending() == 0 })
+		}
 	}
 	mu.Lock()
 	defer mu.Unlock()
-	wantSecs := []int64{1, 2, 4, 8}
 	if len(fires) != len(wantSecs) {
 		t.Fatalf("fires=%v", fires)
 	}
@@ -132,10 +151,11 @@ func TestAddAfterStop(t *testing.T) {
 func TestManyTimersOrdering(t *testing.T) {
 	clock := NewSimClock(time.Unix(0, 0))
 	l := NewLoop(clock)
-	l.RunAsync()
-	defer l.Stop()
 	var mu sync.Mutex
 	var order []int
+	// Register every timer before the loop starts so the loop only ever
+	// parks on the earliest pending deadline — each fire can then be
+	// delivered with a deadline-synchronized advance, no sleeps.
 	for i := 10; i >= 1; i-- {
 		i := i
 		l.Add(time.Duration(i)*time.Second, func(time.Time) time.Duration {
@@ -145,11 +165,13 @@ func TestManyTimersOrdering(t *testing.T) {
 			return 0
 		})
 	}
-	waitFor(t, func() bool { return clock.PendingWaiters() > 0 })
-	for i := 0; i < 12; i++ {
-		clock.Advance(time.Second)
-		time.Sleep(2 * time.Millisecond)
+	l.RunAsync()
+	defer l.Stop()
+	for i := 1; i <= 10; i++ {
+		waitForDeadline(t, clock, time.Unix(int64(i), 0))
+		clock.AdvanceTo(time.Unix(int64(i), 0))
 	}
+	waitFor(t, func() bool { return l.Pending() == 0 })
 	mu.Lock()
 	defer mu.Unlock()
 	if len(order) != 10 {

@@ -1,78 +1,17 @@
 package sched
 
 import (
-	"sort"
-	"sync"
 	"time"
+
+	"repro/internal/sim"
 )
 
-// SimClock is a manually-advanced Clock for deterministic tests and for
-// replaying captured workloads (the paper replays HACC traces "so that there
-// would be minimal issues with time drift or interference between runs",
-// §4.3.1). Advance moves virtual time forward, delivering any pending After
-// ticks in order.
-type SimClock struct {
-	mu      sync.Mutex
-	now     time.Time
-	waiters []simWaiter
-}
-
-type simWaiter struct {
-	when time.Time
-	ch   chan time.Time
-}
+// SimClock is the manually-advanced virtual clock for deterministic tests
+// and for replaying captured workloads. It is now provided by internal/sim
+// (this alias keeps existing call sites and the apollo facade working);
+// sim.Virtual adds Sleep, re-armable timers, Step/NextDeadline event-loop
+// primitives, and BlockUntil synchronization on top of the old SimClock.
+type SimClock = sim.Virtual
 
 // NewSimClock returns a simulated clock starting at start.
-func NewSimClock(start time.Time) *SimClock {
-	return &SimClock{now: start}
-}
-
-// Now implements Clock.
-func (c *SimClock) Now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
-}
-
-// After implements Clock. The returned channel fires when virtual time
-// reaches now+d via Advance.
-func (c *SimClock) After(d time.Duration) <-chan time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ch := make(chan time.Time, 1)
-	when := c.now.Add(d)
-	if d <= 0 {
-		ch <- when
-		return ch
-	}
-	c.waiters = append(c.waiters, simWaiter{when: when, ch: ch})
-	sort.SliceStable(c.waiters, func(i, j int) bool { return c.waiters[i].when.Before(c.waiters[j].when) })
-	return ch
-}
-
-// Advance moves virtual time forward by d, firing due waiters.
-func (c *SimClock) Advance(d time.Duration) {
-	c.mu.Lock()
-	target := c.now.Add(d)
-	c.now = target
-	var due []simWaiter
-	i := 0
-	for ; i < len(c.waiters); i++ {
-		if c.waiters[i].when.After(target) {
-			break
-		}
-		due = append(due, c.waiters[i])
-	}
-	c.waiters = c.waiters[i:]
-	c.mu.Unlock()
-	for _, w := range due {
-		w.ch <- w.when
-	}
-}
-
-// PendingWaiters returns how many After channels have not yet fired.
-func (c *SimClock) PendingWaiters() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.waiters)
-}
+func NewSimClock(start time.Time) *SimClock { return sim.NewVirtual(start) }

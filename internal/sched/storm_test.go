@@ -45,8 +45,13 @@ func TestSlowCallbackNoFireStorm(t *testing.T) {
 
 	// The loop must settle: one fire, then a fresh timer armed one interval
 	// past the refreshed now (not a burst catching up to the stale now).
-	waitFor(t, func() bool { return clock.PendingWaiters() >= 1 })
-	time.Sleep(20 * time.Millisecond) // would accumulate extra fires pre-fix
+	// Pre-fix, the stale deadline re-armed in the past, so the loop kept
+	// firing without any clock advance and never parked on a future
+	// deadline with just one fire recorded.
+	waitFor(t, func() bool {
+		next, ok := clock.NextDeadline()
+		return ok && next.After(clock.Now()) && fires.Load() >= 1
+	})
 	if got := fires.Load(); got != 1 {
 		t.Fatalf("slow callback re-fired %d times, want exactly 1", got)
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 )
@@ -26,8 +27,10 @@ type FactConfig struct {
 	// Controller decides the next polling interval (required). Use
 	// adaptive.NewFixed for static polling.
 	Controller adaptive.Controller
-	// Clock drives polling; nil means the real clock.
-	Clock sched.Clock
+	// Clock drives polling, tuple timestamps, and the anatomy timings; nil
+	// means the wall clock. Inject a *sim.Virtual to run the vertex on
+	// deterministic simulated time.
+	Clock sim.Clock
 	// HistorySize bounds the in-memory queue (default 4096).
 	HistorySize int
 	// Archive, if non-nil, receives entries evicted from the queue.
@@ -87,9 +90,7 @@ func NewFactVertex(cfg FactConfig) (*FactVertex, error) {
 	if cfg.Hook == nil || cfg.Bus == nil || cfg.Controller == nil {
 		return nil, fmt.Errorf("%w: hook, bus and controller are required", ErrVertexConfig)
 	}
-	if cfg.Clock == nil {
-		cfg.Clock = sched.RealClock{}
-	}
+	cfg.Clock = sim.Or(cfg.Clock)
 	if cfg.HistorySize <= 0 {
 		cfg.HistorySize = 4096
 	}
@@ -100,7 +101,7 @@ func NewFactVertex(cfg FactConfig) (*FactVertex, error) {
 		cfg.BufferSize = cfg.HistorySize
 	}
 	v := &FactVertex{cfg: cfg, metric: cfg.Hook.Metric()}
-	v.pub = newPubBuffer(cfg.Bus, string(v.metric), cfg.BufferSize, cfg.FailAfter, &v.stats)
+	v.pub = newPubBuffer(cfg.Bus, string(v.metric), cfg.BufferSize, cfg.FailAfter, &v.stats, cfg.Clock)
 	var onEvict func(telemetry.Info)
 	if cfg.Archive != nil {
 		onEvict = func(i telemetry.Info) { _ = cfg.Archive.Append(i) }
@@ -227,6 +228,9 @@ func (v *FactVertex) PollOnce() time.Duration {
 }
 
 func (v *FactVertex) pollOnce(ctx context.Context, current time.Duration) time.Duration {
+	// Anatomy timings (t0..t3) deliberately use wall time: they measure the
+	// real CPU cost of each component (Fig. 4) regardless of which clock
+	// stamps the tuples.
 	t0 := time.Now()
 	value, err := v.cfg.Hook.Poll()
 	t1 := time.Now()

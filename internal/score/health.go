@@ -3,9 +3,9 @@ package score
 import (
 	"context"
 	"sync"
-	"time"
 
 	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/stream"
 )
 
@@ -82,6 +82,7 @@ type BufferedPublisher struct {
 	cap       int
 	failAfter uint64
 	stats     *Stats
+	clock     sim.Clock // stamps LastFlush and times backlog drains
 
 	mu        sync.Mutex
 	backlog   []buffered
@@ -104,17 +105,20 @@ var _ stream.Publisher = (*BufferedPublisher)(nil)
 // capacity bounds the backlog (<=0: 4096); failAfter sets how many
 // consecutive errors flip Health to Failed (<=0: DefaultFailAfter).
 func NewBufferedPublisher(pub stream.Publisher, topic string, capacity, failAfter int) *BufferedPublisher {
-	return newPubBuffer(pub, topic, capacity, failAfter, &Stats{})
+	return newPubBuffer(pub, topic, capacity, failAfter, &Stats{}, nil)
 }
 
-func newPubBuffer(bus stream.Publisher, topic string, capacity, failAfter int, stats *Stats) *BufferedPublisher {
+func newPubBuffer(bus stream.Publisher, topic string, capacity, failAfter int, stats *Stats, clock sim.Clock) *BufferedPublisher {
 	if capacity <= 0 {
 		capacity = 4096
 	}
 	if failAfter <= 0 {
 		failAfter = DefaultFailAfter
 	}
-	return &BufferedPublisher{bus: bus, topic: topic, cap: capacity, failAfter: uint64(failAfter), stats: stats}
+	return &BufferedPublisher{
+		bus: bus, topic: topic, cap: capacity, failAfter: uint64(failAfter),
+		stats: stats, clock: sim.Or(clock),
+	}
 }
 
 // instrument registers the publish-path instruments on r, labelled by metric.
@@ -193,7 +197,7 @@ func (p *BufferedPublisher) flushLocked(ctx context.Context) error {
 	if len(p.backlog) == 0 {
 		return nil
 	}
-	start := time.Now()
+	start := p.clock.Now()
 	for len(p.backlog) > 0 {
 		run := 1
 		for run < len(p.backlog) && p.backlog[run].topic == p.backlog[0].topic {
@@ -210,8 +214,9 @@ func (p *BufferedPublisher) flushLocked(ctx context.Context) error {
 		p.stats.flushed.Add(uint64(run))
 		p.obsPublished.Add(uint64(run))
 	}
-	p.lastFlush = time.Now().UnixNano()
-	p.obsFlush.ObserveDuration(time.Since(start))
+	now := p.clock.Now()
+	p.lastFlush = now.UnixNano()
+	p.obsFlush.ObserveDuration(now.Sub(start))
 	return nil
 }
 

@@ -9,7 +9,7 @@ import (
 	"repro/internal/archive"
 	"repro/internal/obs"
 	"repro/internal/queue"
-	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 )
@@ -74,8 +74,9 @@ type InsightConfig struct {
 	Builder Builder
 	// Bus carries both subscriptions and the published insight (required).
 	Bus stream.Bus
-	// Clock stamps derived insights; nil means the real clock.
-	Clock sched.Clock
+	// Clock stamps derived insights; nil means the wall clock. Inject a
+	// *sim.Virtual to run the vertex on deterministic simulated time.
+	Clock sim.Clock
 	// HistorySize bounds the in-memory queue (default 4096).
 	HistorySize int
 	// Archive, if non-nil, receives evicted entries.
@@ -119,9 +120,7 @@ func NewInsightVertex(cfg InsightConfig) (*InsightVertex, error) {
 	if cfg.Metric == "" || len(cfg.Inputs) == 0 || cfg.Builder == nil || cfg.Bus == nil {
 		return nil, fmt.Errorf("%w: metric, inputs, builder and bus are required", ErrVertexConfig)
 	}
-	if cfg.Clock == nil {
-		cfg.Clock = sched.RealClock{}
-	}
+	cfg.Clock = sim.Or(cfg.Clock)
 	if cfg.HistorySize <= 0 {
 		cfg.HistorySize = 4096
 	}
@@ -129,7 +128,7 @@ func NewInsightVertex(cfg InsightConfig) (*InsightVertex, error) {
 		cfg.BufferSize = cfg.HistorySize
 	}
 	v := &InsightVertex{cfg: cfg, latest: make(map[telemetry.MetricID]telemetry.Info, len(cfg.Inputs))}
-	v.pub = newPubBuffer(cfg.Bus, string(cfg.Metric), cfg.BufferSize, cfg.FailAfter, &v.stats)
+	v.pub = newPubBuffer(cfg.Bus, string(cfg.Metric), cfg.BufferSize, cfg.FailAfter, &v.stats, cfg.Clock)
 	var onEvict func(telemetry.Info)
 	if cfg.Archive != nil {
 		onEvict = func(i telemetry.Info) { _ = cfg.Archive.Append(i) }
@@ -234,6 +233,7 @@ func (v *InsightVertex) run(ctx context.Context, merged <-chan stream.Entry) {
 
 // consume processes one upstream entry.
 func (v *InsightVertex) consume(ctx context.Context, e stream.Entry) {
+	// Anatomy timings use wall time (see FactVertex.pollOnce).
 	t0 := time.Now()
 	var in telemetry.Info
 	if err := in.UnmarshalBinary(e.Payload); err != nil {

@@ -2,6 +2,7 @@ package score
 
 import (
 	"context"
+	"runtime"
 	"testing"
 	"time"
 
@@ -49,7 +50,7 @@ func TestFactVertexOnSharedLoop(t *testing.T) {
 		if va.Stats().Polls >= 3 && vb.Stats().Polls >= 3 {
 			break
 		}
-		time.Sleep(time.Millisecond)
+		runtime.Gosched()
 	}
 	if va.Stats().Polls < 3 || vb.Stats().Polls < 3 {
 		t.Fatalf("loop-driven polls: a=%d b=%d", va.Stats().Polls, vb.Stats().Polls)
@@ -58,10 +59,19 @@ func TestFactVertexOnSharedLoop(t *testing.T) {
 	if n, _ := bus.Published("loop.a"); n < 3 {
 		t.Fatalf("published=%d", n)
 	}
-	// Stopping a vertex stops its polling promptly.
+	// Stopping a vertex stops its polling promptly: wait (sleep-free) for
+	// the still-running sibling to take several more polls — proof the loop
+	// kept ticking — and check the stopped vertex took at most the one poll
+	// that may already have been in flight.
 	va.Stop()
-	p := va.Stats().Polls
-	time.Sleep(20 * time.Millisecond)
+	p, q := va.Stats().Polls, vb.Stats().Polls
+	deadline = time.Now().Add(3 * time.Second)
+	for vb.Stats().Polls < q+5 && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+	if vb.Stats().Polls < q+5 {
+		t.Fatalf("sibling vertex stalled after Stop: %d -> %d", q, vb.Stats().Polls)
+	}
 	if va.Stats().Polls > p+1 {
 		t.Fatalf("vertex kept polling after Stop: %d -> %d", p, va.Stats().Polls)
 	}
@@ -157,7 +167,7 @@ func TestInsightOverRemoteClient(t *testing.T) {
 				}
 			}
 		}
-		time.Sleep(time.Millisecond)
+		runtime.Gosched()
 	}
 	in, ok := iv.Latest()
 	t.Fatalf("remote insight never converged: latest=%v ok=%v", in, ok)

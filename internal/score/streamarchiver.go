@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
 	"repro/internal/archive"
+	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 )
@@ -27,6 +29,8 @@ type StreamArchiver struct {
 	topic  string
 	group  string
 	log    *archive.Log
+	clock  sim.Clock
+	rng    stream.Rand63 // nil: global math/rand jitter
 
 	mu       sync.Mutex
 	cancel   context.CancelFunc
@@ -41,16 +45,36 @@ type StreamArchiver struct {
 // backoff) before the entry is left pending for inspection.
 const appendRetries = 3
 
+// ArchiverOption customizes a StreamArchiver.
+type ArchiverOption func(*StreamArchiver)
+
+// WithArchiverClock injects the clock the retry backoff sleeps on (default:
+// the wall clock).
+func WithArchiverClock(c sim.Clock) ArchiverOption {
+	return func(a *StreamArchiver) { a.clock = c }
+}
+
+// WithArchiverRand injects a seeded jitter source so the retry backoff
+// schedule is bit-reproducible under a fixed seed.
+func WithArchiverRand(r *rand.Rand) ArchiverOption {
+	return func(a *StreamArchiver) { a.rng = r }
+}
+
 // NewStreamArchiver builds an archiver for one topic. The consumer group
 // ("archiver:<topic>") is created at offset 0 so retained history is
 // captured too.
-func NewStreamArchiver(broker *stream.Broker, metric telemetry.MetricID, log *archive.Log) (*StreamArchiver, error) {
+func NewStreamArchiver(broker *stream.Broker, metric telemetry.MetricID, log *archive.Log, opts ...ArchiverOption) (*StreamArchiver, error) {
 	topic := string(metric)
 	group := "archiver:" + topic
 	if err := broker.CreateGroup(context.Background(), topic, group, 0); err != nil {
 		return nil, fmt.Errorf("score: creating archiver group: %w", err)
 	}
-	return &StreamArchiver{broker: broker, topic: topic, group: group, log: log}, nil
+	a := &StreamArchiver{broker: broker, topic: topic, group: group, log: log}
+	for _, o := range opts {
+		o(a)
+	}
+	a.clock = sim.Or(a.clock)
+	return a, nil
 }
 
 // Start launches the consumer goroutine.
@@ -69,10 +93,17 @@ func (a *StreamArchiver) Start() error {
 
 // sleep backs off between retries; it reports false when ctx ended.
 func (a *StreamArchiver) sleep(ctx context.Context, attempt int) bool {
+	const minB, maxB = 10 * time.Millisecond, 500 * time.Millisecond
+	var d time.Duration
+	if a.rng != nil {
+		d = stream.BackoffRand(a.rng, attempt, minB, maxB)
+	} else {
+		d = stream.Backoff(attempt, minB, maxB)
+	}
 	select {
 	case <-ctx.Done():
 		return false
-	case <-time.After(stream.Backoff(attempt, 10*time.Millisecond, 500*time.Millisecond)):
+	case <-a.clock.After(d):
 		return true
 	}
 }

@@ -1,0 +1,80 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/score"
+)
+
+// invariants accumulates violations of the pipeline's safety properties
+// while a scenario runs. Violations are appended to the transcript and
+// surfaced in Report.Violations, so a broken invariant is both machine- and
+// diff-visible.
+type invariants struct {
+	violations []string
+}
+
+func (iv *invariants) failf(format string, args ...interface{}) {
+	iv.violations = append(iv.violations, fmt.Sprintf(format, args...))
+}
+
+// checkMonotoneID enforces strictly-increasing per-topic entry IDs as seen by
+// the consumer (the broker assigns contiguous IDs; any regression means
+// reordering or replay without dedup).
+func (iv *invariants) checkMonotoneID(topic string, last, got uint64) {
+	if got <= last {
+		iv.failf("monotone-id: topic %s delivered id %d after %d", topic, got, last)
+	}
+}
+
+// checkInterval enforces the AIMD bound: every interval the controller hands
+// the vertex stays inside [min, max].
+func (iv *invariants) checkInterval(d, min, max time.Duration) {
+	if d < min || d > max {
+		iv.failf("aimd-bounds: interval %v outside [%v, %v]", d, min, max)
+	}
+}
+
+// healthTracker enforces legal publish-path health transitions:
+//
+//	OK       -> Degraded            (first error or backlog)
+//	Degraded -> OK | Failed         (recovery, or FailAfter consecutive errors)
+//	Failed   -> OK | Degraded       (recovery; Degraded while a backlog drains)
+//
+// OK -> Failed without passing through Degraded is illegal whenever
+// FailAfter > 1: the error streak must grow one publish at a time.
+type healthTracker struct {
+	name string
+	last score.HealthState
+	iv   *invariants
+	// transitions records each state change as "old>new" for the transcript.
+	transitions []string
+}
+
+func newHealthTracker(name string, iv *invariants) *healthTracker {
+	return &healthTracker{name: name, last: score.HealthOK, iv: iv}
+}
+
+// observe feeds one health snapshot; it returns true when the state changed.
+func (h *healthTracker) observe(s score.HealthState) bool {
+	if s == h.last {
+		return false
+	}
+	if h.last == score.HealthOK && s == score.HealthFailed {
+		h.iv.failf("health-transition: %s jumped ok -> failed", h.name)
+	}
+	h.transitions = append(h.transitions, fmt.Sprintf("%s>%s", h.last, s))
+	h.last = s
+	return true
+}
+
+// checkAckedRetention compares the number of tuples the publish path accepted
+// (delivered or buffered, i.e. "acked" to the producer) against the number
+// retrievable end-to-end from the vertex's history+archive merge: once acked,
+// a tuple may be delayed but never lost.
+func (iv *invariants) checkAckedRetention(name string, acked, retrievable uint64) {
+	if retrievable < acked {
+		iv.failf("acked-loss: %s accepted %d tuples but only %d retrievable", name, acked, retrievable)
+	}
+}

@@ -1,0 +1,367 @@
+package scenario
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/aqe"
+	"repro/internal/archive"
+	"repro/internal/delphi"
+	"repro/internal/score"
+	"repro/internal/sim"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// AIMD bounds used by every scenario; the runner asserts each interval the
+// controller hands back stays inside them.
+const (
+	aimdMin = 1 * time.Second
+	aimdMax = 8 * time.Second
+)
+
+// Metric names of the simulated DAG.
+const (
+	FactMetric    = "sim.capacity"
+	InsightMetric = "sim.capacity.insight"
+)
+
+// slowDiskLatency is the virtual time one hook poll burns while a SlowDisk
+// fault window is active.
+const slowDiskLatency = 50 * time.Millisecond
+
+// Config parameterizes a deterministic end-to-end scenario. Everything that
+// shapes behavior derives from Seed, so two Runs with equal Config produce
+// byte-identical transcripts.
+type Config struct {
+	// Seed drives the fault schedule, the workload, and (when Model is nil)
+	// Delphi training.
+	Seed int64
+	// Faults is how many fault events the schedule carries (default 6).
+	Faults int
+	// Horizon is the virtual duration of the run (default 3m).
+	Horizon time.Duration
+	// BaseTick is the discrete-event step and the Delphi fill-in resolution
+	// (default 1s).
+	BaseTick time.Duration
+	// Dir hosts the archive segments; empty means a private temp dir removed
+	// after the run (the transcript never mentions paths).
+	Dir string
+	// Model is the Delphi model to predict with; nil trains a small model
+	// from Seed (slower — share one across runs when comparing digests).
+	Model *delphi.Model
+}
+
+func (c *Config) defaults() {
+	if c.Faults <= 0 {
+		c.Faults = 6
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 3 * time.Minute
+	}
+	if c.BaseTick <= 0 {
+		c.BaseTick = time.Second
+	}
+}
+
+// Report is the outcome of one scenario run. Transcript is the replayable
+// artifact: re-running with the same Config reproduces it byte for byte, and
+// Digest is its sha256 (the one-line fingerprint to compare across runs).
+type Report struct {
+	Schedule   sim.Schedule
+	Transcript string
+	Digest     string
+
+	Polls     uint64 // hook polls executed
+	Facts     uint64 // measured facts accepted by the publish path
+	Predicted uint64 // Delphi fill-in facts accepted
+	Insights  uint64 // insights accepted
+	Archived  uint64 // tuples evicted into the archives
+	Injected  uint64 // bus operations failed or delayed by the schedule
+	Applied   int    // schedule events applied
+
+	// Violations lists broken pipeline invariants (empty on a healthy run).
+	Violations []string
+	// Elapsed is how much virtual time the run covered.
+	Elapsed time.Duration
+}
+
+// TrainQuickModel trains the small deterministic Delphi model scenarios use
+// when Config.Model is nil. Exposed so tests can train once and share it
+// across runs.
+func TrainQuickModel(seed int64) (*delphi.Model, error) {
+	return delphi.Train(delphi.TrainOptions{
+		SeriesPerFeature: 2, SeriesLen: 64, Epochs: 3, Noise: 0.2, Seed: seed,
+	})
+}
+
+// Run executes one deterministic scenario: a sampler hook polled by a Fact
+// Vertex at an AIMD-adapted interval, Delphi predictions filling skipped
+// ticks, an Insight Vertex deriving from the fact stream, archives absorbing
+// queue evictions, faults injected from the seeded schedule, and a final
+// query pass over the AQE. The whole pipeline runs synchronously on one
+// goroutine over a virtual clock, so the returned Report (and in particular
+// its Transcript/Digest) is a pure function of cfg.
+//
+// Run returns the Report together with a non-nil error when any pipeline
+// invariant was violated; the Report is always valid for inspection.
+func Run(cfg Config) (*Report, error) {
+	cfg.defaults()
+
+	dir := cfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "apollo-sim-*")
+		if err != nil {
+			return nil, fmt.Errorf("scenario: temp dir: %w", err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	model := cfg.Model
+	if model == nil {
+		m, err := TrainQuickModel(cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: training delphi: %w", err)
+		}
+		model = m
+	}
+
+	start := time.Unix(0, 0)
+	clock := sim.NewVirtual(start)
+	schedule := sim.Generate(cfg.Seed, cfg.Faults, cfg.Horizon)
+
+	broker := stream.NewBroker(0)
+	defer broker.Close()
+	bus := newFaultBus(broker, clock)
+
+	factLog, err := archive.Open(filepath.Join(dir, "fact"), archive.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer factLog.Close()
+
+	ctrl, err := adaptive.NewSimpleAIMD(adaptive.Config{
+		Initial: aimdMin, Min: aimdMin, Max: aimdMax,
+		AdditiveStep: time.Second, MultiplicativeFactor: 2, Threshold: 0.5, Window: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The workload is a seeded random walk: stable stretches let AIMD relax
+	// the interval (opening gaps for Delphi to fill), bursts snap it back.
+	wl := rand.New(rand.NewSource(cfg.Seed ^ 0x5eedface))
+	value := 100.0
+	var slowUntil time.Time
+	hook := score.HookFunc{
+		ID: FactMetric,
+		Fn: func() (float64, error) {
+			if clock.Now().Before(slowUntil) {
+				clock.Advance(slowDiskLatency) // a slow disk burns poll time
+			}
+			if wl.Float64() < 0.35 {
+				value += (wl.Float64() - 0.5) * 8
+			}
+			return value, nil
+		},
+	}
+
+	fv, err := score.NewFactVertex(score.FactConfig{
+		Hook:        hook,
+		Bus:         bus,
+		Controller:  ctrl,
+		Clock:       clock,
+		HistorySize: 32, // small window forces evictions into the archive
+		Archive:     factLog,
+		Delphi:      delphi.NewOnline(model),
+		BaseTick:    cfg.BaseTick,
+		FailAfter:   3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	insight, err := score.NewInsightVertex(score.InsightConfig{
+		Metric:  InsightMetric,
+		Inputs:  []telemetry.MetricID{FactMetric},
+		Builder: score.Sum,
+		Bus:     bus,
+		Clock:   clock,
+		// Insight timestamps are not monotone (predicted inputs carry future
+		// stamps), so keep the whole stream in history: the history+archive
+		// merge is only exact for monotone eviction order.
+		HistorySize: 4096,
+		FailAfter:   3,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	graph := score.NewGraph()
+	if err := graph.RegisterFact(fv); err != nil {
+		return nil, err
+	}
+	if err := graph.RegisterInsight(insight); err != nil {
+		return nil, err
+	}
+	engine := aqe.NewEngine(aqe.GraphResolver{Graph: graph})
+
+	inv := &invariants{}
+	factHealth := newHealthTracker("fact", inv)
+	insHealth := newHealthTracker("insight", inv)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s horizon=%s tick=%s\n", schedule, cfg.Horizon, cfg.BaseTick)
+
+	ctx := context.Background()
+	rep := &Report{Schedule: schedule}
+	nextPoll := start
+	var lastFactID, lastInsID uint64
+	evIdx := 0
+
+	for {
+		now := clock.Now()
+		elapsed := now.Sub(start)
+		if elapsed > cfg.Horizon {
+			break
+		}
+
+		// Arm every schedule event that has come due.
+		for evIdx < len(schedule.Events) && schedule.Events[evIdx].At <= elapsed {
+			e := schedule.Events[evIdx]
+			fmt.Fprintf(&b, "t=%s fault %s %s\n", elapsed, e.Kind, e.Duration)
+			if e.Kind == sim.SlowDisk {
+				slowUntil = now.Add(e.Duration)
+			} else {
+				bus.apply(e, now)
+			}
+			rep.Applied++
+			evIdx++
+		}
+
+		// Poll when the AIMD deadline arrives.
+		if !now.Before(nextPoll) {
+			next := fv.PollOnce()
+			inv.checkInterval(next, aimdMin, aimdMax)
+			st := fv.Stats()
+			h := fv.Health()
+			fmt.Fprintf(&b, "t=%s poll value=%.4f next=%s published=%d predicted=%d buffered=%d health=%s\n",
+				elapsed, value, next, st.Published, st.Predicted, h.Buffered, h.State)
+			nextPoll = now.Add(next)
+		}
+
+		// Feed freshly published facts to the insight vertex through the
+		// fault bus: a partition delays consumption but never loses tuples.
+		if entries, rerr := bus.Range(ctx, FactMetric, lastFactID+1, 1<<62, 0); rerr != nil {
+			fmt.Fprintf(&b, "t=%s read-fault %s\n", elapsed, rerr)
+		} else {
+			for _, e := range entries {
+				inv.checkMonotoneID(FactMetric, lastFactID, e.ID)
+				lastFactID = e.ID
+				var in telemetry.Info
+				if uerr := in.UnmarshalBinary(e.Payload); uerr != nil {
+					inv.failf("decode: fact id %d: %v", e.ID, uerr)
+					continue
+				}
+				fmt.Fprintf(&b, "t=%s fact id=%d ts=%d value=%.4f src=%s\n",
+					elapsed, e.ID, in.Timestamp, in.Value, in.Source)
+				insight.ConsumeOnce(e)
+			}
+		}
+
+		// Record the insights that landed (read directly: transcript only).
+		if entries, rerr := broker.Range(ctx, InsightMetric, lastInsID+1, 1<<62, 0); rerr == nil {
+			for _, e := range entries {
+				inv.checkMonotoneID(InsightMetric, lastInsID, e.ID)
+				lastInsID = e.ID
+				var in telemetry.Info
+				if uerr := in.UnmarshalBinary(e.Payload); uerr != nil {
+					inv.failf("decode: insight id %d: %v", e.ID, uerr)
+					continue
+				}
+				fmt.Fprintf(&b, "t=%s insight id=%d value=%.4f src=%s\n", elapsed, e.ID, in.Value, in.Source)
+			}
+		}
+
+		if factHealth.observe(fv.Health().State) {
+			fmt.Fprintf(&b, "t=%s health fact=%s\n", elapsed, fv.Health().State)
+		}
+		if insHealth.observe(insight.Health().State) {
+			fmt.Fprintf(&b, "t=%s health insight=%s\n", elapsed, insight.Health().State)
+		}
+
+		clock.Advance(cfg.BaseTick)
+	}
+
+	// End-to-end retention check: every acked tuple must be retrievable from
+	// the history+archive merge, measured and predicted alike.
+	if err := factLog.Sync(); err != nil {
+		return nil, err
+	}
+	var measured, predicted, insights uint64
+	fv.ScanRange(-1<<62, 1<<62, func(in telemetry.Info) bool {
+		if in.Source == telemetry.Measured {
+			measured++
+		} else {
+			predicted++
+		}
+		return true
+	})
+	insight.ScanRange(-1<<62, 1<<62, func(telemetry.Info) bool { insights++; return true })
+	fst := fv.Stats()
+	ist := insight.Stats()
+	inv.checkAckedRetention("fact(measured)", fst.Published, measured)
+	inv.checkAckedRetention("fact(predicted)", fst.Predicted, predicted)
+	inv.checkAckedRetention("insight", ist.Published, insights)
+
+	// Query pass: the AQE answers over the same history+archive merge.
+	for _, q := range []string{
+		"SELECT COUNT(*), MIN(Timestamp), MAX(Timestamp) FROM " + FactMetric,
+		"SELECT COUNT(*), AVG(metric) FROM " + InsightMetric,
+	} {
+		res, qerr := engine.Query(q)
+		if qerr != nil {
+			inv.failf("query: %s: %v", q, qerr)
+			continue
+		}
+		cells := make([]string, 0, len(res.Columns))
+		for _, row := range res.Rows {
+			for _, c := range row {
+				cells = append(cells, c.String())
+			}
+		}
+		fmt.Fprintf(&b, "query %q -> [%s]\n", q, strings.Join(cells, " "))
+	}
+
+	rep.Polls = fst.Polls
+	rep.Facts = fst.Published
+	rep.Predicted = fst.Predicted
+	rep.Insights = ist.Published
+	rep.Archived = factLog.Appended()
+	rep.Injected = bus.injected
+	rep.Elapsed = clock.Now().Sub(start)
+	rep.Violations = inv.violations
+
+	fmt.Fprintf(&b, "end polls=%d facts=%d predicted=%d insights=%d archived=%d injected=%d applied=%d violations=%d\n",
+		rep.Polls, rep.Facts, rep.Predicted, rep.Insights, rep.Archived, rep.Injected, rep.Applied, len(rep.Violations))
+	for _, vio := range rep.Violations {
+		fmt.Fprintf(&b, "violation %s\n", vio)
+	}
+
+	rep.Transcript = b.String()
+	sum := sha256.Sum256([]byte(rep.Transcript))
+	rep.Digest = hex.EncodeToString(sum[:])
+
+	if len(rep.Violations) > 0 {
+		return rep, fmt.Errorf("scenario: %d invariant violation(s); first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	return rep, nil
+}

@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"flag"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/delphi"
+)
+
+// -sim.seed replays a scenario from a specific seed: a failure artifact is
+// just "go test ./internal/sim/scenario -run TestScenario -sim.seed=N".
+var simSeed = flag.Int64("sim.seed", 42, "seed for the deterministic scenario")
+
+// quickModel is trained once per test binary so both reproducibility runs
+// share it (Run would otherwise train its own, which is also deterministic
+// but slower).
+var quickModel *delphi.Model
+
+func model(t *testing.T) *delphi.Model {
+	t.Helper()
+	if quickModel == nil {
+		m, err := TrainQuickModel(7)
+		if err != nil {
+			t.Fatalf("training quick model: %v", err)
+		}
+		quickModel = m
+	}
+	return quickModel
+}
+
+// TestScenarioReproducible is the acceptance gate for the simulation
+// harness: the full pipeline (sampler -> Fact -> Delphi -> Insight ->
+// archive -> query) with injected faults must be byte-for-byte reproducible
+// across two runs of the same seed, entirely on virtual time, in well under
+// two seconds of wall clock.
+func TestScenarioReproducible(t *testing.T) {
+	cfg := Config{Seed: *simSeed, Faults: 6, Horizon: 3 * time.Minute, Model: model(t)}
+
+	wall0 := time.Now()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run A: %v\ntranscript:\n%s", err, a.Transcript)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run B: %v\ntranscript:\n%s", err, b.Transcript)
+	}
+	wall := time.Since(wall0)
+
+	if a.Digest != b.Digest || a.Transcript != b.Transcript {
+		t.Fatalf("same seed diverged: %s vs %s\n--- A ---\n%s\n--- B ---\n%s",
+			a.Digest, b.Digest, a.Transcript, b.Transcript)
+	}
+	if a.Applied < 3 {
+		t.Fatalf("only %d faults applied, want >= 3:\n%s", a.Applied, a.Schedule)
+	}
+	if a.Injected == 0 {
+		t.Fatalf("schedule applied but no bus operations were faulted:\n%s", a.Transcript)
+	}
+	if a.Elapsed < 3*time.Minute {
+		t.Fatalf("virtual elapsed %v, want >= 3m", a.Elapsed)
+	}
+	if wall > 2*time.Second {
+		t.Fatalf("two runs took %v wall clock, want < 2s", wall)
+	}
+	if a.Polls == 0 || a.Facts == 0 || a.Insights == 0 {
+		t.Fatalf("pipeline idle: polls=%d facts=%d insights=%d", a.Polls, a.Facts, a.Insights)
+	}
+	if a.Archived == 0 {
+		t.Fatalf("no tuples evicted into the archive (history window too large?)")
+	}
+	if len(a.Violations) != 0 {
+		t.Fatalf("invariant violations: %v", a.Violations)
+	}
+	t.Logf("seed=%d digest=%s polls=%d facts=%d predicted=%d insights=%d archived=%d injected=%d wall=%v",
+		cfg.Seed, a.Digest, a.Polls, a.Facts, a.Predicted, a.Insights, a.Archived, a.Injected, wall)
+}
+
+// TestScenarioSeedsDiverge guards against the schedule or workload ignoring
+// the seed: different seeds must produce different transcripts.
+func TestScenarioSeedsDiverge(t *testing.T) {
+	m := model(t)
+	a, err := Run(Config{Seed: 1, Model: m, Horizon: time.Minute})
+	if err != nil {
+		t.Fatalf("seed 1: %v", err)
+	}
+	b, err := Run(Config{Seed: 2, Model: m, Horizon: time.Minute})
+	if err != nil {
+		t.Fatalf("seed 2: %v", err)
+	}
+	if a.Digest == b.Digest {
+		t.Fatalf("seeds 1 and 2 produced identical transcripts (digest %s)", a.Digest)
+	}
+}
+
+// TestScenarioExercisesDelphiAndQueries spot-checks transcript content: the
+// predictive path fills skipped ticks and the query pass answers over the
+// merged history+archive.
+func TestScenarioExercisesDelphiAndQueries(t *testing.T) {
+	rep, err := Run(Config{Seed: *simSeed, Model: model(t)})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Predicted == 0 {
+		t.Fatalf("no Delphi predictions published; AIMD never relaxed?\n%s", rep.Transcript)
+	}
+	if !strings.Contains(rep.Transcript, "src=predicted") {
+		t.Fatalf("transcript carries no predicted tuples:\n%s", rep.Transcript)
+	}
+	if !strings.Contains(rep.Transcript, "query \"SELECT COUNT(*)") {
+		t.Fatalf("transcript carries no query results:\n%s", rep.Transcript)
+	}
+	if !strings.Contains(rep.Transcript, "fault ") {
+		t.Fatalf("transcript carries no fault lines:\n%s", rep.Transcript)
+	}
+}

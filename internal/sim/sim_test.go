@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVirtualAfterFiresInOrder(t *testing.T) {
+	c := NewVirtual(time.Unix(0, 0))
+	a := c.After(3 * time.Second)
+	b := c.After(time.Second)
+	if got := c.PendingWaiters(); got != 2 {
+		t.Fatalf("pending=%d want 2", got)
+	}
+	c.Advance(2 * time.Second)
+	select {
+	case ts := <-b:
+		if ts != time.Unix(1, 0) {
+			t.Fatalf("tick at %v want 1s", ts)
+		}
+	default:
+		t.Fatal("1s waiter did not fire after Advance(2s)")
+	}
+	select {
+	case <-a:
+		t.Fatal("3s waiter fired early")
+	default:
+	}
+	c.Advance(time.Second)
+	if _, ok := <-a; !ok {
+		t.Fatal("3s waiter never fired")
+	}
+	if got := c.PendingWaiters(); got != 0 {
+		t.Fatalf("pending=%d want 0", got)
+	}
+}
+
+func TestVirtualAfterImmediate(t *testing.T) {
+	c := NewVirtual(time.Unix(100, 0))
+	select {
+	case ts := <-c.After(0):
+		if !ts.Equal(time.Unix(100, 0)) {
+			t.Fatalf("tick=%v", ts)
+		}
+	default:
+		t.Fatal("After(0) must fire immediately")
+	}
+}
+
+func TestVirtualSleepBlocksUntilAdvance(t *testing.T) {
+	c := NewVirtual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(5 * time.Second)
+		close(done)
+	}()
+	<-c.BlockUntil(1) // sleeper parked
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before Advance")
+	default:
+	}
+	c.Advance(5 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep never woke")
+	}
+}
+
+func TestVirtualTimerStopResetSemantics(t *testing.T) {
+	c := NewVirtual(time.Unix(0, 0))
+	tm := c.NewTimer(time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer must report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop must report false")
+	}
+	c.Advance(2 * time.Second)
+	select {
+	case <-tm.C:
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if tm.Reset(time.Second) {
+		t.Fatal("Reset on stopped timer must report false")
+	}
+	c.Advance(time.Second)
+	select {
+	case ts := <-tm.C:
+		if !ts.Equal(time.Unix(3, 0)) {
+			t.Fatalf("tick=%v want 3s", ts)
+		}
+	default:
+		t.Fatal("reset timer did not fire")
+	}
+	// A fired timer re-arms; a second fire without drain never blocks Advance.
+	tm.Reset(time.Second)
+	tm.Reset(time.Second) // re-arm twice without draining
+	c.Advance(time.Second)
+	c.Advance(time.Second)
+	<-tm.C
+}
+
+func TestVirtualStepAndNextDeadline(t *testing.T) {
+	c := NewVirtual(time.Unix(0, 0))
+	if c.Step() {
+		t.Fatal("Step with no waiters must report false")
+	}
+	ch := c.After(7 * time.Second)
+	when, ok := c.NextDeadline()
+	if !ok || !when.Equal(time.Unix(7, 0)) {
+		t.Fatalf("NextDeadline=%v ok=%v", when, ok)
+	}
+	if !c.Step() {
+		t.Fatal("Step must advance to the pending deadline")
+	}
+	if !c.Now().Equal(time.Unix(7, 0)) {
+		t.Fatalf("now=%v want 7s", c.Now())
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Step did not fire the waiter")
+	}
+}
+
+func TestVirtualAdvanceToPastIsNoop(t *testing.T) {
+	c := NewVirtual(time.Unix(100, 0))
+	c.AdvanceTo(time.Unix(50, 0))
+	if !c.Now().Equal(time.Unix(100, 0)) {
+		t.Fatalf("now=%v, AdvanceTo must never rewind", c.Now())
+	}
+}
+
+func TestScheduleGenerateDeterministic(t *testing.T) {
+	a := Generate(42, 6, 5*time.Minute)
+	b := Generate(42, 6, 5*time.Minute)
+	if a.String() != b.String() {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if len(a.Events) != 6 {
+		t.Fatalf("events=%d want 6", len(a.Events))
+	}
+	for i, e := range a.Events {
+		if i > 0 && e.At < a.Events[i-1].At {
+			t.Fatalf("events not sorted: %s", a)
+		}
+		if e.At > 5*time.Minute {
+			t.Fatalf("event past horizon: %s", e)
+		}
+		if e.Kind != ConnDrop && e.Duration <= 0 {
+			t.Fatalf("window fault without duration: %s", e)
+		}
+	}
+	if c := Generate(43, 6, 5*time.Minute); c.String() == a.String() {
+		t.Fatalf("different seeds produced identical schedules: %s", c)
+	}
+}
+
+func TestOrDefaultsToWall(t *testing.T) {
+	if _, ok := Or(nil).(Wall); !ok {
+		t.Fatal("Or(nil) must be Wall")
+	}
+	v := NewVirtual(time.Unix(0, 0))
+	if Or(v) != Clock(v) {
+		t.Fatal("Or must pass through non-nil clocks")
+	}
+}
+
+func TestWallTimerRoundTrip(t *testing.T) {
+	var c Clock = Wall{}
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C:
+	case <-time.After(2 * time.Second):
+		t.Fatal("wall timer never fired")
+	}
+	tm.Reset(time.Hour)
+	if !tm.Stop() {
+		t.Fatal("Stop after Reset must report pending")
+	}
+	if c.Now().IsZero() {
+		t.Fatal("wall Now")
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"repro/internal/sim"
 )
 
 // ChaosConfig parameterizes deterministic fault injection on the wire path.
@@ -27,6 +29,9 @@ type ChaosConfig struct {
 	DelayProb float64
 	// Delay is the injected latency (default 2ms).
 	Delay time.Duration
+	// Clock sleeps the injected Delay (default: the wall clock). Inject a
+	// virtual clock so latency spikes elapse on simulated time.
+	Clock sim.Clock
 	// CorruptProb flips one byte of the data returned by a Read.
 	CorruptProb float64
 	// PartialWriteProb writes only a prefix of the buffer, then resets the
@@ -56,6 +61,7 @@ func NewChaos(cfg ChaosConfig) *Chaos {
 	if cfg.Delay <= 0 {
 		cfg.Delay = 2 * time.Millisecond
 	}
+	cfg.Clock = sim.Or(cfg.Clock)
 	return &Chaos{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
 
@@ -116,7 +122,7 @@ func (c *chaosConn) reset() error {
 func (c *chaosConn) Read(p []byte) (int, error) {
 	ch := c.chaos
 	if ch.roll(ch.cfg.DelayProb, &ch.stats.Delays) {
-		time.Sleep(ch.cfg.Delay)
+		ch.cfg.Clock.Sleep(ch.cfg.Delay)
 	}
 	if ch.roll(ch.cfg.ResetProb, &ch.stats.Resets) {
 		return 0, c.reset()
@@ -134,7 +140,7 @@ func (c *chaosConn) Read(p []byte) (int, error) {
 func (c *chaosConn) Write(p []byte) (int, error) {
 	ch := c.chaos
 	if ch.roll(ch.cfg.DelayProb, &ch.stats.Delays) {
-		time.Sleep(ch.cfg.Delay)
+		ch.cfg.Clock.Sleep(ch.cfg.Delay)
 	}
 	if ch.roll(ch.cfg.ResetProb, &ch.stats.Resets) {
 		return 0, c.reset()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -275,7 +276,9 @@ func TestSubscriptionSurvivesInjectedResets(t *testing.T) {
 	go func() {
 		for i := 1; i <= total; i++ {
 			b.Publish(context.Background(), "m", []byte{byte(i)})
-			time.Sleep(200 * time.Microsecond)
+			// Yield (never sleep) so delivery interleaves with publishing
+			// and resets land mid-stream rather than after a single burst.
+			runtime.Gosched()
 		}
 	}()
 	want := uint64(1)
@@ -310,7 +313,17 @@ func TestSubscriptionCloseWithAbandonedConsumer(t *testing.T) {
 	for i := 0; i < 200; i++ { // overflow the 64-entry channel buffer
 		b.Publish(context.Background(), "m", []byte{byte(i)})
 	}
-	time.Sleep(50 * time.Millisecond) // let the reader block on a full channel
+	// Wait (sleep-free) until the reader has filled all 64 channel slots:
+	// LastID is stored only after a successful channel send, so once it
+	// reaches the buffer size with no consumer draining, the reader is
+	// blocked on the 65th send.
+	deadline65 := time.Now().Add(5 * time.Second)
+	for sub.LastID() < 64 {
+		if time.Now().After(deadline65) {
+			t.Fatalf("reader never filled the channel: LastID=%d", sub.LastID())
+		}
+		runtime.Gosched()
+	}
 	done := make(chan struct{})
 	go func() {
 		sub.Close()

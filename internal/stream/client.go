@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // ErrClientClosed is returned by operations on a Close()d client.
@@ -59,9 +60,23 @@ type Options struct {
 	CoalesceMaxDelay time.Duration
 	// Dialer establishes connections (default: net.Dialer).
 	Dialer Dialer
+	// Clock drives backoff waits, I/O deadlines, and the coalescer timer
+	// (default: the wall clock). Inject a *sim.Virtual to run reconnect and
+	// group-commit behavior on deterministic virtual time; note that socket
+	// deadlines are then anchored to virtual Now, so virtual clocks pair
+	// with in-process transports or virtual-time-aware harnesses.
+	Clock sim.Clock
+	// Rand, if non-nil, is the seeded source for backoff jitter (default:
+	// the global math/rand source). With a fixed seed the retry/resume
+	// schedule is bit-reproducible; the client serializes access, so one
+	// source may be shared by the client and its subscriptions.
+	Rand *rand.Rand
 	// Obs, if non-nil, receives the client/subscription instruments
 	// (reconnects, retries, frame bytes, resumes, dedups, coalesce latency).
 	Obs *obs.Registry
+
+	// rng wraps Rand with a mutex; built by defaults().
+	rng *lockedRand
 }
 
 func (o *Options) defaults() {
@@ -89,6 +104,33 @@ func (o *Options) defaults() {
 	if o.Dialer == nil {
 		o.Dialer = netDialer{}
 	}
+	o.Clock = sim.Or(o.Clock)
+	if o.Rand != nil && o.rng == nil {
+		o.rng = &lockedRand{r: o.Rand}
+	}
+}
+
+// backoff draws the jittered delay for a retry attempt from the injected
+// seeded source, or the global one.
+func (o *Options) backoff(attempt int) time.Duration {
+	if o.rng != nil {
+		return BackoffRand(o.rng, attempt, o.BackoffMin, o.BackoffMax)
+	}
+	return Backoff(attempt, o.BackoffMin, o.BackoffMax)
+}
+
+// lockedRand serializes a rand.Rand shared by a client and its
+// subscriptions' resume loops.
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+// Int63n implements Rand63.
+func (l *lockedRand) Int63n(n int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Int63n(n)
 }
 
 // Option customizes a Client or Subscription.
@@ -121,6 +163,14 @@ func WithCoalesce(maxBatch int, maxDelay time.Duration) Option {
 // WithDialer plugs in a custom Dialer (e.g. a Chaos fault injector).
 func WithDialer(d Dialer) Option { return func(o *Options) { o.Dialer = d } }
 
+// WithClock injects the clock driving backoff waits, I/O deadlines, and the
+// coalescer timer (see Options.Clock).
+func WithClock(c sim.Clock) Option { return func(o *Options) { o.Clock = c } }
+
+// WithRand injects a seeded jitter source so the retry/resume backoff
+// schedule is bit-reproducible under a fixed seed (see Options.Rand).
+func WithRand(r *rand.Rand) Option { return func(o *Options) { o.Rand = r } }
+
 // WithObs registers the client's (or subscription's) instruments on r.
 func WithObs(r *obs.Registry) Option { return func(o *Options) { o.Obs = r } }
 
@@ -133,10 +183,29 @@ func buildOptions(opts []Option) Options {
 	return o
 }
 
+// Rand63 is the jitter-source surface Backoff needs; *rand.Rand and the
+// client's internal locked wrapper both satisfy it.
+type Rand63 interface {
+	Int63n(n int64) int64
+}
+
+// globalRand adapts the package-level math/rand source to Rand63.
+type globalRand struct{}
+
+func (globalRand) Int63n(n int64) int64 { return rand.Int63n(n) }
+
 // Backoff returns the jittered exponential delay for a retry attempt
 // (0-based): uniformly drawn from [d/2, d] where d = min<<attempt, capped at
-// max. Exported so other layers (archiver, vertices) share the policy.
+// max. Exported so other layers (archiver, vertices) share the policy. The
+// jitter comes from the global math/rand source; use BackoffRand with a
+// seeded source for reproducible schedules.
 func Backoff(attempt int, min, max time.Duration) time.Duration {
+	return BackoffRand(globalRand{}, attempt, min, max)
+}
+
+// BackoffRand is Backoff drawing its jitter from rng, so a seeded source
+// replays the exact delay sequence.
+func BackoffRand(rng Rand63, attempt int, min, max time.Duration) time.Duration {
 	if min <= 0 {
 		min = 50 * time.Millisecond
 	}
@@ -151,7 +220,7 @@ func Backoff(attempt int, min, max time.Duration) time.Duration {
 		d = max
 	}
 	half := d / 2
-	return half + time.Duration(rand.Int63n(int64(half)+1))
+	return half + time.Duration(rng.Int63n(int64(half)+1))
 }
 
 // transportError marks an error as a connection-level failure: the request
@@ -305,11 +374,12 @@ func (c *Client) Close() error {
 }
 
 // deadlineFor combines a relative timeout with the context deadline,
-// returning the earlier of the two (zero time = no deadline).
-func deadlineFor(ctx context.Context, d time.Duration) time.Time {
+// returning the earlier of the two (zero time = no deadline). Deadlines are
+// anchored to the injected clock's Now.
+func deadlineFor(clock sim.Clock, ctx context.Context, d time.Duration) time.Time {
 	var t time.Time
 	if d > 0 {
-		t = time.Now().Add(d)
+		t = clock.Now().Add(d)
 	}
 	if cd, ok := ctx.Deadline(); ok && (t.IsZero() || cd.Before(t)) {
 		t = cd
@@ -347,12 +417,12 @@ func (c *Client) roundTrip(ctx context.Context, op byte, payload []byte, blockin
 		go func() {
 			select {
 			case <-stop:
-				conn.SetDeadline(time.Now().Add(-time.Second))
+				conn.SetDeadline(c.opt.Clock.Now().Add(-time.Second))
 			case <-watchDone:
 			}
 		}()
 	}
-	conn.SetWriteDeadline(deadlineFor(ctx, c.opt.IOTimeout))
+	conn.SetWriteDeadline(deadlineFor(c.opt.Clock, ctx, c.opt.IOTimeout))
 	if err := writeFrame(c.w, op, payload); err != nil {
 		if errors.Is(err, errFrameTooLarge) {
 			return err // caller error; the connection is still clean
@@ -365,9 +435,9 @@ func (c *Client) roundTrip(ctx context.Context, op byte, payload []byte, blockin
 		return &transportError{err}
 	}
 	if blocking {
-		conn.SetReadDeadline(deadlineFor(ctx, 0))
+		conn.SetReadDeadline(deadlineFor(c.opt.Clock, ctx, 0))
 	} else {
-		conn.SetReadDeadline(deadlineFor(ctx, c.opt.IOTimeout))
+		conn.SetReadDeadline(deadlineFor(c.opt.Clock, ctx, c.opt.IOTimeout))
 	}
 	c.obsTxBytes.Add(uint64(frameOverhead + len(payload)))
 	status, resp, err := readFrame(c.r)
@@ -402,7 +472,7 @@ func (c *Client) call(ctx context.Context, op byte, payload []byte, idempotent, 
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(Backoff(attempt-1, c.opt.BackoffMin, c.opt.BackoffMax)):
+			case <-c.opt.Clock.After(c.opt.backoff(attempt - 1)):
 			}
 		}
 		err := c.roundTrip(ctx, op, payload, blocking, decode)
@@ -621,7 +691,7 @@ func (c *Client) PublishAsync(ctx context.Context, topic string, payload []byte)
 		done <- PublishResult{Err: ErrEmptyPayload}
 		return done
 	}
-	p := pendingPub{topic: topic, payload: append([]byte(nil), payload...), queued: time.Now(), done: done}
+	p := pendingPub{topic: topic, payload: append([]byte(nil), payload...), queued: c.opt.Clock.Now(), done: done}
 
 	c.coMu.Lock()
 	c.mu.Lock()
@@ -661,7 +731,7 @@ func (c *Client) PublishAsync(ctx context.Context, topic string, payload []byte)
 func (c *Client) coalesceLoop(in <-chan pendingPub, stop <-chan struct{}, exited chan<- struct{}) {
 	defer close(exited)
 	var pending []pendingPub
-	timer := time.NewTimer(time.Hour)
+	timer := c.opt.Clock.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
 	}
@@ -728,7 +798,7 @@ func (c *Client) flushPending(pending []pendingPub) {
 			payloads[i] = p.payload
 		}
 		first, err := c.PublishBatch(context.Background(), run[0].topic, payloads)
-		now := time.Now()
+		now := c.opt.Clock.Now()
 		for i, p := range run {
 			if err != nil {
 				p.done <- PublishResult{Err: err}
@@ -812,7 +882,7 @@ func subscribeConn(opt Options, addr, topic string, afterID uint64) (net.Conn, e
 		return nil, &transportError{err}
 	}
 	if opt.IOTimeout > 0 {
-		conn.SetWriteDeadline(time.Now().Add(opt.IOTimeout))
+		conn.SetWriteDeadline(opt.Clock.Now().Add(opt.IOTimeout))
 	}
 	w := bufio.NewWriter(conn)
 	req := (&enc{}).str(topic).u64(afterID)
@@ -865,7 +935,7 @@ func (s *Subscription) resume() net.Conn {
 		select {
 		case <-s.closed:
 			return nil
-		case <-time.After(Backoff(attempt, s.opt.BackoffMin, s.opt.BackoffMax)):
+		case <-s.opt.Clock.After(s.opt.backoff(attempt)):
 		}
 		conn, err := subscribeConn(s.opt, s.addr, s.topic, s.last.Load())
 		if err != nil {

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzInfoDecode feeds arbitrary bytes to the binary decoder: it must never
+// panic, and any input it accepts must re-encode to exactly the bytes it
+// consumed (the codec is canonical).
+func FuzzInfoDecode(f *testing.F) {
+	seed, _ := NewFact("node3.nvme0.capacity", 1234567890, 42.5).MarshalBinary()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add(seed[:len(seed)-1]) // torn tail
+	f.Add([]byte{0xFF, 0xFF}) // metric length far beyond buffer
+	corrupted := bytes.Clone(seed)
+	corrupted[len(corrupted)-1] ^= 0xFF // bad CRC
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		info, n, err := DecodeInfo(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("DecodeInfo consumed %d of %d bytes", n, len(data))
+		}
+		reenc, err := info.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encoding accepted tuple %v: %v", info, err)
+		}
+		if !bytes.Equal(reenc, data[:n]) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data[:n], reenc)
+		}
+	})
+}
+
+// FuzzInfoRoundTrip drives the encoder from arbitrary field values: every
+// tuple the encoder accepts must round-trip bit-for-bit (values are compared
+// as float bits so NaN payloads count too).
+func FuzzInfoRoundTrip(f *testing.F) {
+	f.Add("disk.capacity", int64(0), 0.0, byte(0), byte(0))
+	f.Add("", int64(-1), math.Inf(1), byte(1), byte(1))
+	f.Add("a", int64(math.MaxInt64), math.NaN(), byte(200), byte(7))
+
+	f.Fuzz(func(t *testing.T, metric string, ts int64, value float64, kind, source byte) {
+		in := Info{Metric: MetricID(metric), Timestamp: ts, Value: value, Kind: Kind(kind), Source: Source(source)}
+		enc, err := in.MarshalBinary()
+		if err != nil {
+			if len(metric) < maxMetricID {
+				t.Fatalf("MarshalBinary rejected legal metric length %d: %v", len(metric), err)
+			}
+			return
+		}
+		if len(enc) != in.EncodedSize() {
+			t.Fatalf("EncodedSize = %d, MarshalBinary produced %d bytes", in.EncodedSize(), len(enc))
+		}
+		var out Info
+		if err := out.UnmarshalBinary(enc); err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if out.Metric != in.Metric || out.Timestamp != in.Timestamp ||
+			math.Float64bits(out.Value) != math.Float64bits(in.Value) ||
+			out.Kind != in.Kind || out.Source != in.Source {
+			t.Fatalf("round trip changed tuple: in %+v out %+v", in, out)
+		}
+	})
+}

@@ -24,8 +24,30 @@ go vet ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/... ./internal/archive/... ./internal/aqe/..."
-go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/... ./internal/archive/... ./internal/aqe/...
+echo "==> go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/... ./internal/archive/... ./internal/aqe/... ./internal/sim/..."
+go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/... ./internal/archive/... ./internal/aqe/... ./internal/sim/...
+
+# Deterministic-simulation gate: the end-to-end virtual-time scenario
+# (seeded faults, invariant checks, reproducible digest) under the race
+# detector. Any failing seed replays with: go test ./internal/sim/scenario
+# -run TestScenario -sim.seed=N
+echo "==> go test -race -count=1 ./internal/sim/scenario -run TestScenario"
+go test -race -count=1 ./internal/sim/scenario -run TestScenario
+
+# Fuzz smoke: each corpus-seeded target runs briefly so the fuzz harnesses
+# and their invariants can't rot. (Long fuzz runs are manual; see README
+# "Testing".)
+for target in \
+    "./internal/telemetry FuzzInfoDecode" \
+    "./internal/telemetry FuzzInfoRoundTrip" \
+    "./internal/stream FuzzReadFrame" \
+    "./internal/stream FuzzDecodeEntries" \
+    "./internal/archive FuzzSegmentReplay" \
+    "./internal/aqe FuzzPrepare"; do
+    set -- $target
+    echo "==> go test $1 -run ^\$ -fuzz ^$2\$ -fuzztime 10s"
+    go test "$1" -run '^$' -fuzz "^$2\$" -fuzztime 10s
+done
 
 # Benchmark smoke: one iteration of the hot-path suites so the benchmarks
 # themselves can't rot. (The full-length runs are scripts/bench_batch.sh and
