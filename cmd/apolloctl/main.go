@@ -8,6 +8,8 @@
 //	apolloctl -addr 127.0.0.1:7070 latest comp00.nvme0.capacity
 //	apolloctl -addr 127.0.0.1:7070 watch cluster.capacity
 //	apolloctl -addr 127.0.0.1:7070 query "SELECT MAX(Timestamp), metric FROM cluster.capacity"
+//	apolloctl -addr 127.0.0.1:7070 replication
+//	apolloctl -addr 127.0.0.1:7070 topology
 package main
 
 import (
@@ -72,10 +74,11 @@ func (r remoteResolver) Resolve(table string) (score.Executor, error) {
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "apollod fabric address")
+	lagMax := flag.Uint64("lag-max", 64, "replication lag (entries) above which `replication` marks a topic degraded")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "apolloctl: need a command: topics | latest <metric> | watch <metric> | query <sql>")
+		fmt.Fprintln(os.Stderr, "apolloctl: need a command: topics | latest <metric> | watch <metric> | query <sql> | replication | topology")
 		os.Exit(2)
 	}
 	bus, err := stream.Dial(*addr)
@@ -140,6 +143,37 @@ func main() {
 				cells[i] = c.String()
 			}
 			fmt.Println(strings.Join(cells, "\t"))
+		}
+
+	case "replication":
+		sts, err := bus.ReplicationStatus(context.Background())
+		if err != nil {
+			log.Fatalf("apolloctl: %v (is the node part of a fabric?)", err)
+		}
+		fmt.Printf("%-40s %6s %-10s %-8s %6s %s\n", "TOPIC", "EPOCH", "LEADER", "ROLE", "LAG", "STATE")
+		for _, st := range sts {
+			role := "follower"
+			if st.IsLeader {
+				role = "leader"
+			}
+			state := "ok"
+			if st.IsLeader && st.Lag > *lagMax {
+				state = "degraded"
+			}
+			fmt.Printf("%-40s %6d %-10s %-8s %6d %s\n", st.Topic, st.Epoch, st.Leader, role, st.Lag, state)
+		}
+
+	case "topology":
+		nodes, err := bus.Topology(context.Background())
+		if err != nil {
+			log.Fatalf("apolloctl: %v (is the node part of a fabric?)", err)
+		}
+		for _, n := range nodes {
+			self := ""
+			if n.Self {
+				self = " (contacted node)"
+			}
+			fmt.Printf("%-10s %s%s\n", n.ID, n.Addr, self)
 		}
 
 	default:

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	apollod -listen 127.0.0.1:7070 -compute 4 -storage 4
+//
+// A replicated 3-node fabric (run each in its own terminal):
+//
+//	apollod -listen 127.0.0.1:7070 -node-id n0 -peers n1=127.0.0.1:7071,n2=127.0.0.1:7072 -replicas 3
+//	apollod -listen 127.0.0.1:7071 -node-id n1 -peers n0=127.0.0.1:7070,n2=127.0.0.1:7072 -replicas 3
+//	apollod -listen 127.0.0.1:7072 -node-id n2 -peers n0=127.0.0.1:7070,n1=127.0.0.1:7071 -replicas 3
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,8 +47,21 @@ func main() {
 		shards   = flag.Int("shards", 0, "broker topic-map shard count (0 = default)")
 		planC    = flag.Int("plan-cache", 128, "query-plan LRU capacity (0 = default, negative disables)")
 		metricsA = flag.String("metrics-addr", "", "HTTP address serving /metrics (Prometheus text) and /debug/pprof; empty disables")
+		nodeID   = flag.String("node-id", "", "fabric node ID; empty runs standalone, set it (with -peers) to join a replicated broker fabric")
+		peersF   = flag.String("peers", "", "comma-separated id=addr fabric peers, e.g. n1=127.0.0.1:7071,n2=127.0.0.1:7072")
+		replicas = flag.Int("replicas", 0, "per-topic replication factor, leader included (0 = default)")
+		leaseTTL = flag.Duration("lease-ttl", 0, "leader lease TTL; followers may promote this long after renewals stop (0 = default)")
+		lagMax   = flag.Uint64("replica-lag-max", 0, "follower lag (entries) above which a topic reports Degraded (0 = default)")
 	)
 	flag.Parse()
+
+	peers, err := parsePeers(*peersF)
+	if err != nil {
+		log.Fatalf("apollod: %v", err)
+	}
+	if *nodeID == "" && len(peers) > 0 {
+		log.Fatal("apollod: -peers requires -node-id")
+	}
 
 	cfg := apollo.Config{}
 	switch *mode {
@@ -65,11 +85,16 @@ func main() {
 
 	sim := cluster.BuildAres(time.Now(), *compute, *storage)
 	svc := core.New(core.Config{
-		Mode:      core.IntervalMode(cfg.Mode),
-		Delphi:    cfg.Delphi,
-		BaseTick:  time.Second,
-		Shards:    *shards,
-		PlanCache: *planC,
+		Mode:          core.IntervalMode(cfg.Mode),
+		Delphi:        cfg.Delphi,
+		BaseTick:      time.Second,
+		Shards:        *shards,
+		PlanCache:     *planC,
+		NodeID:        *nodeID,
+		Peers:         peers,
+		Replicas:      *replicas,
+		LeaseTTL:      *leaseTTL,
+		ReplicaLagMax: *lagMax,
 	})
 	var metrics int
 	for _, n := range sim.Nodes() {
@@ -93,6 +118,10 @@ func main() {
 	}
 	log.Printf("apollod listening on %s: %d nodes, %d fact metrics, sink insight %q",
 		addr, len(sim.Nodes()), metrics, sink)
+	if f := svc.Fabric(); f != nil {
+		log.Printf("fabric node %q on a %d-member ring (replication factor %d)",
+			f.ID(), len(peers)+1, *replicas)
+	}
 
 	if *metricsA != "" {
 		maddr, err := serveMetrics(*metricsA, svc.Obs())
@@ -142,6 +171,22 @@ func main() {
 	}
 	s := <-sig
 	fmt.Printf("apollod: %v, shutting down\n", s)
+}
+
+// parsePeers decodes a comma-separated id=addr list into a peer map.
+func parsePeers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	peers := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=addr)", part)
+		}
+		peers[id] = addr
+	}
+	return peers, nil
 }
 
 // serveMetrics exposes the registry and the pprof profiles on addr,

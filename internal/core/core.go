@@ -11,12 +11,14 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/adaptive"
 	"repro/internal/aqe"
 	"repro/internal/archive"
+	"repro/internal/cluster"
 	"repro/internal/delphi"
 	"repro/internal/middleware"
 	"repro/internal/obs"
@@ -88,7 +90,32 @@ type Config struct {
 	// fresh per-service registry. Share one registry (e.g. obs.Default())
 	// to aggregate several services into one exposition endpoint.
 	Obs *obs.Registry
+
+	// NodeID names this broker in a replicated fabric; empty (the default)
+	// runs the service standalone. With a NodeID set, Serve also brings up a
+	// stream.FabricNode: topics are placed on the ring of {self} ∪ Peers,
+	// publishes are accepted only under a leader lease and replicated to a
+	// quorum, and vertex publishes route through the fabric transparently.
+	NodeID string
+	// Peers maps the other fabric members' node IDs to their advertised
+	// stream addresses. All members must agree on the full member list; the
+	// lexicographically smallest node ID acts as the lease coordinator.
+	Peers map[string]string
+	// Replicas is the per-topic replication factor, leader included
+	// (0: stream.DefaultReplicationFactor).
+	Replicas int
+	// LeaseTTL bounds leader leases; a follower may promote itself this long
+	// after the leader stops renewing (0: cluster.DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// ReplicaLagMax marks a topic's health Degraded when its slowest
+	// follower trails the leader by more than this many entries
+	// (0: DefaultReplicaLagMax).
+	ReplicaLagMax uint64
 }
+
+// DefaultReplicaLagMax is the follower-lag threshold (entries behind the
+// leader) above which Health reports a replicated topic Degraded.
+const DefaultReplicaLagMax = 64
 
 // Service is a running Apollo instance.
 type Service struct {
@@ -97,13 +124,67 @@ type Service struct {
 	graph  *score.Graph
 	engine *aqe.Engine
 	obs    *obs.Registry
+	bus    *busSwitch
 
-	mu       sync.Mutex
-	archives []*archive.Log
-	server   *stream.Server
-	started  bool
-	stopped  bool
+	mu        sync.Mutex
+	archives  []*archive.Log
+	server    *stream.Server
+	fabric    *stream.FabricNode
+	leaseConn *stream.Client
+	started   bool
+	stopped   bool
 }
+
+// busSwitch is the Bus handed to every vertex. Standalone it is the local
+// broker; when Serve brings a fabric up it is re-pointed at the fabric
+// router, so vertex publishes reach the per-topic leader (and reads the
+// local replica) without re-wiring already-registered vertices.
+type busSwitch struct {
+	mu  sync.RWMutex
+	bus stream.Bus
+}
+
+func (b *busSwitch) get() stream.Bus {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.bus
+}
+
+func (b *busSwitch) set(bus stream.Bus) {
+	b.mu.Lock()
+	b.bus = bus
+	b.mu.Unlock()
+}
+
+func (b *busSwitch) Publish(ctx context.Context, topic string, p []byte) (uint64, error) {
+	return b.get().Publish(ctx, topic, p)
+}
+
+func (b *busSwitch) PublishBatch(ctx context.Context, topic string, p [][]byte) (uint64, error) {
+	return b.get().PublishBatch(ctx, topic, p)
+}
+
+func (b *busSwitch) Latest(ctx context.Context, topic string) (stream.Entry, error) {
+	return b.get().Latest(ctx, topic)
+}
+
+func (b *busSwitch) Range(ctx context.Context, topic string, from, to uint64, max int) ([]stream.Entry, error) {
+	return b.get().Range(ctx, topic, from, to, max)
+}
+
+func (b *busSwitch) Consume(ctx context.Context, topic string, afterID uint64) (stream.Entry, error) {
+	return b.get().Consume(ctx, topic, afterID)
+}
+
+func (b *busSwitch) ConsumeBatch(ctx context.Context, topic string, afterID uint64, max int) ([]stream.Entry, error) {
+	return b.get().ConsumeBatch(ctx, topic, afterID, max)
+}
+
+func (b *busSwitch) Subscribe(ctx context.Context, topic string, afterID uint64) (<-chan stream.Entry, error) {
+	return b.get().Subscribe(ctx, topic, afterID)
+}
+
+var _ stream.Bus = (*busSwitch)(nil)
 
 // New builds an Apollo service.
 func New(cfg Config) *Service {
@@ -123,6 +204,7 @@ func New(cfg Config) *Service {
 		graph:  score.NewGraph(),
 		obs:    cfg.Obs,
 	}
+	s.bus = &busSwitch{bus: s.broker}
 	s.broker.Instrument(s.obs)
 	s.engine = aqe.NewEngine(aqe.GraphResolver{Graph: s.graph}, aqe.WithPlanCache(cfg.PlanCache))
 	s.engine.Instrument(s.obs)
@@ -189,7 +271,7 @@ func (s *Service) RegisterMetric(hook score.Hook, opts ...MetricOption) (*score.
 	}
 	fc := score.FactConfig{
 		Hook:        hook,
-		Bus:         s.broker,
+		Bus:         s.bus,
 		Controller:  ctrl,
 		Clock:       s.cfg.Clock,
 		HistorySize: s.cfg.HistorySize,
@@ -234,7 +316,7 @@ func (s *Service) RegisterInsight(id telemetry.MetricID, inputs []telemetry.Metr
 		Metric:      id,
 		Inputs:      inputs,
 		Builder:     b,
-		Bus:         s.broker,
+		Bus:         s.bus,
 		Clock:       s.cfg.Clock,
 		HistorySize: s.cfg.HistorySize,
 		Obs:         s.obs,
@@ -274,7 +356,8 @@ func (s *Service) Start() error {
 	return s.graph.StartAll()
 }
 
-// Stop terminates all vertices, the TCP endpoint, and archives.
+// Stop terminates all vertices, the fabric node, the TCP endpoint, and
+// archives.
 func (s *Service) Stop() {
 	s.mu.Lock()
 	if s.stopped {
@@ -283,11 +366,19 @@ func (s *Service) Stop() {
 	}
 	s.stopped = true
 	server := s.server
+	fabric := s.fabric
+	leaseConn := s.leaseConn
 	archives := s.archives
 	s.mu.Unlock()
 	s.graph.StopAll()
+	if fabric != nil {
+		fabric.Stop()
+	}
 	if server != nil {
 		server.Close()
+	}
+	if leaseConn != nil {
+		leaseConn.Close()
 	}
 	s.broker.Close()
 	for _, a := range archives {
@@ -296,11 +387,23 @@ func (s *Service) Stop() {
 }
 
 // Serve exposes the Pub-Sub fabric over TCP so remote vertices and clients
-// can attach; it returns the bound address.
+// can attach; it returns the bound address. With Config.NodeID set it also
+// joins the replicated broker fabric: the bound address is this node's
+// advertised address on the ring, the server starts answering replication
+// and topology ops, and vertex publishes re-route through the fabric.
 func (s *Service) Serve(addr string) (string, error) {
 	srv, err := stream.Serve(s.broker, addr, stream.WithServerObs(s.obs))
 	if err != nil {
 		return "", err
+	}
+	if s.cfg.NodeID != "" {
+		node, err := s.startFabric(srv.Addr())
+		if err != nil {
+			srv.Close()
+			return "", err
+		}
+		srv.SetFabric(node)
+		s.bus.set(node.Route())
 	}
 	s.mu.Lock()
 	s.server = srv
@@ -308,12 +411,107 @@ func (s *Service) Serve(addr string) (string, error) {
 	return srv.Addr(), nil
 }
 
+// startFabric assembles and starts this node's FabricNode: the placement
+// ring over {self} ∪ Peers, and the lease service — a local table when this
+// node is the coordinator (lowest node ID), a lazily-dialed RemoteLeases
+// proxy otherwise, so members may come up in any order.
+func (s *Service) startFabric(bound string) (*stream.FabricNode, error) {
+	ids := []string{s.cfg.NodeID}
+	ring := cluster.NewRing(0)
+	ring.Join(s.cfg.NodeID, bound)
+	for id, peerAddr := range s.cfg.Peers {
+		if id == s.cfg.NodeID {
+			continue
+		}
+		ring.Join(id, peerAddr)
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	ttl := s.cfg.LeaseTTL
+	if ttl <= 0 {
+		ttl = cluster.DefaultLeaseTTL
+	}
+	var leases cluster.LeaseService
+	if coord := ids[0]; coord == s.cfg.NodeID {
+		leases = cluster.NewLeaseTable(s.cfg.Clock, ttl)
+	} else {
+		lc := stream.NewClient(s.cfg.Peers[coord])
+		s.mu.Lock()
+		s.leaseConn = lc
+		s.mu.Unlock()
+		leases = stream.NewRemoteLeases(lc)
+	}
+	node, err := stream.NewFabricNode(stream.FabricConfig{
+		ID:                s.cfg.NodeID,
+		Addr:              bound,
+		Broker:            s.broker,
+		Ring:              ring,
+		Leases:            leases,
+		ReplicationFactor: s.cfg.Replicas,
+		LeaseTTL:          ttl,
+		Clock:             s.cfg.Clock,
+		Obs:               s.obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.fabric = node
+	s.mu.Unlock()
+	node.Start()
+	return node, nil
+}
+
+// Fabric returns this node's fabric membership, or nil standalone.
+func (s *Service) Fabric() *stream.FabricNode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fabric
+}
+
+// Replication reports per-topic replication status — leader, epoch, and
+// follower lag (lag is known on the leader) — or nil standalone.
+func (s *Service) Replication() []stream.ReplicaStatus {
+	if f := s.Fabric(); f != nil {
+		return f.Status()
+	}
+	return nil
+}
+
 // Health reports per-vertex publish-path health (OK / Degraded / Failed,
 // consecutive-error counts, store-and-forward backlog, last flush), so
 // operators and the AQE can see a vertex degrading while the fabric is
 // unreachable instead of silently losing data.
+//
+// In a replicated fabric each topic's snapshot additionally carries its
+// replication Epoch and ReplicaLag; a leader whose slowest follower trails
+// by more than Config.ReplicaLagMax entries is reported Degraded even when
+// its publish path is healthy, and replicated topics without a local vertex
+// appear too.
 func (s *Service) Health() map[telemetry.MetricID]score.HealthSnapshot {
-	return s.graph.Health()
+	h := s.graph.Health()
+	f := s.Fabric()
+	if f == nil {
+		return h
+	}
+	lagMax := s.cfg.ReplicaLagMax
+	if lagMax == 0 {
+		lagMax = DefaultReplicaLagMax
+	}
+	for _, st := range f.Status() {
+		id := telemetry.MetricID(st.Topic)
+		snap := h[id]
+		snap.Epoch = st.Epoch
+		snap.ReplicaLag = st.Lag
+		if st.IsLeader && st.Lag > lagMax && snap.State == score.HealthOK {
+			snap.State = score.HealthDegraded
+			if snap.LastError == "" {
+				snap.LastError = fmt.Sprintf("replication lag %d exceeds %d", st.Lag, lagMax)
+			}
+		}
+		h[id] = snap
+	}
+	return h
 }
 
 // Obs returns the service's metrics registry (for the HTTP exposition
@@ -325,9 +523,10 @@ func (s *Service) Obs() *obs.Registry { return s.obs }
 // endpoint, surfaced next to Health on the facade.
 func (s *Service) Metrics() obs.Snapshot { return s.obs.Snapshot() }
 
-// Degraded reports whether any registered vertex is not HealthOK.
+// Degraded reports whether any registered vertex (or, in a fabric, any
+// locally-led replicated topic) is not HealthOK.
 func (s *Service) Degraded() bool {
-	for _, h := range s.graph.Health() {
+	for _, h := range s.Health() {
 		if h.State != score.HealthOK {
 			return true
 		}

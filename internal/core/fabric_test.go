@@ -1,0 +1,149 @@
+package core
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/score"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// freeAddrs reserves n distinct loopback addresses by binding and releasing
+// them; the fabric peer map must be known before any node serves.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve: %v", err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+func waitFabric(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}
+
+// TestServiceFabricReplicatesVertexStream brings up a 3-node fabric of full
+// Apollo services over real TCP, registers a Fact Vertex on one node, and
+// verifies the vertex's publish path rides the fabric: entries land on every
+// replica's local broker, replication status reports a leader at epoch 1,
+// and Health carries the topic's epoch on the leader node.
+func TestServiceFabricReplicatesVertexStream(t *testing.T) {
+	const topic = "fab.metric"
+	ids := []string{"a", "b", "c"}
+	addrs := freeAddrs(t, len(ids))
+
+	peersFor := func(self int) map[string]string {
+		m := make(map[string]string)
+		for i, id := range ids {
+			if i != self {
+				m[id] = addrs[i]
+			}
+		}
+		return m
+	}
+
+	svcs := make([]*Service, len(ids))
+	for i, id := range ids {
+		svcs[i] = New(Config{
+			Mode:     IntervalFixed,
+			Adaptive: adaptive.Config{Initial: 10 * time.Millisecond},
+			NodeID:   id,
+			Peers:    peersFor(i),
+			Replicas: 3,
+			LeaseTTL: time.Second,
+		})
+		defer svcs[i].Stop()
+	}
+
+	// The vertex lives on node a; a monotone hook defeats the
+	// only-on-change publish filter so the stream keeps moving.
+	var tick float64
+	_, err := svcs[0].RegisterMetric(score.HookFunc{
+		ID: topic,
+		Fn: func() (float64, error) { tick++; return tick, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve the lease coordinator (lowest ID) first; the others proxy
+	// leases to it lazily, so later bring-up order is free.
+	for i := range svcs {
+		if _, err := svcs[i].Serve(addrs[i]); err != nil {
+			t.Fatalf("serve %s: %v", ids[i], err)
+		}
+	}
+	if err := svcs[0].Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every member must hold the replicated stream locally (factor 3).
+	ctx := context.Background()
+	waitFabric(t, func() bool {
+		for _, s := range svcs {
+			_, last, err := s.Broker().TopicTail(ctx, topic)
+			if err != nil || last < 3 {
+				return false
+			}
+		}
+		return true
+	})
+
+	var leaders int
+	for _, s := range svcs {
+		for _, st := range s.Replication() {
+			if st.Topic != topic || !st.IsLeader {
+				continue
+			}
+			leaders++
+			if st.Epoch != 1 {
+				t.Fatalf("leader epoch = %d, want 1", st.Epoch)
+			}
+			h := s.Health()[telemetry.MetricID(topic)]
+			if h.Epoch != 1 {
+				t.Fatalf("health epoch = %d, want 1", h.Epoch)
+			}
+			if s.Degraded() {
+				t.Fatalf("leader node degraded: %+v", s.Health())
+			}
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("fabric has %d leaders for %q, want exactly 1", leaders, topic)
+	}
+
+	// A fabric client dialed at any member reaches the stream.
+	c, err := stream.Dial(addrs[1], stream.WithSeeds(addrs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Latest(ctx, topic); err != nil {
+		t.Fatalf("client latest via fabric: %v", err)
+	}
+	nodes, err := c.Topology(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("topology has %d members, want 3", len(nodes))
+	}
+}

@@ -55,6 +55,13 @@ type HealthSnapshot struct {
 	// successful backlog flush after an outage; 0 if a flush was never
 	// needed.
 	LastFlush int64
+	// Epoch is the metric topic's replication epoch when the service runs in
+	// a broker fabric (0 standalone): it increments on every leader change.
+	Epoch uint64
+	// ReplicaLag is how many entries the slowest follower trails the topic
+	// leader by, filled in by core.Service.Health on the leader node. A lag
+	// above the service's ReplicaLagMax marks the metric Degraded.
+	ReplicaLag uint64
 }
 
 // buffered is one backlogged tuple awaiting flush.

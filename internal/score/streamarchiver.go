@@ -24,13 +24,21 @@ import (
 // The consumer loop survives transient broker errors: it backs off and
 // retries instead of exiting, retries failed log appends a few times before
 // leaving the entry pending, and exits only on Stop or broker close.
+//
+// The archiver runs against any stream.GroupBus — the in-process Broker or
+// a TCP Client riding a replicated fabric. Across a broker failover the
+// consumer group may not exist on the promoted follower; the archiver then
+// re-creates it at the last DURABLE entry ID (the ID most recently written
+// to the archive log), not at any in-memory cursor, so the new leader
+// replays exactly the unarchived suffix — nothing is skipped and replayed
+// duplicates are acked away.
 type StreamArchiver struct {
-	broker *stream.Broker
-	topic  string
-	group  string
-	log    *archive.Log
-	clock  sim.Clock
-	rng    stream.Rand63 // nil: global math/rand jitter
+	bus   stream.GroupBus
+	topic string
+	group string
+	log   *archive.Log
+	clock sim.Clock
+	rng   stream.Rand63 // nil: global math/rand jitter
 
 	mu       sync.Mutex
 	cancel   context.CancelFunc
@@ -39,6 +47,8 @@ type StreamArchiver struct {
 	errs     uint64
 	consec   uint64
 	lastErr  string
+	durable  uint64 // last entry ID written to the archive log
+	resubs   uint64 // group re-creations after a failover
 }
 
 // appendRetries is how many times a failed log append is retried (with
@@ -63,13 +73,13 @@ func WithArchiverRand(r *rand.Rand) ArchiverOption {
 // NewStreamArchiver builds an archiver for one topic. The consumer group
 // ("archiver:<topic>") is created at offset 0 so retained history is
 // captured too.
-func NewStreamArchiver(broker *stream.Broker, metric telemetry.MetricID, log *archive.Log, opts ...ArchiverOption) (*StreamArchiver, error) {
+func NewStreamArchiver(bus stream.GroupBus, metric telemetry.MetricID, log *archive.Log, opts ...ArchiverOption) (*StreamArchiver, error) {
 	topic := string(metric)
 	group := "archiver:" + topic
-	if err := broker.CreateGroup(context.Background(), topic, group, 0); err != nil {
+	if err := bus.CreateGroup(context.Background(), topic, group, 0); err != nil {
 		return nil, fmt.Errorf("score: creating archiver group: %w", err)
 	}
-	a := &StreamArchiver{broker: broker, topic: topic, group: group, log: log}
+	a := &StreamArchiver{bus: bus, topic: topic, group: group, log: log}
 	for _, o := range opts {
 		o(a)
 	}
@@ -112,10 +122,27 @@ func (a *StreamArchiver) run(ctx context.Context) {
 	defer close(a.done)
 	readAttempt := 0
 	for {
-		e, err := a.broker.GroupRead(ctx, a.topic, a.group)
+		e, err := a.bus.GroupRead(ctx, a.topic, a.group)
 		if err != nil {
-			if ctx.Err() != nil || errors.Is(err, stream.ErrClosed) {
-				return // cancelled or broker shut down
+			if ctx.Err() != nil {
+				return // cancelled
+			}
+			// ErrClosed is NOT terminal: in a replicated fabric the contacted
+			// broker shutting down is the start of a failover, so the loop
+			// backs off and retries (the next read reaches the promoted
+			// follower). Stop() still exits promptly via ctx.
+			if errors.Is(err, stream.ErrNoSuchGroup) {
+				// Broker failover: the promoted follower replicated the topic
+				// but consumer groups are leader-local state. Re-create the
+				// group at the last DURABLE ID — what the archive log holds,
+				// not an in-memory cursor — so the new leader replays exactly
+				// the unarchived suffix.
+				if cerr := a.bus.CreateGroup(ctx, a.topic, a.group, a.durableID()); cerr == nil {
+					a.mu.Lock()
+					a.resubs++
+					a.mu.Unlock()
+					continue
+				}
 			}
 			a.bumpErr(err)
 			if !a.sleep(ctx, readAttempt) {
@@ -125,10 +152,17 @@ func (a *StreamArchiver) run(ctx context.Context) {
 			continue
 		}
 		readAttempt = 0
+		if e.ID <= a.durableID() {
+			// Replay below the durable watermark (e.g. a failover group
+			// re-created at an older offset): already archived, just ack.
+			a.bus.Ack(ctx, a.topic, a.group, e.ID)
+			continue
+		}
 		var in telemetry.Info
 		if err := in.UnmarshalBinary(e.Payload); err != nil {
 			a.bumpErr(err)
-			a.broker.Ack(ctx, a.topic, a.group, e.ID)
+			a.setDurable(e.ID) // handled (skipped); never replay it
+			a.bus.Ack(ctx, a.topic, a.group, e.ID)
 			continue
 		}
 		var aerr error
@@ -148,7 +182,8 @@ func (a *StreamArchiver) run(ctx context.Context) {
 			// Leave unacked: the entry stays pending for retry/inspection.
 			continue
 		}
-		if err := a.broker.Ack(ctx, a.topic, a.group, e.ID); err != nil {
+		a.setDurable(e.ID)
+		if err := a.bus.Ack(ctx, a.topic, a.group, e.ID); err != nil {
 			a.bumpErr(err)
 			continue
 		}
@@ -167,6 +202,32 @@ func (a *StreamArchiver) bumpErr(err error) {
 		a.lastErr = err.Error()
 	}
 	a.mu.Unlock()
+}
+
+func (a *StreamArchiver) durableID() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.durable
+}
+
+func (a *StreamArchiver) setDurable(id uint64) {
+	a.mu.Lock()
+	if id > a.durable {
+		a.durable = id
+	}
+	a.mu.Unlock()
+}
+
+// DurableID returns the last entry ID written to the archive log — the
+// watermark failover resubscription resumes from.
+func (a *StreamArchiver) DurableID() uint64 { return a.durableID() }
+
+// Resubscribes returns how many times the consumer group was re-created
+// after a broker failover.
+func (a *StreamArchiver) Resubscribes() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.resubs
 }
 
 // Archived returns how many tuples were persisted and acknowledged.

@@ -1,0 +1,635 @@
+package scenario
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// fabricTTL is the leader-lease TTL of the simulated fabric; retries that
+// must wait out a dead leader's lease advance virtual time in thirds of it.
+const fabricTTL = 3 * time.Second
+
+// FabricConfig parameterizes a deterministic replicated-fabric scenario.
+// Everything derives from Seed, so two runs with equal config produce
+// byte-identical transcripts.
+type FabricConfig struct {
+	// Seed drives payloads, gateway choice, and the chaos-phase schedule.
+	Seed int64
+	// Topics is how many replicated topics carry load (default 3).
+	Topics int
+	// Batch is how many payloads each publish batch carries (default 4) —
+	// the in-process stand-in for a client's coalesced flush, so a leader
+	// kill lands "mid batch" from the producer's point of view.
+	Batch int
+	// ChaosEvents sizes the seeded GenerateFabric schedule of the final
+	// phase (default 6).
+	ChaosEvents int
+}
+
+func (c *FabricConfig) defaults() {
+	if c.Topics <= 0 {
+		c.Topics = 3
+	}
+	if c.Batch <= 0 {
+		c.Batch = 4
+	}
+	if c.ChaosEvents <= 0 {
+		c.ChaosEvents = 6
+	}
+}
+
+// FabricReport is the outcome of one RunFabric. Transcript is the replayable
+// artifact (byte-reproducible for a fixed config) and Digest its sha256.
+type FabricReport struct {
+	// Schedule is the chaos-phase fault schedule (phases 1-4 are fixed).
+	Schedule   sim.Schedule
+	Transcript string
+	Digest     string
+
+	Acked     uint64 // batches acknowledged to the producer
+	Entries   uint64 // tuples inside acked batches
+	Failovers uint64 // leader promotions, summed over nodes
+	Fenced    uint64 // stale-leader publishes rejected by epoch fencing
+	Redirects uint64 // not-leader redirects the producer followed
+	NoQuorum  uint64 // publishes refused for lack of a replication quorum
+
+	// Violations lists broken fabric invariants (empty on a healthy run).
+	Violations []string
+	// Elapsed is how much virtual time the run covered.
+	Elapsed time.Duration
+}
+
+// ackedBatch records one batch the fabric acknowledged: the ID the leader
+// returned and the exact payloads, so the final audit can prove every acked
+// tuple survives on every live replica.
+type ackedBatch struct {
+	firstID  uint64
+	payloads [][]byte
+}
+
+// fabricEnv is a three-node in-process broker fabric on one virtual clock:
+// nodes share a lease table and a placement ring, and reach each other
+// through gated peers so the scenario can kill nodes and cut links
+// deterministically.
+type fabricEnv struct {
+	clock *sim.Virtual
+	start time.Time
+	table *cluster.LeaseTable
+	ring  *cluster.Ring
+	nodes map[string]*stream.FabricNode
+	order []string
+	down  map[string]bool
+	cut   map[string]bool // severed links, keyed linkKey(a, b)
+
+	rng   *rand.Rand
+	seq   int
+	inv   *invariants
+	rep   *FabricReport
+	b     strings.Builder
+	acked map[string][]ackedBatch
+}
+
+func linkKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "<->" + b
+}
+
+// gatedPeer interposes the scenario's fault state between two fabric nodes:
+// while the target is down, or the link is cut, every call fails.
+type gatedPeer struct {
+	env      *fabricEnv
+	from, to string
+	n        *stream.FabricNode
+}
+
+func (g *gatedPeer) gate() error {
+	if g.env.down[g.from] || g.env.down[g.to] {
+		return fmt.Errorf("sim: node down on link %s->%s", g.from, g.to)
+	}
+	if g.env.cut[linkKey(g.from, g.to)] {
+		return fmt.Errorf("sim: link %s->%s cut", g.from, g.to)
+	}
+	return nil
+}
+
+func (g *gatedPeer) Publish(ctx context.Context, topic string, p []byte) (uint64, error) {
+	if err := g.gate(); err != nil {
+		return 0, err
+	}
+	return g.n.Publish(ctx, topic, p)
+}
+
+func (g *gatedPeer) PublishBatch(ctx context.Context, topic string, p [][]byte) (uint64, error) {
+	if err := g.gate(); err != nil {
+		return 0, err
+	}
+	return g.n.PublishBatch(ctx, topic, p)
+}
+
+func (g *gatedPeer) Latest(ctx context.Context, topic string) (stream.Entry, error) {
+	if err := g.gate(); err != nil {
+		return stream.Entry{}, err
+	}
+	return g.n.Latest(ctx, topic)
+}
+
+func (g *gatedPeer) Range(ctx context.Context, topic string, from, to uint64, max int) ([]stream.Entry, error) {
+	if err := g.gate(); err != nil {
+		return nil, err
+	}
+	return g.n.Range(ctx, topic, from, to, max)
+}
+
+func (g *gatedPeer) Consume(ctx context.Context, topic string, afterID uint64) (stream.Entry, error) {
+	if err := g.gate(); err != nil {
+		return stream.Entry{}, err
+	}
+	return g.n.Consume(ctx, topic, afterID)
+}
+
+func (g *gatedPeer) ConsumeBatch(ctx context.Context, topic string, afterID uint64, max int) ([]stream.Entry, error) {
+	if err := g.gate(); err != nil {
+		return nil, err
+	}
+	return g.n.ConsumeBatch(ctx, topic, afterID, max)
+}
+
+func (g *gatedPeer) Subscribe(ctx context.Context, topic string, afterID uint64) (<-chan stream.Entry, error) {
+	if err := g.gate(); err != nil {
+		return nil, err
+	}
+	return g.n.Subscribe(ctx, topic, afterID)
+}
+
+func (g *gatedPeer) Replicate(ctx context.Context, topic string, epoch uint64, entries []stream.Entry) (uint64, error) {
+	if err := g.gate(); err != nil {
+		return 0, err
+	}
+	return g.n.Replicate(ctx, topic, epoch, entries)
+}
+
+func (g *gatedPeer) TopicTail(ctx context.Context, topic string) (uint64, uint64, error) {
+	if err := g.gate(); err != nil {
+		return 0, 0, err
+	}
+	return g.n.TopicTail(ctx, topic)
+}
+
+var _ stream.Peer = (*gatedPeer)(nil)
+
+func newFabricEnv(seed int64, rep *FabricReport, inv *invariants) (*fabricEnv, error) {
+	start := time.Unix(0, 0)
+	env := &fabricEnv{
+		clock: sim.NewVirtual(start),
+		start: start,
+		ring:  cluster.NewRing(16),
+		nodes: make(map[string]*stream.FabricNode),
+		order: []string{"n0", "n1", "n2"},
+		down:  make(map[string]bool),
+		cut:   make(map[string]bool),
+		rng:   rand.New(rand.NewSource(seed ^ 0xfab51c)),
+		inv:   inv,
+		rep:   rep,
+		acked: make(map[string][]ackedBatch),
+	}
+	env.table = cluster.NewLeaseTable(env.clock, fabricTTL)
+	for _, id := range env.order {
+		env.ring.Join(id, id)
+	}
+	for _, id := range env.order {
+		id := id
+		node, err := stream.NewFabricNode(stream.FabricConfig{
+			ID:                id,
+			Addr:              id,
+			Broker:            stream.NewBroker(0),
+			Ring:              env.ring,
+			Leases:            env.table,
+			ReplicationFactor: len(env.order),
+			LeaseTTL:          fabricTTL,
+			Clock:             env.clock,
+			PeerDial: func(to, addr string) (stream.Peer, error) {
+				return &gatedPeer{env: env, from: id, to: to, n: env.nodes[to]}, nil
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		env.nodes[id] = node
+	}
+	return env, nil
+}
+
+func (env *fabricEnv) close() {
+	for _, id := range env.order {
+		env.nodes[id].Broker().Close()
+	}
+}
+
+func (env *fabricEnv) logf(format string, args ...interface{}) {
+	fmt.Fprintf(&env.b, "t=%s ", env.clock.Now().Sub(env.start))
+	fmt.Fprintf(&env.b, format, args...)
+	env.b.WriteByte('\n')
+}
+
+// leaderOf returns the current valid lease holder of topic ("" if none).
+func (env *fabricEnv) leaderOf(topic string) string {
+	if l, ok := env.table.Holder(topic); ok && l.Valid(env.clock.Now()) {
+		return l.Holder
+	}
+	return ""
+}
+
+// pick chooses the producer's gateway: the preferred node when alive,
+// otherwise the first live node in fabric order.
+func (env *fabricEnv) pick(preferred string) string {
+	if preferred != "" && !env.down[preferred] {
+		return preferred
+	}
+	for _, id := range env.order {
+		if !env.down[id] {
+			return id
+		}
+	}
+	return ""
+}
+
+// failoversTotal sums leader promotions over all nodes.
+func (env *fabricEnv) failoversTotal() uint64 {
+	var total uint64
+	for _, id := range env.order {
+		total += env.nodes[id].Failovers()
+	}
+	return total
+}
+
+// batch mints Batch deterministic payloads for topic.
+func (env *fabricEnv) batch(topic string, n int) [][]byte {
+	payloads := make([][]byte, n)
+	for i := range payloads {
+		env.seq++
+		payloads[i] = []byte(fmt.Sprintf("%s#%05d:%08x", topic, env.seq, env.rng.Uint32()))
+	}
+	return payloads
+}
+
+// publish drives one batch through the fabric the way a fabric-mode client
+// would: follow not-leader redirects for free, rotate off dead gateways, and
+// wait out an expired lease before retrying — at-least-once into the log,
+// at-most-once acked here. It records the ack for the final durability audit.
+func (env *fabricEnv) publish(ctx context.Context, topic string, payloads [][]byte) bool {
+	target := env.leaderOf(topic)
+	for attempt := 0; attempt < 64; attempt++ {
+		via := env.pick(target)
+		if via == "" {
+			env.inv.failf("publish-stuck: topic %s has no live nodes", topic)
+			return false
+		}
+		firstID, err := env.nodes[via].PublishBatch(ctx, topic, payloads)
+		if err == nil {
+			env.acked[topic] = append(env.acked[topic], ackedBatch{firstID: firstID, payloads: payloads})
+			env.rep.Acked++
+			env.rep.Entries += uint64(len(payloads))
+			env.logf("ack topic=%s first=%d n=%d via=%s epoch=%d",
+				topic, firstID, len(payloads), via, env.nodes[via].Broker().Epoch(topic))
+			return true
+		}
+		var nl *stream.NotLeaderError
+		switch {
+		case errors.As(err, &nl):
+			env.rep.Redirects++
+			if nl.LeaderID != "" && !env.down[nl.LeaderID] && nl.LeaderID != via {
+				target = nl.LeaderID // routing, not a fault: retry immediately
+				continue
+			}
+			// Redirect points at a dead leader: wait out its lease so a
+			// follower can promote, then retry anywhere live.
+			env.logf("retry topic=%s leader %q dead, waiting lease out", topic, nl.LeaderID)
+			target = ""
+			env.clock.Advance(fabricTTL / 3)
+		case errors.Is(err, stream.ErrEpochFenced):
+			env.rep.Fenced++
+			env.logf("fenced topic=%s via=%s", topic, via)
+			target = ""
+		case errors.Is(err, stream.ErrNoQuorum):
+			env.rep.NoQuorum++
+			env.logf("no-quorum topic=%s via=%s", topic, via)
+			target = ""
+			env.clock.Advance(fabricTTL / 3)
+		default:
+			env.logf("retry topic=%s via=%s err=%v", topic, via, err)
+			target = ""
+			env.clock.Advance(fabricTTL / 3)
+		}
+	}
+	env.inv.failf("publish-stuck: topic %s batch never acked", topic)
+	return false
+}
+
+// kill crashes a node; revive brings it back (its log intact, its lease
+// long expired by the time the scenario revives it).
+func (env *fabricEnv) kill(id string) {
+	env.down[id] = true
+	env.logf("kill node=%s", id)
+}
+
+func (env *fabricEnv) revive(id string) {
+	if env.down[id] {
+		delete(env.down, id)
+		env.logf("revive node=%s", id)
+	}
+}
+
+func (env *fabricEnv) sever(a, b string) {
+	env.cut[linkKey(a, b)] = true
+	env.logf("partition %s", linkKey(a, b))
+}
+
+func (env *fabricEnv) heal(a, b string) {
+	if env.cut[linkKey(a, b)] {
+		delete(env.cut, linkKey(a, b))
+		env.logf("heal %s", linkKey(a, b))
+	}
+}
+
+// firstFollower returns the first live replica of topic that is not its
+// leader, in ring order.
+func (env *fabricEnv) firstFollower(topic, leader string) string {
+	for _, id := range env.ring.Replicas(topic, len(env.order)) {
+		if id != leader && !env.down[id] {
+			return id
+		}
+	}
+	return ""
+}
+
+// statusOf returns the leader-side replication status row for topic.
+func (env *fabricEnv) statusOf(topic, leader string) (stream.ReplicaStatus, bool) {
+	if leader == "" || env.down[leader] {
+		return stream.ReplicaStatus{}, false
+	}
+	for _, st := range env.nodes[leader].Status() {
+		if st.Topic == topic {
+			return st, true
+		}
+	}
+	return stream.ReplicaStatus{}, false
+}
+
+// RunFabric executes one deterministic replicated-fabric scenario: a
+// three-node broker fabric on a virtual clock runs a fixed fault matrix —
+// a leader kill with a batch in flight, a leader/follower partition, a
+// stale-leader fencing probe, a double failover — followed by a seeded
+// GenerateFabric chaos phase, while a producer keeps publishing coalesced
+// batches through redirects and retries. The invariants are the tentpole's
+// acceptance bar: no acked tuple is ever lost, per-topic acked IDs stay
+// monotone, topic epochs never regress, and the transcript is
+// byte-reproducible for a fixed seed.
+//
+// RunFabric returns the report together with a non-nil error when any
+// invariant was violated; the report is always valid for inspection.
+func RunFabric(cfg FabricConfig) (*FabricReport, error) {
+	cfg.defaults()
+	inv := &invariants{}
+	rep := &FabricReport{}
+	env, err := newFabricEnv(cfg.Seed, rep, inv)
+	if err != nil {
+		return nil, err
+	}
+	defer env.close()
+
+	ctx := context.Background()
+	topics := make([]string, cfg.Topics)
+	for i := range topics {
+		topics[i] = fmt.Sprintf("fab.t%d", i)
+	}
+	fmt.Fprintf(&env.b, "fabric seed=%d nodes=%d topics=%d batch=%d ttl=%s\n",
+		cfg.Seed, len(env.order), cfg.Topics, cfg.Batch, fabricTTL)
+
+	// Phase 0 — steady state: establish a leader per topic and a baseline log.
+	env.logf("phase steady-state")
+	for _, topic := range topics {
+		env.publish(ctx, topic, env.batch(topic, cfg.Batch))
+		env.publish(ctx, topic, env.batch(topic, cfg.Batch))
+		env.logf("leader topic=%s holder=%s", topic, env.leaderOf(topic))
+	}
+
+	// Phase 1 — leader kill with a batch in flight: the producer's next
+	// coalesced batch is already addressed to the leader when it dies, so
+	// the ack must come from a promoted follower via retry.
+	t0 := topics[0]
+	env.logf("phase leader-kill topic=%s", t0)
+	before := env.failoversTotal()
+	victim := env.leaderOf(t0)
+	inFlight := env.batch(t0, cfg.Batch)
+	env.kill(victim)
+	env.publish(ctx, t0, inFlight)
+	env.publish(ctx, t0, env.batch(t0, cfg.Batch))
+	if got := env.failoversTotal(); got == before {
+		inv.failf("failover: killing leader %s of %s promoted nobody", victim, t0)
+	}
+	env.revive(victim)
+	env.publish(ctx, t0, env.batch(t0, cfg.Batch)) // backfills the revived node
+
+	// Phase 2 — partition between leader and follower: a quorum of 2/3
+	// keeps acks flowing, the leader's lag grows, and the first publish
+	// after healing backfills the follower.
+	t1 := topics[1%len(topics)]
+	env.publish(ctx, t1, env.batch(t1, cfg.Batch))
+	leader1 := env.leaderOf(t1)
+	follower := env.firstFollower(t1, leader1)
+	env.logf("phase partition topic=%s leader=%s follower=%s", t1, leader1, follower)
+	env.sever(leader1, follower)
+	env.publish(ctx, t1, env.batch(t1, cfg.Batch))
+	env.publish(ctx, t1, env.batch(t1, cfg.Batch))
+	if st, ok := env.statusOf(t1, env.leaderOf(t1)); ok {
+		env.logf("lag topic=%s lag=%d epoch=%d", t1, st.Lag, st.Epoch)
+		if env.leaderOf(t1) == leader1 && st.Lag == 0 {
+			inv.failf("lag: partitioned follower %s shows no lag on %s", follower, t1)
+		}
+	}
+	env.heal(leader1, follower)
+	env.publish(ctx, t1, env.batch(t1, cfg.Batch))
+	if st, ok := env.statusOf(t1, env.leaderOf(t1)); ok && st.Lag != 0 {
+		inv.failf("lag: %s still lags %d entries after heal and publish", t1, st.Lag)
+	}
+
+	// Phase 3 — stale-leader fencing: the coordination service revokes the
+	// lease behind the leader's back, another node promotes (raising the
+	// local epoch everywhere via its beacon), and the deposed leader's next
+	// publish MUST be rejected by the epoch fence — never silently accepted.
+	t2 := topics[2%len(topics)]
+	env.publish(ctx, t2, env.batch(t2, cfg.Batch))
+	stale := env.leaderOf(t2)
+	env.logf("phase fence topic=%s stale=%s", t2, stale)
+	env.table.Expire(t2)
+	for _, id := range env.order {
+		if id != stale && !env.down[id] {
+			env.nodes[id].Tick(ctx)
+		}
+	}
+	fencedBatch := env.batch(t2, cfg.Batch)
+	if _, ferr := env.nodes[stale].PublishBatch(ctx, t2, fencedBatch); errors.Is(ferr, stream.ErrEpochFenced) {
+		rep.Fenced++
+		env.logf("fenced topic=%s stale=%s err=%v", t2, stale, ferr)
+	} else {
+		inv.failf("fencing: stale leader %s publish on %s returned %v, want epoch fence", stale, t2, ferr)
+	}
+	env.publish(ctx, t2, fencedBatch) // the producer retries via the new leader
+
+	// Phase 4 — double failover: two leader generations die back to back
+	// (with the first victim revived in between to preserve quorum).
+	env.logf("phase double-failover topic=%s", t0)
+	k1 := env.leaderOf(t0)
+	if k1 == "" {
+		env.publish(ctx, t0, env.batch(t0, cfg.Batch))
+		k1 = env.leaderOf(t0)
+	}
+	env.kill(k1)
+	env.publish(ctx, t0, env.batch(t0, cfg.Batch))
+	env.revive(k1)
+	k2 := env.leaderOf(t0)
+	if k2 != "" && k2 != k1 {
+		env.kill(k2)
+		env.publish(ctx, t0, env.batch(t0, cfg.Batch))
+		env.revive(k2)
+	} else {
+		inv.failf("failover: no distinct second leader for %s (got %q after killing %q)", t0, k2, k1)
+	}
+	env.publish(ctx, t0, env.batch(t0, cfg.Batch))
+
+	// Phase 5 — seeded chaos: a GenerateFabric schedule drives further
+	// kills and partitions while the producer keeps batches flowing.
+	horizon := time.Minute
+	rep.Schedule = sim.GenerateFabric(cfg.Seed, cfg.ChaosEvents, horizon)
+	env.logf("phase chaos %s", rep.Schedule)
+	chaosStart := env.clock.Now()
+	var healAt time.Time
+	var healLink [2]string
+	for i, e := range rep.Schedule.Events {
+		if due := chaosStart.Add(e.At); env.clock.Now().Before(due) {
+			env.clock.Advance(due.Sub(env.clock.Now()))
+		}
+		if !healAt.IsZero() && !env.clock.Now().Before(healAt) {
+			env.heal(healLink[0], healLink[1])
+			healAt = time.Time{}
+		}
+		topic := topics[i%len(topics)]
+		switch e.Kind {
+		case sim.LeaderKill:
+			if len(env.down) > 0 {
+				for _, id := range env.order {
+					env.revive(id)
+				}
+			}
+			victim := env.pick(env.leaderOf(topic))
+			env.logf("chaos %s topic=%s victim=%s", e.Kind, topic, victim)
+			env.kill(victim)
+		case sim.Partition:
+			// A cut on top of a dead node could leave no reachable quorum;
+			// restore full membership before severing.
+			if len(env.down) > 0 {
+				for _, id := range env.order {
+					env.revive(id)
+				}
+			}
+			l := env.leaderOf(topic)
+			if l == "" || env.down[l] {
+				env.logf("chaos %s topic=%s skipped (no live leader)", e.Kind, topic)
+				break
+			}
+			f := env.firstFollower(topic, l)
+			if f == "" {
+				env.logf("chaos %s topic=%s skipped (no live follower)", e.Kind, topic)
+				break
+			}
+			env.heal(healLink[0], healLink[1]) // one cut at a time
+			env.logf("chaos %s topic=%s %s", e.Kind, topic, linkKey(l, f))
+			env.sever(l, f)
+			healAt = env.clock.Now().Add(e.Duration)
+			healLink = [2]string{l, f}
+		default:
+			// Single-broker kinds have no fabric analogue here; they just
+			// let virtual time pass.
+			env.logf("chaos %s idle %s", e.Kind, e.Duration)
+			env.clock.Advance(e.Duration)
+		}
+		env.publish(ctx, topic, env.batch(topic, cfg.Batch))
+	}
+
+	// Converge: heal everything, revive everyone, and flush one batch per
+	// topic so gap backfill repairs every replica before the audit.
+	env.heal(healLink[0], healLink[1])
+	for _, id := range env.order {
+		env.revive(id)
+	}
+	env.clock.Advance(fabricTTL)
+	for _, topic := range topics {
+		env.publish(ctx, topic, env.batch(topic, cfg.Batch))
+	}
+
+	// Audit — the no-acked-loss invariant: every batch the fabric ever
+	// acknowledged must be present, bit-exact, on EVERY live replica, and
+	// per-topic acked IDs must be strictly monotone in ack order.
+	for _, topic := range topics {
+		var last uint64
+		for _, b := range env.acked[topic] {
+			inv.checkMonotoneID(topic, last, b.firstID)
+			last = b.firstID + uint64(len(b.payloads)) - 1
+			for _, id := range env.order {
+				entries, rerr := env.nodes[id].Broker().Range(ctx, topic, b.firstID, last, 0)
+				if rerr != nil {
+					inv.failf("acked-loss: %s ids %d..%d unreadable on %s: %v", topic, b.firstID, last, id, rerr)
+					continue
+				}
+				if len(entries) != len(b.payloads) {
+					inv.failf("acked-loss: %s ids %d..%d: %s holds %d of %d entries",
+						topic, b.firstID, last, id, len(entries), len(b.payloads))
+					continue
+				}
+				for j, e := range entries {
+					if string(e.Payload) != string(b.payloads[j]) {
+						inv.failf("acked-loss: %s id %d diverged on %s", topic, e.ID, id)
+					}
+				}
+			}
+		}
+		epoch := env.nodes[env.order[0]].Broker().Epoch(topic)
+		if epoch == 0 {
+			inv.failf("epoch: topic %s never left epoch 0", topic)
+		}
+		env.logf("audit topic=%s acked=%d epoch=%d", topic, len(env.acked[topic]), epoch)
+	}
+
+	rep.Failovers = env.failoversTotal()
+	rep.Elapsed = env.clock.Now().Sub(env.start)
+	rep.Violations = inv.violations
+	sort.Strings(rep.Violations)
+
+	fmt.Fprintf(&env.b, "end acked=%d entries=%d failovers=%d fenced=%d redirects=%d noquorum=%d violations=%d\n",
+		rep.Acked, rep.Entries, rep.Failovers, rep.Fenced, rep.Redirects, rep.NoQuorum, len(rep.Violations))
+	for _, v := range rep.Violations {
+		fmt.Fprintf(&env.b, "violation %s\n", v)
+	}
+
+	rep.Transcript = env.b.String()
+	sum := sha256.Sum256([]byte(rep.Transcript))
+	rep.Digest = hex.EncodeToString(sum[:])
+
+	if len(rep.Violations) > 0 {
+		return rep, fmt.Errorf("scenario: %d fabric invariant violation(s); first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	return rep, nil
+}

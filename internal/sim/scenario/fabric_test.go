@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFabricScenarioReproducible is the acceptance gate for the replicated
+// fabric: a seeded scenario kills per-topic leaders mid-stream (plus a
+// partition, a fencing probe, a double failover, and a chaos phase), the
+// invariant audit proves zero acked-tuple loss and monotone IDs on every
+// replica, and two runs of the same seed produce byte-identical transcripts.
+// Replay a failure with -sim.seed=N.
+func TestFabricScenarioReproducible(t *testing.T) {
+	cfg := FabricConfig{Seed: *simSeed}
+
+	wall0 := time.Now()
+	a, err := RunFabric(cfg)
+	if err != nil {
+		t.Fatalf("run A: %v\ntranscript:\n%s", err, a.Transcript)
+	}
+	b, err := RunFabric(cfg)
+	if err != nil {
+		t.Fatalf("run B: %v\ntranscript:\n%s", err, b.Transcript)
+	}
+	wall := time.Since(wall0)
+
+	if a.Digest != b.Digest || a.Transcript != b.Transcript {
+		t.Fatalf("same seed diverged: %s vs %s\n--- A ---\n%s\n--- B ---\n%s",
+			a.Digest, b.Digest, a.Transcript, b.Transcript)
+	}
+	if len(a.Violations) != 0 {
+		t.Fatalf("invariant violations: %v", a.Violations)
+	}
+	if a.Acked == 0 || a.Entries == 0 {
+		t.Fatalf("producer never got an ack: %+v", a)
+	}
+	if a.Failovers < 3 {
+		t.Fatalf("failovers = %d, want >= 3 (leader kill + double failover):\n%s", a.Failovers, a.Transcript)
+	}
+	if a.Fenced == 0 {
+		t.Fatalf("no stale-leader publish was epoch-fenced:\n%s", a.Transcript)
+	}
+	if a.Redirects == 0 {
+		t.Fatalf("producer followed no not-leader redirects:\n%s", a.Transcript)
+	}
+	if wall > 5*time.Second {
+		t.Fatalf("two runs took %v wall clock, want < 5s", wall)
+	}
+	for _, marker := range []string{"phase leader-kill", "phase partition", "phase fence", "phase double-failover", "phase chaos"} {
+		if !strings.Contains(a.Transcript, marker) {
+			t.Fatalf("transcript missing %q:\n%s", marker, a.Transcript)
+		}
+	}
+	t.Logf("seed=%d digest=%s acked=%d entries=%d failovers=%d fenced=%d redirects=%d noquorum=%d wall=%v",
+		cfg.Seed, a.Digest, a.Acked, a.Entries, a.Failovers, a.Fenced, a.Redirects, a.NoQuorum, wall)
+}
+
+// TestFabricScenarioSeedsDiverge guards against the fabric scenario ignoring
+// its seed: different seeds must produce different transcripts.
+func TestFabricScenarioSeedsDiverge(t *testing.T) {
+	a, err := RunFabric(FabricConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("seed 1: %v\n%s", err, a.Transcript)
+	}
+	b, err := RunFabric(FabricConfig{Seed: 2})
+	if err != nil {
+		t.Fatalf("seed 2: %v\n%s", err, b.Transcript)
+	}
+	if a.Digest == b.Digest {
+		t.Fatalf("seeds 1 and 2 produced identical transcripts (digest %s)", a.Digest)
+	}
+}

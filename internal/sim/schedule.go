@@ -29,6 +29,12 @@ const (
 	// event's Duration and report perturbed values, the storage-failure
 	// signature the AIMD controller must react to.
 	SlowDisk
+	// LeaderKill crashes the fabric node currently holding a topic's leader
+	// lease; a follower must promote itself (after the lease lapses) and
+	// catch up before serving. Only GenerateFabric draws this kind — the
+	// single-broker Generate keeps its original four so seeded schedules
+	// (and the transcripts derived from them) stay stable.
+	LeaderKill
 )
 
 // String names the fault kind.
@@ -42,6 +48,8 @@ func (k FaultKind) String() string {
 		return "broker-stall"
 	case SlowDisk:
 		return "slow-disk"
+	case LeaderKill:
+		return "leader-kill"
 	default:
 		return fmt.Sprintf("fault(%d)", int(k))
 	}
@@ -77,6 +85,18 @@ type Schedule struct {
 // window faults last between 1% and 10% of the horizon. Events are placed in
 // the first 80% of the horizon so their recovery windows fit inside it.
 func Generate(seed int64, n int, horizon time.Duration) Schedule {
+	return generate(seed, n, horizon, 4)
+}
+
+// GenerateFabric draws a deterministic schedule for a replicated broker
+// fabric: the four single-broker kinds plus LeaderKill. It is a separate
+// generator — not a widened Generate — so existing seeded schedules keep
+// their exact event sequences.
+func GenerateFabric(seed int64, n int, horizon time.Duration) Schedule {
+	return generate(seed, n, horizon, 5)
+}
+
+func generate(seed int64, n int, horizon time.Duration, kinds int) Schedule {
 	rng := rand.New(rand.NewSource(seed))
 	s := Schedule{Seed: seed, Events: make([]Event, 0, n)}
 	span := horizon * 8 / 10
@@ -86,9 +106,9 @@ func Generate(seed int64, n int, horizon time.Duration) Schedule {
 	for i := 0; i < n; i++ {
 		e := Event{
 			At:   time.Duration(rng.Int63n(int64(span) + 1)),
-			Kind: FaultKind(rng.Intn(4)),
+			Kind: FaultKind(rng.Intn(kinds)),
 		}
-		if e.Kind != ConnDrop {
+		if e.Kind != ConnDrop && e.Kind != LeaderKill {
 			min := horizon / 100
 			if min <= 0 {
 				min = 1

@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGenerateFabricDeterministicWithLeaderKill: the fabric generator is a
+// pure function of its inputs and actually draws the fifth kind.
+func TestGenerateFabricDeterministicWithLeaderKill(t *testing.T) {
+	a := GenerateFabric(7, 32, time.Minute)
+	b := GenerateFabric(7, 32, time.Minute)
+	if a.String() != b.String() {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	var kills int
+	for _, e := range a.Events {
+		if e.Kind == LeaderKill {
+			kills++
+			if e.Duration != 0 {
+				t.Fatalf("leader-kill is a point fault, got duration %v", e.Duration)
+			}
+		}
+	}
+	if kills == 0 {
+		t.Fatalf("32 fabric events drew no leader-kill:\n%s", a)
+	}
+}
+
+// TestGenerateUnchangedByFabricKinds: the single-broker generator must keep
+// its original four kinds (and rng consumption) so existing seeded
+// schedules — and the scenario transcripts derived from them — stay stable.
+func TestGenerateUnchangedByFabricKinds(t *testing.T) {
+	for _, e := range Generate(7, 64, time.Minute).Events {
+		if e.Kind == LeaderKill {
+			t.Fatalf("Generate drew LeaderKill: %s", e)
+		}
+	}
+}

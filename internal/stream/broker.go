@@ -30,6 +30,14 @@ var (
 	ErrEvicted      = errors.New("stream: requested id evicted from retention window")
 	ErrNotPending   = errors.New("stream: entry not pending for group")
 	ErrEmptyPayload = errors.New("stream: empty payload")
+	// ErrEpochFenced rejects a replicated append (or a publish that depends
+	// on one) carrying an epoch older than the topic's: the sender is a
+	// deposed leader and must rediscover the current one.
+	ErrEpochFenced = errors.New("stream: epoch fenced")
+	// ErrReplicaGap rejects a replicated append whose first ID would leave a
+	// hole in the follower log; the leader backfills from the follower's
+	// reported tail and resends.
+	ErrReplicaGap = errors.New("stream: replica gap")
 )
 
 // DefaultRetention is how many entries a topic retains when not configured.
@@ -59,6 +67,10 @@ type topic struct {
 	notify    chan struct{} // closed and replaced on every publish
 	groups    map[string]*group
 	published uint64
+	// epoch is the topic's fencing token: replicated appends carrying an
+	// older epoch are rejected, never silently accepted. 0 until the topic
+	// joins a replicated fabric.
+	epoch uint64
 }
 
 func newTopic(name string, retention int) *topic {
@@ -287,6 +299,127 @@ func (b *Broker) PublishBatch(ctx context.Context, topicName string, payloads []
 	b.obsPublishBytes.Add(uint64(total))
 	b.obsBatchSize.Observe(float64(len(payloads)))
 	return first, nil
+}
+
+// Epoch returns the topic's current fencing epoch (0 when the topic does
+// not exist or was never fenced).
+func (b *Broker) Epoch(topicName string) uint64 {
+	t, err := b.topicFor(topicName, false)
+	if err != nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}
+
+// SetEpoch raises the topic's fencing epoch (creating the topic if needed).
+// Lowering is a silent no-op: epochs only move forward.
+func (b *Broker) SetEpoch(ctx context.Context, topicName string, epoch uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t, err := b.topicFor(topicName, true)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	if epoch > t.epoch {
+		t.epoch = epoch
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+// TopicTail returns the topic's fencing epoch and last assigned entry ID
+// (both 0 when the topic does not exist) — the catch-up probe a promoted
+// follower runs against every replica before serving.
+func (b *Broker) TopicTail(ctx context.Context, topicName string) (epoch, lastID uint64, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	t, terr := b.topicFor(topicName, false)
+	if terr != nil {
+		if errors.Is(terr, ErrNoSuchTopic) {
+			return 0, 0, nil
+		}
+		return 0, 0, terr
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch, t.nextID - 1, nil
+}
+
+// ReplicateAppend applies a leader's append stream to this (follower)
+// replica, enforcing epoch fencing:
+//
+//   - epoch < topic epoch: rejected with ErrEpochFenced — a deposed
+//     leader's entries are never silently accepted.
+//   - epoch > topic epoch: the follower adopts the new epoch and truncates
+//     any conflicting local tail at or past the first incoming ID (those
+//     entries were never acked under the new epoch).
+//   - entries at or below the local tail are deduplicated; an entry that
+//     would leave a gap fails with ErrReplicaGap so the leader can backfill
+//     from the returned lastID.
+//
+// It returns the follower's last entry ID after the append. A nil entries
+// slice is an epoch beacon: it fences/advances the epoch without appending.
+func (b *Broker) ReplicateAppend(ctx context.Context, topicName string, epoch uint64, entries []Entry) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	t, err := b.topicFor(topicName, true)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if epoch < t.epoch {
+		return t.nextID - 1, fmt.Errorf("%w: topic %q at epoch %d, append at %d", ErrEpochFenced, topicName, t.epoch, epoch)
+	}
+	if epoch > t.epoch {
+		t.epoch = epoch
+		if len(entries) > 0 {
+			t.truncateTailLocked(entries[0].ID)
+		}
+	}
+	appended := false
+	for _, e := range entries {
+		if e.ID < t.nextID {
+			continue // duplicate of an entry this replica already holds
+		}
+		if e.ID > t.nextID {
+			if appended {
+				t.wakeLocked()
+			}
+			return t.nextID - 1, fmt.Errorf("%w: topic %q tail %d, incoming %d", ErrReplicaGap, topicName, t.nextID-1, e.ID)
+		}
+		p := make([]byte, len(e.Payload))
+		copy(p, e.Payload)
+		t.appendLocked(p, b.obsEvicted)
+		appended = true
+	}
+	if appended {
+		t.wakeLocked()
+	}
+	return t.nextID - 1, nil
+}
+
+// truncateTailLocked discards local entries with ID >= fromID — the
+// conflicting suffix a replica drops when adopting a new leader's epoch.
+// The caller holds t.mu.
+func (t *topic) truncateTailLocked(fromID uint64) {
+	for t.nextID > fromID && t.count > 0 {
+		t.nextID--
+		t.count--
+	}
+	if t.count == 0 && t.nextID > fromID {
+		// The conflicting suffix extended below the retention window; reset
+		// the empty ring so the next append lands at fromID.
+		t.nextID = fromID
+		t.firstID = fromID
+		t.start = 0
+	}
 }
 
 // Topics returns the sorted names of all topics.

@@ -74,6 +74,16 @@ type Options struct {
 	// Obs, if non-nil, receives the client/subscription instruments
 	// (reconnects, retries, frame bytes, resumes, dedups, coalesce latency).
 	Obs *obs.Registry
+	// Seeds are fabric contact addresses. Setting any (WithSeeds) puts the
+	// client in fabric mode: not-leader redirects are followed to the
+	// embedded leader address, transient faults rotate the client across the
+	// seed list, and publishes ARE retried across failover — delivery
+	// becomes at-least-once (a batch whose ack was lost may be re-appended
+	// under new IDs) while acks stay at-most-once.
+	Seeds []string
+	// MaxRedirects bounds how many not-leader redirects one call follows
+	// (default 4); past it the redirect is handled as a retryable fault.
+	MaxRedirects int
 
 	// rng wraps Rand with a mutex; built by defaults().
 	rng *lockedRand
@@ -104,11 +114,17 @@ func (o *Options) defaults() {
 	if o.Dialer == nil {
 		o.Dialer = netDialer{}
 	}
+	if o.MaxRedirects <= 0 {
+		o.MaxRedirects = 4
+	}
 	o.Clock = sim.Or(o.Clock)
 	if o.Rand != nil && o.rng == nil {
 		o.rng = &lockedRand{r: o.Rand}
 	}
 }
+
+// fabric reports whether the client targets a replicated fabric (seeds set).
+func (o *Options) fabric() bool { return len(o.Seeds) > 0 }
 
 // backoff draws the jittered delay for a retry attempt from the injected
 // seeded source, or the global one.
@@ -173,6 +189,15 @@ func WithRand(r *rand.Rand) Option { return func(o *Options) { o.Rand = r } }
 
 // WithObs registers the client's (or subscription's) instruments on r.
 func WithObs(r *obs.Registry) Option { return func(o *Options) { o.Obs = r } }
+
+// WithSeeds enables fabric mode with the given contact addresses (see
+// Options.Seeds); the dialed address is added to the list if absent.
+func WithSeeds(addrs ...string) Option {
+	return func(o *Options) { o.Seeds = append(o.Seeds, addrs...) }
+}
+
+// WithMaxRedirects bounds not-leader redirects followed per call.
+func WithMaxRedirects(n int) Option { return func(o *Options) { o.MaxRedirects = n } }
 
 func buildOptions(opts []Option) Options {
 	var o Options
@@ -252,7 +277,11 @@ func IsTransient(err error) bool {
 		errors.Is(err, net.ErrClosed) ||
 		errors.Is(err, syscall.ECONNRESET) ||
 		errors.Is(err, syscall.ECONNREFUSED) ||
-		errors.Is(err, syscall.EPIPE)
+		errors.Is(err, syscall.EPIPE) ||
+		// A quorum miss means the append was NOT acked and a later attempt
+		// (possibly against a promoted leader) can succeed, so buffering
+		// publishers treat it like an outage.
+		errors.Is(err, ErrNoQuorum)
 }
 
 // Client is a TCP client for a stream Server. A Client multiplexes one
@@ -274,11 +303,12 @@ type Client struct {
 	addr string
 	opt  Options
 
-	mu     sync.Mutex
-	conn   net.Conn
-	r      *bufio.Reader
-	w      *bufio.Writer
-	closed bool
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	closed  bool
+	seedIdx int // index into opt.Seeds of the current address (fabric mode)
 
 	// Group-commit coalescer state (lazily started by PublishAsync).
 	coMu     sync.Mutex
@@ -288,31 +318,64 @@ type Client struct {
 
 	reconnects atomic.Uint64
 	retries    atomic.Uint64
+	redirects  atomic.Uint64
 
 	// Obs instruments, registered at Dial when Options.Obs is set
 	// (nil-safe no-ops otherwise).
 	obsReconnects *obs.Counter
 	obsRetries    *obs.Counter
+	obsRedirects  *obs.Counter
 	obsTxBytes    *obs.Counter
 	obsRxBytes    *obs.Counter
 	obsCoalesce   *obs.Histogram // queue-to-flush latency of coalesced tuples
 	obsBatchSize  *obs.Histogram // tuples per coalesced flush
 }
 
-// Dial connects to a stream server.
-func Dial(addr string, opts ...Option) (*Client, error) {
+// NewClient builds a client without connecting: the first round-trip dials.
+// Use it when the target may not be up yet — e.g. the lease coordinator
+// during a rolling fabric bring-up — so construction never fails and calls
+// error transiently until the server appears.
+func NewClient(addr string, opts ...Option) *Client {
 	c := &Client{addr: addr, opt: buildOptions(opts)}
+	if c.opt.fabric() {
+		c.seedIdx = -1
+		for i, s := range c.opt.Seeds {
+			if s == addr {
+				c.seedIdx = i
+				break
+			}
+		}
+		if c.seedIdx < 0 {
+			c.opt.Seeds = append([]string{addr}, c.opt.Seeds...)
+			c.seedIdx = 0
+		}
+	}
 	if r := c.opt.Obs; r != nil {
 		c.obsReconnects = r.Counter("stream_client_reconnects_total")
 		c.obsRetries = r.Counter("stream_client_retries_total")
+		c.obsRedirects = r.Counter("stream_client_redirects_total")
 		c.obsTxBytes = r.Counter("stream_client_tx_bytes_total")
 		c.obsRxBytes = r.Counter("stream_client_rx_bytes_total")
 		c.obsCoalesce = r.Histogram("stream_client_coalesce_seconds", obs.DefLatencyBuckets...)
 		c.obsBatchSize = r.Histogram("stream_client_batch_size", 1, 2, 4, 8, 16, 32, 64, 128, 256)
 	}
+	return c
+}
+
+// Dial connects to a stream server. In fabric mode (WithSeeds) the dialed
+// address joins the seed list, and a failed first connect falls through to
+// the remaining seeds before giving up.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	c := NewClient(addr, opts...)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.connectLocked(); err != nil {
+	err := c.connectLocked()
+	for i := 1; err != nil && c.opt.fabric() && i < len(c.opt.Seeds); i++ {
+		c.seedIdx = (c.seedIdx + 1) % len(c.opt.Seeds)
+		c.addr = c.opt.Seeds[c.seedIdx]
+		err = c.connectLocked()
+	}
+	if err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -342,12 +405,52 @@ func (c *Client) dropLocked() {
 	}
 }
 
+// redirectTo switches the client to a leader address learned from a
+// not-leader redirect, dropping the current connection so the next
+// round-trip dials the leader.
+func (c *Client) redirectTo(addr string) {
+	c.redirects.Add(1)
+	c.obsRedirects.Inc()
+	c.mu.Lock()
+	if addr != c.addr {
+		c.addr = addr
+		c.dropLocked()
+	}
+	c.mu.Unlock()
+}
+
+// rotate advances to the next seed address (fabric mode) after a retryable
+// fault: the current address may be the dead leader.
+func (c *Client) rotate() {
+	c.mu.Lock()
+	if len(c.opt.Seeds) > 1 {
+		c.seedIdx = (c.seedIdx + 1) % len(c.opt.Seeds)
+		if c.opt.Seeds[c.seedIdx] == c.addr {
+			c.seedIdx = (c.seedIdx + 1) % len(c.opt.Seeds)
+		}
+		c.addr = c.opt.Seeds[c.seedIdx]
+		c.dropLocked()
+	}
+	c.mu.Unlock()
+}
+
+// Addr returns the address the client currently targets (it changes in
+// fabric mode as redirects and seed rotation reroute the client).
+func (c *Client) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addr
+}
+
 // Reconnects returns how many times the client re-established its
 // connection after a transport error.
 func (c *Client) Reconnects() uint64 { return c.reconnects.Load() }
 
 // Retries returns how many operation attempts beyond the first were made.
 func (c *Client) Retries() uint64 { return c.retries.Load() }
+
+// Redirects returns how many not-leader redirects the client followed.
+func (c *Client) Redirects() uint64 { return c.redirects.Load() }
 
 // Close closes the request connection and shuts down the coalescer;
 // unflushed PublishAsync tuples resolve with ErrClientClosed. Subsequent
@@ -463,18 +566,18 @@ func (c *Client) roundTrip(ctx context.Context, op byte, payload []byte, blockin
 // call wraps roundTrip with the retry policy: idempotent operations retry
 // across transient transport errors with jittered exponential backoff. A
 // done context always wins over the transport error it provoked.
+//
+// In fabric mode a not-leader redirect is routing, not a fault: the client
+// follows the embedded leader address immediately, consuming neither a
+// retry attempt nor a backoff wait — so a redirect racing a dial failure
+// can never fire the backoff timer twice for one fault. Redirects without a
+// known leader (an election in progress), fenced publishes, and quorum
+// misses are retryable in fabric mode, rotating across the seed list.
 func (c *Client) call(ctx context.Context, op byte, payload []byte, idempotent, blocking bool, decode func(*buf)) error {
+	fabric := c.opt.fabric()
 	var last error
-	for attempt := 0; attempt < c.opt.RetryMax; attempt++ {
-		if attempt > 0 {
-			c.retries.Add(1)
-			c.obsRetries.Inc()
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-c.opt.Clock.After(c.opt.backoff(attempt - 1)):
-			}
-		}
+	redirects := 0
+	for attempt := 0; ; {
 		err := c.roundTrip(ctx, op, payload, blocking, decode)
 		if err == nil {
 			return nil
@@ -483,11 +586,34 @@ func (c *Client) call(ctx context.Context, op byte, payload []byte, idempotent, 
 			return cerr
 		}
 		last = err
-		if !idempotent || !IsTransient(err) {
+		if fabric {
+			var nl *NotLeaderError
+			if errors.As(err, &nl) && nl.LeaderAddr != "" && redirects < c.opt.MaxRedirects {
+				redirects++
+				c.redirectTo(nl.LeaderAddr)
+				continue
+			}
+		}
+		retryable := IsTransient(err) ||
+			(fabric && (errors.Is(err, ErrNotLeader) || errors.Is(err, ErrEpochFenced)))
+		if !idempotent || !retryable {
 			return err
 		}
+		attempt++
+		if attempt >= c.opt.RetryMax {
+			return last
+		}
+		c.retries.Add(1)
+		c.obsRetries.Inc()
+		if fabric {
+			c.rotate()
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-c.opt.Clock.After(c.opt.backoff(attempt - 1)):
+		}
 	}
-	return last
 }
 
 // Ping round-trips an empty frame, verifying the connection (reconnecting if
@@ -496,15 +622,17 @@ func (c *Client) Ping(ctx context.Context) error {
 	return c.call(ctx, opPing, nil, true, false, nil)
 }
 
-// Publish appends payload to topic on the server. Publish is not retried
-// after the request may have been sent (it would duplicate the entry), but a
-// failed connection is dropped so the next call re-dials.
+// Publish appends payload to topic on the server. Against a single broker
+// Publish is not retried after the request may have been sent (it would
+// duplicate the entry), but a failed connection is dropped so the next call
+// re-dials. In fabric mode (WithSeeds) publishes ARE retried across
+// failover — see Options.Seeds for the delivery contract.
 func (c *Client) Publish(ctx context.Context, topic string, payload []byte) (uint64, error) {
 	req := getEnc()
 	defer putEnc(req)
 	req.str(topic).bytes(payload)
 	var id uint64
-	err := c.call(ctx, opPublish, req.b, false, false, func(d *buf) { id = d.u64() })
+	err := c.call(ctx, opPublish, req.b, c.opt.fabric(), false, func(d *buf) { id = d.u64() })
 	if err != nil {
 		return 0, err
 	}
@@ -513,7 +641,8 @@ func (c *Client) Publish(ctx context.Context, topic string, payload []byte) (uin
 
 // PublishBatch appends every payload to topic in one wire round-trip,
 // returning the ID of the first entry; the batch receives contiguous IDs.
-// Like Publish it is not retried. An empty batch is a local no-op.
+// Like Publish it is not retried against a single broker but is retried in
+// fabric mode. An empty batch is a local no-op.
 func (c *Client) PublishBatch(ctx context.Context, topic string, payloads [][]byte) (uint64, error) {
 	if len(payloads) == 0 {
 		return 0, nil
@@ -525,7 +654,7 @@ func (c *Client) PublishBatch(ctx context.Context, topic string, payloads [][]by
 		req.bytes(p)
 	}
 	var first uint64
-	err := c.call(ctx, opPublishBatch, req.b, false, false, func(d *buf) {
+	err := c.call(ctx, opPublishBatch, req.b, c.opt.fabric(), false, func(d *buf) {
 		first = d.u64()
 		d.u32() // count, echoed for symmetry
 	})

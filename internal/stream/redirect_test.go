@@ -1,0 +1,195 @@
+package stream
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// countingClock wraps a clock and counts After calls — every backoff wait
+// in the client goes through Clock.After, so the count is exactly the
+// number of backoff timers armed.
+type countingClock struct {
+	sim.Clock
+	afters atomic.Int64
+}
+
+func (c *countingClock) After(d time.Duration) <-chan time.Time {
+	c.afters.Add(1)
+	return c.Clock.After(d)
+}
+
+// redirectServer answers every request with a not-leader redirect to addr.
+func redirectServer(t *testing.T, target string) (addr string, closeFn func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				w := bufio.NewWriter(conn)
+				for {
+					_, _, err := readFrame(r)
+					if err != nil {
+						return
+					}
+					nl := &NotLeaderError{Topic: "t", LeaderID: "ghost", LeaderAddr: target}
+					if writeFrame(w, statusErr, errPayload(nl)) != nil || w.Flush() != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+// deadAddr returns an address that refuses connections.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestRedirectDoesNotConsumeBackoff is the regression test for the
+// double-backoff bug: when a redirect races a dial failure — the server
+// points the client at a leader that is already dead — one fault must arm
+// the backoff timer exactly once. Redirects are routing, not faults: they
+// consume neither a retry attempt nor a backoff wait.
+func TestRedirectDoesNotConsumeBackoff(t *testing.T) {
+	dead := deadAddr(t)
+	srvAddr, stop := redirectServer(t, dead)
+	defer stop()
+
+	clock := &countingClock{Clock: sim.Wall{}}
+	c, err := Dial(srvAddr,
+		WithSeeds(dead),
+		WithClock(clock),
+		WithBackoff(time.Millisecond, 2*time.Millisecond),
+		WithRetry(2),
+	)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	_, err = c.Publish(context.Background(), "t", []byte("x"))
+	if err == nil {
+		t.Fatal("publish against a dead leader should fail")
+	}
+	// Per cycle: redirect (free) -> dial failure (one backoff). RetryMax=2
+	// allows exactly one backoff between the two attempts. The pre-fix
+	// behavior charged the redirect its own backoff too, doubling the count.
+	if got := clock.afters.Load(); got != 1 {
+		t.Fatalf("backoff timers armed = %d, want exactly 1", got)
+	}
+	if c.Redirects() != 2 {
+		t.Fatalf("redirects followed = %d, want 2 (one per attempt)", c.Redirects())
+	}
+	if c.Retries() != 1 {
+		t.Fatalf("retries = %d, want 1", c.Retries())
+	}
+}
+
+// TestRedirectFollowsLeaderWithoutRetry: a clean redirect lands on the
+// leader with zero retries, zero backoff waits, and the call succeeds.
+func TestRedirectFollowsLeaderWithoutRetry(t *testing.T) {
+	broker := NewBroker(64)
+	leader, err := Serve(broker, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer leader.Close()
+	srvAddr, stop := redirectServer(t, leader.Addr())
+	defer stop()
+
+	clock := &countingClock{Clock: sim.Wall{}}
+	c, err := Dial(srvAddr, WithSeeds(leader.Addr()), WithClock(clock))
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	id, err := c.Publish(context.Background(), "t", []byte("x"))
+	if err != nil || id != 1 {
+		t.Fatalf("publish after redirect: id=%d err=%v", id, err)
+	}
+	if got := clock.afters.Load(); got != 0 {
+		t.Fatalf("clean redirect armed %d backoff timers, want 0", got)
+	}
+	if c.Retries() != 0 || c.Redirects() != 1 {
+		t.Fatalf("retries=%d redirects=%d, want 0/1", c.Retries(), c.Redirects())
+	}
+}
+
+// TestRedirectBudgetBounded: a redirect loop (two servers pointing at each
+// other) terminates once MaxRedirects is exhausted instead of ping-ponging
+// forever.
+func TestRedirectBudgetBounded(t *testing.T) {
+	// Two mutually-redirecting servers.
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer lnA.Close()
+	addrB, stopB := redirectServer(t, lnA.Addr().String())
+	defer stopB()
+	go func() {
+		for {
+			conn, err := lnA.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				w := bufio.NewWriter(conn)
+				for {
+					if _, _, err := readFrame(r); err != nil {
+						return
+					}
+					nl := &NotLeaderError{Topic: "t", LeaderID: "b", LeaderAddr: addrB}
+					if writeFrame(w, statusErr, errPayload(nl)) != nil || w.Flush() != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	c, err := Dial(lnA.Addr().String(),
+		WithSeeds(addrB),
+		WithMaxRedirects(3),
+		WithRetry(1),
+		WithBackoff(time.Millisecond, 2*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	_, err = c.Publish(context.Background(), "t", []byte("x"))
+	if !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("looping redirect: got %v, want ErrNotLeader", err)
+	}
+	if c.Redirects() != 3 {
+		t.Fatalf("redirects = %d, want MaxRedirects=3", c.Redirects())
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 )
 
@@ -15,6 +17,7 @@ import (
 // into a one-way entry stream.
 type Server struct {
 	broker *Broker
+	fabric atomic.Pointer[FabricNode]
 	ln     net.Listener
 	wrap   func(net.Conn) net.Conn
 
@@ -36,6 +39,19 @@ type ServerOption func(*Server)
 func WithConnWrapper(wrap func(net.Conn) net.Conn) ServerOption {
 	return func(s *Server) { s.wrap = wrap }
 }
+
+// WithFabric routes publishes through a fabric node (leader-lease check +
+// quorum replication instead of a bare local append) and enables the fabric
+// ops: topology, replication status, and the lease proxy. Reads still go to
+// the local replica.
+func WithFabric(n *FabricNode) ServerOption {
+	return func(s *Server) { s.fabric.Store(n) }
+}
+
+// SetFabric attaches (or swaps) the fabric node after the server is already
+// listening — deployments that bind ":0" only learn their advertised
+// address, and can only build the fabric node, once the listener is up.
+func (s *Server) SetFabric(n *FabricNode) { s.fabric.Store(n) }
 
 // WithServerObs registers the server's connection instruments on r:
 // stream_server_conns (gauge of open connections) and
@@ -178,6 +194,16 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// publisher is the write path requests go through: the fabric node (which
+// enforces leadership and replicates) when the server is part of a fabric,
+// the bare local broker otherwise.
+func (s *Server) publisher() Publisher {
+	if f := s.fabric.Load(); f != nil {
+		return f
+	}
+	return s.broker
+}
+
 // dispatch executes one request, appending the response payload to out.
 func (s *Server) dispatch(ctx context.Context, op byte, payload []byte, out *enc) error {
 	d := &buf{b: payload}
@@ -188,7 +214,7 @@ func (s *Server) dispatch(ctx context.Context, op byte, payload []byte, out *enc
 		if d.err != nil {
 			return d.err
 		}
-		id, err := s.broker.Publish(ctx, topic, p)
+		id, err := s.publisher().Publish(ctx, topic, p)
 		if err != nil {
 			return err
 		}
@@ -208,7 +234,7 @@ func (s *Server) dispatch(ctx context.Context, op byte, payload []byte, out *enc
 				return d.err
 			}
 		}
-		first, err := s.broker.PublishBatch(ctx, topic, payloads)
+		first, err := s.publisher().PublishBatch(ctx, topic, payloads)
 		if err != nil {
 			return err
 		}
@@ -307,9 +333,125 @@ func (s *Server) dispatch(ctx context.Context, op byte, payload []byte, out *enc
 	case opPing:
 		return nil
 
+	case opReplicate:
+		topic := d.str()
+		epoch := d.u64()
+		entries := decodeEntries(d)
+		if d.err != nil {
+			return d.err
+		}
+		tail, err := s.broker.ReplicateAppend(ctx, topic, epoch, entries)
+		code := byte(replOK)
+		switch {
+		case errors.Is(err, ErrEpochFenced):
+			code = replFenced
+		case errors.Is(err, ErrReplicaGap):
+			code = replGap
+		case err != nil:
+			return err
+		}
+		// The fencing/gap outcomes ride a statusOK frame with a result code
+		// so the follower's tail ID reaches the leader (a statusErr frame
+		// carries only the message, and backfill needs the tail).
+		out.u8(code).u64(tail)
+		return nil
+
+	case opTopicTail:
+		topic := d.str()
+		if d.err != nil {
+			return d.err
+		}
+		epoch, last, err := s.broker.TopicTail(ctx, topic)
+		if err != nil {
+			return err
+		}
+		out.u64(epoch).u64(last)
+		return nil
+
+	case opTopology:
+		f := s.fabric.Load()
+		if f == nil {
+			return errNotFabric
+		}
+		nodes := f.Topology()
+		out.u32(uint32(len(nodes)))
+		for _, n := range nodes {
+			out.str(n.ID).str(n.Addr)
+		}
+		return nil
+
+	case opReplStatus:
+		f := s.fabric.Load()
+		if f == nil {
+			return errNotFabric
+		}
+		statuses := f.Status()
+		out.u32(uint32(len(statuses)))
+		for _, st := range statuses {
+			isLeader := byte(0)
+			if st.IsLeader {
+				isLeader = 1
+			}
+			out.str(st.Topic).u64(st.Epoch).str(st.Leader)
+			out.u8(isLeader).u64(st.Lag)
+		}
+		return nil
+
+	case opLeaseHolder:
+		topic := d.str()
+		if d.err != nil {
+			return d.err
+		}
+		f := s.fabric.Load()
+		if f == nil {
+			return errNotFabric
+		}
+		l, ok := f.Leases().Holder(topic)
+		encodeLeaseResult(out, l, ok)
+		return nil
+
+	case opLeaseAcquire:
+		topic, node := d.str(), d.str()
+		if d.err != nil {
+			return d.err
+		}
+		f := s.fabric.Load()
+		if f == nil {
+			return errNotFabric
+		}
+		l, ok := f.Leases().Acquire(topic, node)
+		encodeLeaseResult(out, l, ok)
+		return nil
+
+	case opLeaseRenew:
+		topic, node := d.str(), d.str()
+		epoch := d.u64()
+		if d.err != nil {
+			return d.err
+		}
+		f := s.fabric.Load()
+		if f == nil {
+			return errNotFabric
+		}
+		l, ok := f.Leases().Renew(topic, node, epoch)
+		encodeLeaseResult(out, l, ok)
+		return nil
+
 	default:
 		return errors.New("stream: unknown opcode")
 	}
+}
+
+// errNotFabric rejects fabric-only ops on a standalone server.
+var errNotFabric = errors.New("stream: not a fabric node")
+
+func encodeLeaseResult(out *enc, l cluster.Lease, ok bool) {
+	flag := byte(0)
+	if ok {
+		flag = 1
+	}
+	out.u8(flag)
+	encodeLease(out, l)
 }
 
 // serveSubscribe streams entries to the client until the connection drops.

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
+
+	"repro/internal/cluster"
 )
 
 // Wire protocol: every frame is
@@ -34,12 +37,32 @@ const (
 	// per-frame syscall + header cost and (broker-side) the per-append lock.
 	opPublishBatch = 0x0B // topic, u32 n, n payloads -> u64 firstID, u32 n
 	opConsumeBatch = 0x0C // topic, afterID, u32 max  -> u32 n, n entries (blocks)
+
+	// Replicated fabric: inter-broker replication, topology discovery, and
+	// the lease protocol proxied to the fabric's coordination node. The
+	// replicate frame reuses the batched multi-entry body of opConsumeBatch.
+	opReplicate    = 0x0D // topic, u64 epoch, entries      -> u64 lastID
+	opTopicTail    = 0x0E // topic                          -> u64 epoch, u64 lastID
+	opTopology     = 0x0F //                                -> u32 n, n x (id, addr)
+	opReplStatus   = 0x10 //                                -> u32 n, n x status
+	opLeaseHolder  = 0x11 // topic                          -> u8 found, lease
+	opLeaseAcquire = 0x12 // topic, node                    -> u8 ok, lease
+	opLeaseRenew   = 0x13 // topic, node, u64 epoch         -> u8 ok, lease
 )
 
 // Response statuses.
 const (
 	statusOK  = 0x00
 	statusErr = 0x01
+)
+
+// opReplicate responds statusOK with a result code so the follower's tail
+// ID survives the fencing/gap sentinels (a statusErr frame carries only the
+// error message, and the leader needs the tail to backfill a gap).
+const (
+	replOK     = 0x00
+	replFenced = 0x01
+	replGap    = 0x02
 )
 
 const maxFrame = 16 << 20
@@ -91,6 +114,16 @@ func (d *buf) fail() {
 	if d.err == nil {
 		d.err = errors.New("stream: truncated frame")
 	}
+}
+
+func (d *buf) u8() byte {
+	if d.err != nil || d.pos+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v
 }
 
 func (d *buf) u16() uint16 {
@@ -149,6 +182,7 @@ func (d *buf) bytes() []byte {
 // enc builds frame payloads.
 type enc struct{ b []byte }
 
+func (e *enc) u8(v byte) *enc    { e.b = append(e.b, v); return e }
 func (e *enc) u16(v uint16) *enc { e.b = binary.LittleEndian.AppendUint16(e.b, v); return e }
 func (e *enc) u32(v uint32) *enc { e.b = binary.LittleEndian.AppendUint32(e.b, v); return e }
 func (e *enc) u64(v uint64) *enc { e.b = binary.LittleEndian.AppendUint64(e.b, v); return e }
@@ -206,6 +240,19 @@ func decodeEntries(d *buf) []Entry {
 	return out
 }
 
+// encodeLease/decodeLease carry a leader lease across the lease proxy ops
+// (opLeaseHolder/Acquire/Renew); Expires travels as Unix nanoseconds.
+func encodeLease(e *enc, l cluster.Lease) {
+	e.str(l.Topic).str(l.Holder).u64(l.Epoch).u64(uint64(l.Expires.UnixNano()))
+}
+
+func decodeLease(d *buf) cluster.Lease {
+	topic, holder := d.str(), d.str()
+	epoch := d.u64()
+	nanos := d.u64()
+	return cluster.Lease{Topic: topic, Holder: holder, Epoch: epoch, Expires: time.Unix(0, int64(nanos))}
+}
+
 // encPool recycles payload builders across requests and responses so the
 // steady-state hot path allocates nothing for framing. Builders that grew
 // past maxPooledEnc are dropped rather than hoarded.
@@ -231,10 +278,14 @@ func errPayload(err error) []byte { return []byte(err.Error()) }
 
 // remoteError reconstructs a server-side error, mapping the broker's
 // sentinel errors back to their package-level values so errors.Is works
-// across the wire.
+// across the wire. A not-leader redirect is decoded back into a
+// *NotLeaderError so clients can follow the embedded leader address.
 func remoteError(payload []byte) error {
 	msg := string(payload)
-	for _, sentinel := range []error{ErrClosed, ErrNoSuchTopic, ErrNoSuchGroup, ErrEvicted, ErrNotPending, ErrEmptyPayload} {
+	if nl := parseNotLeader(msg); nl != nil {
+		return nl
+	}
+	for _, sentinel := range []error{ErrClosed, ErrNoSuchTopic, ErrNoSuchGroup, ErrEvicted, ErrNotPending, ErrEmptyPayload, ErrEpochFenced, ErrReplicaGap, ErrNoQuorum} {
 		if msg == sentinel.Error() {
 			return sentinel
 		}

@@ -34,6 +34,17 @@ go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./
 echo "==> go test -race -count=1 ./internal/sim/scenario -run TestScenario"
 go test -race -count=1 ./internal/sim/scenario -run TestScenario
 
+# Replicated-fabric gate: the seeded failover matrix (leader kill with an
+# in-flight batch, leader/follower partition, epoch-fencing probe, double
+# failover, chaos schedule) must prove zero acked-tuple loss with a
+# byte-reproducible transcript, race-detected. Replay with -sim.seed=N.
+echo "==> go test -race -count=1 ./internal/sim/scenario -run TestFabricScenario"
+go test -race -count=1 ./internal/sim/scenario -run TestFabricScenario
+
+# 3-node smoke: a real apollod fabric over TCP, bounded wall time.
+echo "==> scripts/smoke_fabric.sh"
+./scripts/smoke_fabric.sh
+
 # Fuzz smoke: each corpus-seeded target runs briefly so the fuzz harnesses
 # and their invariants can't rot. (Long fuzz runs are manual; see README
 # "Testing".)
