@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/adaptive"
 	"repro/internal/aqe"
+	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/delphi"
 	"repro/internal/obs"
@@ -44,7 +45,17 @@ type (
 	IntervalMode = core.IntervalMode
 	// MetricOption customizes one registered metric.
 	MetricOption = core.MetricOption
+	// Retention is the tiered archive age policy (DESIGN.md §4i): raw →
+	// 10s rollups → 1m rollups → dropped. Service-wide default via
+	// Config.ArchiveRetention, per-metric override via WithRetention.
+	Retention = archive.Retention
 )
+
+// ParseRetention parses the CLI retention syntax "raw=15m,10s=2h,1m=24h".
+func ParseRetention(s string) (Retention, error) { return archive.ParseRetention(s) }
+
+// WithRetention overrides Config.ArchiveRetention for one metric.
+func WithRetention(r Retention) MetricOption { return core.WithRetention(r) }
 
 // Telemetry types.
 type (

@@ -10,6 +10,13 @@
 //	apolloctl -addr 127.0.0.1:7070 query "SELECT MAX(Timestamp), metric FROM cluster.capacity"
 //	apolloctl -addr 127.0.0.1:7070 replication
 //	apolloctl -addr 127.0.0.1:7070 topology
+//
+// The retention command inspects (and optionally compacts) an archive
+// directory on the local filesystem — apollod's -archive-dir — without
+// touching the fabric:
+//
+//	apolloctl retention /var/lib/apollo/archive
+//	apolloctl -apply "raw=15m,10s=2h,1m=24h" retention /var/lib/apollo/archive
 package main
 
 import (
@@ -18,9 +25,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/aqe"
+	"repro/internal/archive"
 	"repro/internal/score"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
@@ -75,11 +86,17 @@ func (r remoteResolver) Resolve(table string) (score.Executor, error) {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "apollod fabric address")
 	lagMax := flag.Uint64("lag-max", 64, "replication lag (entries) above which `replication` marks a topic degraded")
+	applyF := flag.String("apply", "", `retention policy for "retention" to apply with one compaction pass, e.g. "raw=15m,10s=2h,1m=24h"`)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "apolloctl: need a command: topics | latest <metric> | watch <metric> | query <sql> | replication | topology")
+		fmt.Fprintln(os.Stderr, "apolloctl: need a command: topics | latest <metric> | watch <metric> | query <sql> | replication | topology | retention <archive-dir>")
 		os.Exit(2)
+	}
+	if args[0] == "retention" {
+		// Local-filesystem command: no fabric connection needed.
+		runRetention(args[1:], *applyF)
+		return
 	}
 	bus, err := stream.Dial(*addr)
 	if err != nil {
@@ -179,4 +196,90 @@ func main() {
 	default:
 		log.Fatalf("apolloctl: unknown command %q", args[0])
 	}
+}
+
+// runRetention prints a per-tier summary of every metric archive under dir
+// (apollod keeps one archive subdirectory per metric) and, when a policy was
+// given via -apply, runs one compaction pass on each first.
+func runRetention(args []string, apply string) {
+	if len(args) != 1 {
+		log.Fatal(`apolloctl: retention <archive-dir> (with optional -apply "raw=15m,10s=2h,1m=24h")`)
+	}
+	root := args[0]
+	var policy archive.Retention
+	if apply != "" {
+		p, err := archive.ParseRetention(apply)
+		if err != nil {
+			log.Fatalf("apolloctl: %v", err)
+		}
+		policy = p
+	}
+	dirs, err := archiveDirs(root)
+	if err != nil {
+		log.Fatalf("apolloctl: %v", err)
+	}
+	if len(dirs) == 0 {
+		log.Fatalf("apolloctl: no archives under %s", root)
+	}
+	if apply != "" {
+		now := time.Now().UnixNano()
+		for _, d := range dirs {
+			l, err := archive.Open(d, archive.Options{})
+			if err != nil {
+				log.Fatalf("apolloctl: %s: %v", d, err)
+			}
+			st, err := l.Compact(now, policy)
+			l.Close()
+			if err != nil {
+				log.Fatalf("apolloctl: compacting %s: %v", d, err)
+			}
+			fmt.Printf("compacted %s: %d segments -> blocks (%d -> %d bytes), %d+%d rolled up, %d files dropped\n",
+				filepath.Base(d), st.CompressedSegments, st.RawBytes, st.CompressedBytes,
+				st.Rolled10s, st.Rolled1m, st.DroppedFiles)
+		}
+	}
+	labels := [...]string{"raw", "10s", "1m"}
+	fmt.Printf("%-36s %-4s %6s %12s %10s %s\n", "METRIC", "TIER", "FILES", "BYTES", "RECORDS", "SPAN")
+	for _, d := range dirs {
+		tiers, err := archive.DirStats(d)
+		if err != nil {
+			log.Fatalf("apolloctl: %s: %v", d, err)
+		}
+		name := filepath.Base(d)
+		for t, ts := range tiers {
+			if ts.Files == 0 {
+				continue
+			}
+			span := fmt.Sprintf("%s .. %s",
+				time.Unix(0, ts.FirstTS).UTC().Format(time.RFC3339),
+				time.Unix(0, ts.LastTS).UTC().Format(time.RFC3339))
+			fmt.Printf("%-36s %-4s %6d %12d %10d %s\n", name, labels[t], ts.Files, ts.Bytes, ts.Records, span)
+			name = ""
+		}
+	}
+}
+
+// archiveDirs returns root itself when it holds segments directly, otherwise
+// every immediate subdirectory that does (apollod's per-metric layout).
+func archiveDirs(root string) ([]string, error) {
+	hasSegments := func(dir string) bool {
+		m, _ := filepath.Glob(filepath.Join(dir, "segment-*"))
+		r, _ := filepath.Glob(filepath.Join(dir, "rollup*"))
+		return len(m) > 0 || len(r) > 0
+	}
+	if hasSegments(root) {
+		return []string{root}, nil
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() && hasSegments(filepath.Join(root, e.Name())) {
+			dirs = append(dirs, filepath.Join(root, e.Name()))
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
 }

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/apollo"
+	"repro/internal/archive"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -47,6 +48,9 @@ func main() {
 		shards   = flag.Int("shards", 0, "broker topic-map shard count (0 = default)")
 		planC    = flag.Int("plan-cache", 128, "query-plan LRU capacity (0 = default, negative disables)")
 		metricsA = flag.String("metrics-addr", "", "HTTP address serving /metrics (Prometheus text) and /debug/pprof; empty disables")
+		archDir  = flag.String("archive-dir", "", "directory persisting per-metric archives; empty disables archiving")
+		retenF   = flag.String("retention", "", `tiered archive retention, e.g. "raw=15m,10s=2h,1m=24h" (requires -archive-dir; empty keeps full resolution forever)`)
+		compactI = flag.Duration("compact-interval", 0, "how often the archive compactor runs (0 = default)")
 		nodeID   = flag.String("node-id", "", "fabric node ID; empty runs standalone, set it (with -peers) to join a replicated broker fabric")
 		peersF   = flag.String("peers", "", "comma-separated id=addr fabric peers, e.g. n1=127.0.0.1:7071,n2=127.0.0.1:7072")
 		replicas = flag.Int("replicas", 0, "per-topic replication factor, leader included (0 = default)")
@@ -61,6 +65,13 @@ func main() {
 	}
 	if *nodeID == "" && len(peers) > 0 {
 		log.Fatal("apollod: -peers requires -node-id")
+	}
+	retention, err := archive.ParseRetention(*retenF)
+	if err != nil {
+		log.Fatalf("apollod: %v", err)
+	}
+	if *archDir == "" && (*retenF != "" || *compactI != 0) {
+		log.Fatal("apollod: -retention/-compact-interval require -archive-dir")
 	}
 
 	cfg := apollo.Config{}
@@ -85,16 +96,19 @@ func main() {
 
 	sim := cluster.BuildAres(time.Now(), *compute, *storage)
 	svc := core.New(core.Config{
-		Mode:          core.IntervalMode(cfg.Mode),
-		Delphi:        cfg.Delphi,
-		BaseTick:      time.Second,
-		Shards:        *shards,
-		PlanCache:     *planC,
-		NodeID:        *nodeID,
-		Peers:         peers,
-		Replicas:      *replicas,
-		LeaseTTL:      *leaseTTL,
-		ReplicaLagMax: *lagMax,
+		Mode:             core.IntervalMode(cfg.Mode),
+		Delphi:           cfg.Delphi,
+		BaseTick:         time.Second,
+		Shards:           *shards,
+		PlanCache:        *planC,
+		ArchiveDir:       *archDir,
+		ArchiveRetention: retention,
+		CompactInterval:  *compactI,
+		NodeID:           *nodeID,
+		Peers:            peers,
+		Replicas:         *replicas,
+		LeaseTTL:         *leaseTTL,
+		ReplicaLagMax:    *lagMax,
 	})
 	var metrics int
 	for _, n := range sim.Nodes() {
@@ -121,6 +135,13 @@ func main() {
 	if f := svc.Fabric(); f != nil {
 		log.Printf("fabric node %q on a %d-member ring (replication factor %d)",
 			f.ID(), len(peers)+1, *replicas)
+	}
+	if *archDir != "" {
+		if retention.IsZero() {
+			log.Printf("archiving to %s (no retention: full resolution kept forever)", *archDir)
+		} else {
+			log.Printf("archiving to %s, retention %s", *archDir, retention)
+		}
 	}
 
 	if *metricsA != "" {

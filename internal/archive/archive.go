@@ -3,11 +3,15 @@
 // in-memory queue. The Query Executor falls back to the persisted log for
 // entries no longer held in memory.
 //
-// The log is a sequence of fixed-framing records, each the CRC-guarded
-// binary encoding from package telemetry, optionally split across size-capped
-// segment files so old segments can be pruned. Every sealed segment carries a
-// sparse timestamp index sidecar (see index.go) so timestamp-bounded reads
-// seek instead of replaying the world.
+// The log is tiered. The write path appends fixed-framing raw records (the
+// CRC-guarded binary encoding from package telemetry) into size-capped
+// segment files. Sealed segments are rewritten by the background compactor
+// (see compact.go) into Gorilla-compressed block files (see block.go), and —
+// under a Retention policy — downsampled into 10-second and 1-minute rollup
+// tiers before finally aging out. Replay and Range stream all tiers, oldest
+// tier first, behind the same API, so callers never see the encoding. Every
+// sealed file carries a sparse timestamp index sidecar (see index.go) so
+// timestamp-bounded reads seek instead of replaying the world.
 package archive
 
 import (
@@ -30,10 +34,88 @@ import (
 // started.
 const DefaultSegmentBytes = 4 << 20
 
+// Archive tiers: full-resolution data, then progressively coarser rollups.
+const (
+	TierRaw = 0 // full resolution (raw records or compressed blocks)
+	Tier10s = 1 // 10-second rollups
+	Tier1m  = 2 // 1-minute rollups
+
+	numTiers = 3
+)
+
+// segRef identifies one on-disk data file of the log.
+type segRef struct {
+	tier       int
+	index      int
+	compressed bool // block encoding (.blk) instead of raw records (.log)
+}
+
+// segKey indexes the in-memory sidecar map; the encoding is not part of the
+// identity — a segment keeps its key when compaction rewrites it.
+type segKey struct {
+	tier  int
+	index int
+}
+
+func (r segRef) key() segKey { return segKey{r.tier, r.index} }
+
+// fileName returns the data file name for r.
+func (r segRef) fileName() string {
+	if r.tier == TierRaw {
+		if r.compressed {
+			return fmt.Sprintf("segment-%08d.blk", r.index)
+		}
+		return segmentName(r.index)
+	}
+	return fmt.Sprintf("rollup%d-%08d.blk", r.tier, r.index)
+}
+
+// sidecarName returns the index sidecar name for r. A raw segment and its
+// compressed rewrite share one sidecar path: the index always describes
+// whichever encoding is current.
+func (r segRef) sidecarName() string {
+	if r.tier == TierRaw {
+		return indexName(r.index)
+	}
+	return fmt.Sprintf("rollup%d-%08d.idx", r.tier, r.index)
+}
+
+// parseRef decodes a data file name; ok is false for non-archive files.
+func parseRef(name string) (segRef, bool) {
+	parseIdx := func(s string) (int, bool) {
+		i, err := strconv.Atoi(s)
+		return i, err == nil
+	}
+	switch {
+	case strings.HasPrefix(name, "segment-") && strings.HasSuffix(name, ".log"):
+		if i, ok := parseIdx(strings.TrimSuffix(strings.TrimPrefix(name, "segment-"), ".log")); ok {
+			return segRef{tier: TierRaw, index: i}, true
+		}
+	case strings.HasPrefix(name, "segment-") && strings.HasSuffix(name, ".blk"):
+		if i, ok := parseIdx(strings.TrimSuffix(strings.TrimPrefix(name, "segment-"), ".blk")); ok {
+			return segRef{tier: TierRaw, index: i, compressed: true}, true
+		}
+	case strings.HasPrefix(name, "rollup1-") && strings.HasSuffix(name, ".blk"):
+		if i, ok := parseIdx(strings.TrimSuffix(strings.TrimPrefix(name, "rollup1-"), ".blk")); ok {
+			return segRef{tier: Tier10s, index: i, compressed: true}, true
+		}
+	case strings.HasPrefix(name, "rollup2-") && strings.HasSuffix(name, ".blk"):
+		if i, ok := parseIdx(strings.TrimSuffix(strings.TrimPrefix(name, "rollup2-"), ".blk")); ok {
+			return segRef{tier: Tier1m, index: i, compressed: true}, true
+		}
+	}
+	return segRef{}, false
+}
+
 // Log is an append-only archive of Information tuples for one vertex. It is
 // safe for concurrent use.
 type Log struct {
-	mu           sync.Mutex
+	mu sync.Mutex
+	// compactMu serializes compaction (which rewrites and removes files)
+	// against whole-log reads: Replay/Range hold it shared for the duration
+	// of a scan, Compact and Prune hold it exclusively. Callbacks passed to
+	// Replay/Range must therefore not call Compact or Prune.
+	compactMu    sync.RWMutex
 	dir          string
 	segmentBytes int64
 	cur          *os.File
@@ -44,20 +126,35 @@ type Log struct {
 	rotations    uint64
 	corrupt      uint64 // corrupt records skipped during replays
 	closed       bool
+	// wedged records a seal/rotate failure that left the active writer
+	// unusable (closed or in an unknown state). While set, Append first
+	// tries to recover by opening a fresh segment — the log fails closed
+	// instead of silently buffering into a dead file descriptor.
+	wedged error
 
-	idx         map[int]*segIndex // sealed-segment indexes
-	active      *segIndex         // incrementally-built index of the open segment
-	readBytes   uint64            // bytes read by Replay/Range
-	idxRebuilds uint64            // sidecars rebuilt (missing, corrupt, stale)
-	segSkipped  uint64            // segments skipped entirely by Range
+	idx         map[segKey]*segIndex // sealed-file indexes, all tiers
+	active      *segIndex            // incrementally-built index of the open segment
+	readBytes   uint64               // bytes read by Replay/Range
+	idxRebuilds uint64               // sidecars rebuilt (missing, corrupt, stale)
+	segSkipped  uint64               // segments skipped entirely by Range
+
+	compactRuns     uint64 // Compact passes completed
+	compressedSegs  uint64 // raw segments rewritten as block files
+	compressedBytes uint64 // block bytes written by compaction (all tiers)
+	rolled          [2]uint64
+	droppedFiles    uint64 // files removed by the retention policy
 
 	// Optional obs instruments (nil-safe no-ops when not instrumented).
-	obsAppends    *obs.Counter
-	obsRotations  *obs.Counter
-	obsCorrupt    *obs.Counter
-	obsReadBytes  *obs.Counter
-	obsRebuilds   *obs.Counter
-	obsSegSkipped *obs.Counter
+	obsAppends      *obs.Counter
+	obsRotations    *obs.Counter
+	obsCorrupt      *obs.Counter
+	obsReadBytes    *obs.Counter
+	obsRebuilds     *obs.Counter
+	obsSegSkipped   *obs.Counter
+	obsCompactRuns  *obs.Counter
+	obsCompressed   *obs.Counter
+	obsDroppedFiles *obs.Counter
+	obsTierBytes    [numTiers]*obs.Gauge
 }
 
 // Options configures a Log.
@@ -68,9 +165,10 @@ type Options struct {
 
 // Open creates or reopens a Log rooted at dir. Existing segments are kept and
 // appends continue in a fresh segment after the highest existing index. Every
-// existing segment's index sidecar is loaded; missing, corrupt, or stale
-// sidecars are rebuilt from the segment (crash safety: the sidecar is a pure
-// accelerator, never trusted over the log).
+// existing file's index sidecar is loaded; missing, corrupt, or stale
+// sidecars are rebuilt from the data (crash safety: the sidecar is a pure
+// accelerator, never trusted over the log). An interrupted compaction is
+// rolled forward or back from its journal before anything is read.
 func Open(dir string, opts Options) (*Log, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
@@ -78,21 +176,29 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("archive: %w", err)
 	}
-	l := &Log{dir: dir, segmentBytes: opts.SegmentBytes, idx: make(map[int]*segIndex)}
-	segs, err := l.segments()
+	l := &Log{dir: dir, segmentBytes: opts.SegmentBytes, idx: make(map[segKey]*segIndex)}
+	if err := l.recoverCompaction(); err != nil {
+		return nil, err
+	}
+	refs, err := l.scanRefs()
 	if err != nil {
 		return nil, err
 	}
-	for _, i := range segs {
-		seg := filepath.Join(dir, segmentName(i))
-		st, err := os.Stat(seg)
+	next := 0
+	for _, r := range refs {
+		path := filepath.Join(dir, r.fileName())
+		st, err := os.Stat(path)
 		if err != nil {
 			return nil, fmt.Errorf("archive: %w", err)
 		}
-		side := filepath.Join(dir, indexName(i))
+		side := filepath.Join(dir, r.sidecarName())
 		si, err := loadSidecar(side, st.Size())
 		if err != nil {
-			si, err = buildSegIndex(seg)
+			if r.compressed {
+				si, err = buildBlockIndex(path)
+			} else {
+				si, err = buildSegIndex(path)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -101,11 +207,10 @@ func Open(dir string, opts Options) (*Log, error) {
 			}
 			l.idxRebuilds++
 		}
-		l.idx[i] = si
-	}
-	next := 0
-	if len(segs) > 0 {
-		next = segs[len(segs)-1] + 1
+		l.idx[r.key()] = si
+		if r.tier == TierRaw && r.index >= next {
+			next = r.index + 1
+		}
 	}
 	if err := l.openSegment(next); err != nil {
 		return nil, err
@@ -115,24 +220,52 @@ func Open(dir string, opts Options) (*Log, error) {
 
 func segmentName(i int) string { return fmt.Sprintf("segment-%08d.log", i) }
 
-// segments returns the sorted indices of existing segment files.
-func (l *Log) segments() ([]int, error) {
+// scanRefs lists every data file of the log in replay order: coarsest tier
+// first (1m rollups, then 10s, then full resolution), ascending index within
+// a tier. When a raw segment and its compressed rewrite both exist (a crash
+// between compaction's rename and source removal), the compressed file wins —
+// the rename is atomic, so it is complete.
+func (l *Log) scanRefs() ([]segRef, error) {
 	entries, err := os.ReadDir(l.dir)
 	if err != nil {
 		return nil, fmt.Errorf("archive: %w", err)
 	}
-	var out []int
+	byKey := make(map[segKey]segRef)
 	for _, e := range entries {
-		name := e.Name()
-		if !strings.HasPrefix(name, "segment-") || !strings.HasSuffix(name, ".log") {
+		r, ok := parseRef(e.Name())
+		if !ok {
 			continue
 		}
-		num := strings.TrimSuffix(strings.TrimPrefix(name, "segment-"), ".log")
-		i, err := strconv.Atoi(num)
-		if err != nil {
-			continue
+		if prev, dup := byKey[r.key()]; dup && prev.compressed {
+			continue // compressed rewrite shadows the raw original
 		}
-		out = append(out, i)
+		byKey[r.key()] = r
+	}
+	out := make([]segRef, 0, len(byKey))
+	for _, r := range byKey {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].tier != out[j].tier {
+			return out[i].tier > out[j].tier // oldest data lives in the highest tier
+		}
+		return out[i].index < out[j].index
+	})
+	return out, nil
+}
+
+// segments returns the sorted indices of existing full-resolution (tier 0)
+// segment files, raw or compressed.
+func (l *Log) segments() ([]int, error) {
+	refs, err := l.scanRefs()
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, r := range refs {
+		if r.tier == TierRaw {
+			out = append(out, r.index)
+		}
 	}
 	sort.Ints(out)
 	return out, nil
@@ -156,12 +289,42 @@ func (l *Log) openSegment(i int) error {
 	return nil
 }
 
+// recoverLocked re-arms a wedged log: the failed active segment is abandoned
+// (whatever prefix reached disk stays replayable; its sidecar is rebuilt on
+// the next Open) and appends continue in a fresh segment after the highest
+// on-disk index.
+func (l *Log) recoverLocked() error {
+	refs, err := l.scanRefs()
+	if err != nil {
+		return err
+	}
+	next := l.curIndex + 1
+	for _, r := range refs {
+		if r.tier == TierRaw && r.index >= next {
+			next = r.index + 1
+		}
+	}
+	if err := l.openSegment(next); err != nil {
+		return err
+	}
+	l.wedged = nil
+	return nil
+}
+
 // Append persists one tuple. It buffers; call Sync to force bytes to the OS.
+// After a seal or rotate failure the log is wedged: Append first tries to
+// re-open a fresh active segment and fails with the original error until
+// that succeeds, so writes are never silently buffered into a dead file.
 func (l *Log) Append(info telemetry.Info) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return errors.New("archive: log closed")
+	}
+	if l.wedged != nil {
+		if err := l.recoverLocked(); err != nil {
+			return fmt.Errorf("archive: log wedged (%v); recovery failed: %w", l.wedged, err)
+		}
 	}
 	b, err := info.MarshalBinary()
 	if err != nil {
@@ -184,19 +347,32 @@ func (l *Log) Append(info telemetry.Info) error {
 }
 
 // sealLocked flushes and closes the active segment, persists its index
-// sidecar, and promotes the in-memory index to the sealed map.
+// sidecar, and promotes the in-memory index to the sealed map. Any failure
+// wedges the log: the writer is known-dead (or in an unknown state), so
+// subsequent appends must re-open a segment instead of reusing it. A flush
+// failure also invalidates the in-memory index (buffered records never
+// reached disk), so it is not promoted — readers fall back to a full scan of
+// whatever prefix is on disk.
 func (l *Log) sealLocked() error {
-	if err := l.curW.Flush(); err != nil {
-		l.cur.Close()
-		return fmt.Errorf("archive: %w", err)
+	ferr := l.curW.Flush()
+	cerr := l.cur.Close()
+	if ferr != nil {
+		l.wedged = fmt.Errorf("archive: seal flush: %w", ferr)
+		return l.wedged
 	}
-	if err := l.cur.Close(); err != nil {
-		return fmt.Errorf("archive: %w", err)
+	if cerr != nil {
+		l.wedged = fmt.Errorf("archive: seal close: %w", cerr)
+		return l.wedged
 	}
+	// The data is durable and complete from here on; the sidecar is a pure
+	// accelerator (rebuilt on Open when missing), so its write failing still
+	// promotes the in-memory index — but the file is closed, so the log is
+	// wedged until a fresh segment opens.
+	l.idx[segKey{TierRaw, l.curIndex}] = l.active
 	if err := writeSidecar(filepath.Join(l.dir, indexName(l.curIndex)), l.active); err != nil {
-		return err
+		l.wedged = fmt.Errorf("archive: seal sidecar: %w", err)
+		return l.wedged
 	}
-	l.idx[l.curIndex] = l.active
 	return nil
 }
 
@@ -206,15 +382,22 @@ func (l *Log) rotateLocked() error {
 	}
 	l.rotations++
 	l.obsRotations.Inc()
-	return l.openSegment(l.curIndex + 1)
+	if err := l.openSegment(l.curIndex + 1); err != nil {
+		l.wedged = err
+		return err
+	}
+	return nil
 }
 
 // Instrument registers the log's instruments on r, labelled by name (usually
 // the vertex metric): archive_appends_total, archive_rotations_total,
 // archive_corrupt_records_total, archive_read_bytes_total,
-// archive_index_rebuilds_total, and archive_range_segments_skipped_total.
-// Events that happened before instrumentation (e.g. sidecar rebuilds during
-// Open) are folded into the counters so snapshots stay truthful.
+// archive_index_rebuilds_total, archive_range_segments_skipped_total,
+// archive_compaction_runs_total, archive_compressed_bytes_total,
+// archive_retention_dropped_files_total, and the per-tier
+// archive_rollup_tier_bytes gauges. Events that happened before
+// instrumentation (e.g. sidecar rebuilds during Open) are folded into the
+// counters so snapshots stay truthful.
 func (l *Log) Instrument(r *obs.Registry, name string) {
 	l.mu.Lock()
 	l.obsAppends = r.Counter(obs.Name("archive_appends_total", "log", name))
@@ -223,11 +406,53 @@ func (l *Log) Instrument(r *obs.Registry, name string) {
 	l.obsReadBytes = r.Counter(obs.Name("archive_read_bytes_total", "log", name))
 	l.obsRebuilds = r.Counter(obs.Name("archive_index_rebuilds_total", "log", name))
 	l.obsSegSkipped = r.Counter(obs.Name("archive_range_segments_skipped_total", "log", name))
+	l.obsCompactRuns = r.Counter(obs.Name("archive_compaction_runs_total", "log", name))
+	l.obsCompressed = r.Counter(obs.Name("archive_compressed_bytes_total", "log", name))
+	l.obsDroppedFiles = r.Counter(obs.Name("archive_retention_dropped_files_total", "log", name))
+	for t := 0; t < numTiers; t++ {
+		l.obsTierBytes[t] = r.Gauge(obs.Name("archive_rollup_tier_bytes", "log", name, "tier", tierLabel(t)))
+	}
 	l.obsRebuilds.Add(l.idxRebuilds)
 	l.obsReadBytes.Add(l.readBytes)
 	l.obsSegSkipped.Add(l.segSkipped)
+	l.obsCompactRuns.Add(l.compactRuns)
+	l.obsCompressed.Add(l.compressedBytes)
+	l.obsDroppedFiles.Add(l.droppedFiles)
 	l.mu.Unlock()
+	l.updateTierGauges()
 }
+
+// tierLabel names a tier for metric labels and CLI output.
+func tierLabel(t int) string {
+	switch t {
+	case TierRaw:
+		return "raw"
+	case Tier10s:
+		return "10s"
+	default:
+		return "1m"
+	}
+}
+
+// updateTierGauges refreshes the per-tier byte gauges from the directory.
+func (l *Log) updateTierGauges() {
+	var bytes [numTiers]int64
+	refs, err := l.scanRefs()
+	if err != nil {
+		return
+	}
+	for _, r := range refs {
+		if st, err := os.Stat(filepath.Join(l.dir, r.fileName())); err == nil {
+			bytes[r.tier] += st.Size()
+		}
+	}
+	for t := 0; t < numTiers; t++ {
+		l.obsTierBytes[t].Set(float64(bytes[t]))
+	}
+}
+
+// Dir returns the directory the log persists to.
+func (l *Log) Dir() string { return l.dir }
 
 // Appended returns the number of tuples appended since Open.
 func (l *Log) Appended() uint64 {
@@ -274,12 +499,46 @@ func (l *Log) SegmentsSkipped() uint64 {
 	return l.segSkipped
 }
 
+// CompactionRuns returns how many Compact passes completed since Open.
+func (l *Log) CompactionRuns() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.compactRuns
+}
+
+// CompressedBytes returns how many block bytes compaction has written since
+// Open (compressed rewrites plus rollup tiers).
+func (l *Log) CompressedBytes() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.compressedBytes
+}
+
+// RolledUp returns how many rollup tuples compaction has written into the
+// 10s and 1m tiers since Open.
+func (l *Log) RolledUp() (tier10s, tier1m uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rolled[0], l.rolled[1]
+}
+
+// DroppedFiles returns how many files the retention policy has removed since
+// Open.
+func (l *Log) DroppedFiles() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.droppedFiles
+}
+
 // Sync flushes buffered appends to the OS.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return nil
+	}
+	if l.wedged != nil {
+		return fmt.Errorf("archive: log wedged: %w", l.wedged)
 	}
 	if err := l.curW.Flush(); err != nil {
 		return fmt.Errorf("archive: %w", err)
@@ -288,7 +547,9 @@ func (l *Log) Sync() error {
 }
 
 // Close flushes and closes the active segment, sealing its index sidecar so
-// the next Open needs no rebuild.
+// the next Open needs no rebuild. A wedged log's active writer is already
+// closed, so Close does not touch it again (no double close); it reports the
+// wedging error once more instead.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -296,33 +557,52 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	if l.wedged != nil {
+		return fmt.Errorf("archive: closed after seal failure: %w", l.wedged)
+	}
 	return l.sealLocked()
 }
 
-// Replay streams every archived tuple, oldest first, to fn. Replay stops at
-// the first error from fn. Corruption handling distinguishes two cases: a
-// decode failure at the tail of the highest (active) segment is a torn write
-// from a crash and silently terminates replay; corruption anywhere else —
-// mid-segment, or in an earlier segment — is skipped record by record
-// (resynchronizing on the CRC framing) and counted, so one bad record no
-// longer silently truncates replay of everything after it. Replay flushes
-// pending appends first so a Log can replay its own writes.
+// Replay streams every archived tuple, coarsest tier first (1m rollups, 10s
+// rollups, then full resolution), oldest first within a tier, to fn. Replay
+// stops at the first error from fn. Corruption handling distinguishes two
+// cases: a decode failure at the tail of the highest raw (active) segment is
+// a torn write from a crash and silently terminates that segment's replay;
+// corruption anywhere else — mid-segment, in an earlier segment, or in a
+// compressed block — is skipped (resynchronizing on the CRC framing) and
+// counted, so one bad record no longer silently truncates replay of
+// everything after it. Replay flushes pending appends first so a Log can
+// replay its own writes.
 func (l *Log) Replay(fn func(telemetry.Info) error) error {
+	l.compactMu.RLock()
+	defer l.compactMu.RUnlock()
 	l.mu.Lock()
-	if !l.closed {
+	if !l.closed && l.wedged == nil {
 		if err := l.curW.Flush(); err != nil {
 			l.mu.Unlock()
 			return fmt.Errorf("archive: %w", err)
 		}
 	}
-	segs, err := l.segments()
+	refs, err := l.scanRefs()
 	l.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	for n, i := range segs {
-		active := n == len(segs)-1
-		corrupt, bytes, err := replayFile(filepath.Join(l.dir, segmentName(i)), active, fn)
+	lastRaw := -1
+	for _, r := range refs {
+		if r.tier == TierRaw && !r.compressed && r.index > lastRaw {
+			lastRaw = r.index
+		}
+	}
+	for _, r := range refs {
+		path := filepath.Join(l.dir, r.fileName())
+		var corrupt int
+		var bytes int64
+		if r.compressed {
+			corrupt, bytes, err = replayBlockFile(path, fn)
+		} else {
+			corrupt, bytes, err = replayFile(path, r.index == lastRaw, fn)
+		}
 		l.account(corrupt, bytes, 0)
 		if err != nil {
 			return err
@@ -346,45 +626,47 @@ func (l *Log) account(corrupt int, bytes int64, skipped int) {
 	l.obsSegSkipped.Add(uint64(skipped))
 }
 
-// Range streams tuples whose Timestamp lies in [from, to], using the sparse
-// per-segment indexes: segments whose [firstTS, lastTS] envelope misses the
-// window are skipped without touching the file, and within a sorted segment
-// the read starts at the sparse offset preceding `from` and stops at the
-// first sparse offset past `to` — instead of replaying every segment from
-// byte zero. Unindexed or unsorted segments fall back to a full filtered
-// scan, so Range never misses records the index cannot vouch for.
+// Range streams tuples whose Timestamp lies in [from, to], coarsest tier
+// first, using the sparse per-file indexes: files whose [firstTS, lastTS]
+// envelope misses the window are skipped without touching the file, and
+// within a sorted file the read starts at the sparse offset preceding `from`
+// and stops at the first sparse offset past `to` — instead of replaying
+// every file from byte zero. Unindexed or unsorted files fall back to a full
+// filtered scan, so Range never misses records the index cannot vouch for.
 func (l *Log) Range(from, to int64, fn func(telemetry.Info) error) error {
 	if from > to {
 		return nil
 	}
+	l.compactMu.RLock()
+	defer l.compactMu.RUnlock()
 	l.mu.Lock()
-	if !l.closed {
+	if !l.closed && l.wedged == nil {
 		if err := l.curW.Flush(); err != nil {
 			l.mu.Unlock()
 			return fmt.Errorf("archive: %w", err)
 		}
 	}
-	segs, err := l.segments()
+	refs, err := l.scanRefs()
 	if err != nil {
 		l.mu.Unlock()
 		return err
 	}
 	type segPlan struct {
-		index  int
+		ref    segRef
 		si     *segIndex
 		active bool
 	}
-	plans := make([]segPlan, 0, len(segs))
-	for _, i := range segs {
-		p := segPlan{index: i}
-		if i == l.curIndex && !l.closed {
+	plans := make([]segPlan, 0, len(refs))
+	for _, r := range refs {
+		p := segPlan{ref: r}
+		if r.tier == TierRaw && !r.compressed && r.index == l.curIndex && !l.closed {
 			// Snapshot the building index: the header copy is safe to read
 			// after unlock (appends beyond len are invisible; reallocation
 			// leaves our view intact).
 			cp := *l.active
 			p.si, p.active = &cp, true
 		} else {
-			p.si = l.idx[i]
+			p.si = l.idx[r.key()]
 		}
 		plans = append(plans, p)
 	}
@@ -395,7 +677,14 @@ func (l *Log) Range(from, to int64, fn func(telemetry.Info) error) error {
 			l.account(0, 0, 1)
 			continue
 		}
-		corrupt, bytes, err := l.scanSegment(p.index, p.si, p.active, from, to, fn)
+		var corrupt int
+		var bytes int64
+		var err error
+		if p.ref.compressed {
+			corrupt, bytes, err = l.scanBlockSegment(p.ref, p.si, from, to, fn)
+		} else {
+			corrupt, bytes, err = l.scanSegment(p.ref.index, p.si, p.active, from, to, fn)
+		}
 		l.account(corrupt, bytes, 0)
 		if err != nil {
 			return err
@@ -404,8 +693,8 @@ func (l *Log) Range(from, to int64, fn func(telemetry.Info) error) error {
 	return nil
 }
 
-// scanSegment streams the in-window records of one segment, reading only the
-// byte range the index says can matter.
+// scanSegment streams the in-window records of one raw segment, reading only
+// the byte range the index says can matter.
 func (l *Log) scanSegment(index int, si *segIndex, active bool, from, to int64, fn func(telemetry.Info) error) (corrupt int, bytes int64, err error) {
 	path := filepath.Join(l.dir, segmentName(index))
 	f, err := os.Open(path)
@@ -466,10 +755,70 @@ func (l *Log) scanSegment(index int, si *segIndex, active bool, from, to int64, 
 	return corrupt, bytes, nil
 }
 
-// replayFile replays one segment, returning how many corrupt records were
-// skipped and how many bytes were read. Only the tail of the active segment
-// may be treated as a torn write (uncounted); any other decode failure
-// resynchronizes on the next CRC-valid record and is counted.
+// scanBlockSegment streams the in-window records of one compressed file. The
+// sparse index is block-granular (one entry per block, keyed by the block's
+// first timestamp), so seek lands on a block boundary and the scan decodes
+// whole blocks from there.
+func (l *Log) scanBlockSegment(ref segRef, si *segIndex, from, to int64, fn func(telemetry.Info) error) (corrupt int, bytes int64, err error) {
+	path := filepath.Join(l.dir, ref.fileName())
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("archive: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, 0, fmt.Errorf("archive: %w", err)
+	}
+	size := st.Size()
+	start := si.seek(from)
+	end := si.seekEnd(to, size)
+	if start >= end {
+		return 0, 0, nil
+	}
+	if end > size {
+		end = size
+	}
+	data := make([]byte, end-start)
+	if _, err := io.ReadFull(io.NewSectionReader(f, start, end-start), data); err != nil {
+		return 0, 0, fmt.Errorf("archive: %w", err)
+	}
+	bytes = int64(len(data))
+	sorted := si != nil && si.sorted
+	for len(data) > 0 {
+		infos, n, derr := decodeBlock(data)
+		if derr != nil {
+			skip := resyncBlock(data[1:])
+			if skip < 0 {
+				return corrupt + 1, bytes, nil
+			}
+			corrupt++
+			data = data[1+skip:]
+			continue
+		}
+		data = data[n:]
+		for _, info := range infos {
+			if info.Timestamp > to {
+				if sorted {
+					return corrupt, bytes, nil
+				}
+				continue
+			}
+			if info.Timestamp < from {
+				continue
+			}
+			if err := fn(info); err != nil {
+				return corrupt, bytes, err
+			}
+		}
+	}
+	return corrupt, bytes, nil
+}
+
+// replayFile replays one raw segment, returning how many corrupt records
+// were skipped and how many bytes were read. Only the tail of the active
+// segment may be treated as a torn write (uncounted); any other decode
+// failure resynchronizes on the next CRC-valid record and is counted.
 func replayFile(path string, active bool, fn func(telemetry.Info) error) (int, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -509,6 +858,42 @@ func replayFile(path string, active bool, fn func(telemetry.Info) error) (int, i
 	return corrupt, bytes, nil
 }
 
+// replayBlockFile replays one compressed file block by block. Compressed
+// files are only ever produced whole (tmp + rename), so an undecodable
+// region is always counted corruption, never a tolerated torn tail.
+func replayBlockFile(path string, fn func(telemetry.Info) error) (int, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("archive: %w", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(bufio.NewReader(f))
+	if err != nil {
+		return 0, 0, fmt.Errorf("archive: %w", err)
+	}
+	bytes := int64(len(data))
+	corrupt := 0
+	for len(data) > 0 {
+		infos, n, derr := decodeBlock(data)
+		if derr != nil {
+			skip := resyncBlock(data[1:])
+			if skip < 0 {
+				return corrupt + 1, bytes, nil
+			}
+			corrupt++
+			data = data[1+skip:]
+			continue
+		}
+		for _, info := range infos {
+			if err := fn(info); err != nil {
+				return corrupt, bytes, err
+			}
+		}
+		data = data[n:]
+	}
+	return corrupt, bytes, nil
+}
+
 // resync scans forward for the next offset at which a record decodes. The
 // CRC32 framing makes a false positive vanishingly unlikely (~2^-32 per
 // candidate offset).
@@ -521,31 +906,92 @@ func resync(b []byte) int {
 	return -1
 }
 
-// Prune removes all segments except the active one, along with their index
-// sidecars (and any orphaned sidecars), returning how many segment files
-// were deleted. SCoRe uses it to bound archive growth for long-lived
-// vertices.
+// Prune removes all sealed files — full-resolution segments and rollup tiers
+// alike — along with their index sidecars, keeping only the active segment,
+// and returns how many data files were deleted. It is best-effort and
+// idempotent: a file that is already gone is treated as removed (its index
+// entry and sidecar are still cleaned up), and one failed removal does not
+// abort the rest — the first error is reported after everything removable
+// has been removed. SCoRe uses Prune to bound archive growth for long-lived
+// vertices; the Retention policy (see compact.go) is the finer-grained
+// successor.
 func (l *Log) Prune() (int, error) {
+	l.compactMu.Lock()
+	defer l.compactMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	segs, err := l.segments()
+	refs, err := l.scanRefs()
 	if err != nil {
 		return 0, err
 	}
 	n := 0
-	for _, i := range segs {
-		if i == l.curIndex {
-			continue
+	var firstErr error
+	for _, r := range refs {
+		if r.tier == TierRaw && !r.compressed && r.index == l.curIndex && !l.closed {
+			continue // the active segment stays
 		}
-		if err := os.Remove(filepath.Join(l.dir, segmentName(i))); err != nil {
-			return n, fmt.Errorf("archive: %w", err)
+		switch err := os.Remove(filepath.Join(l.dir, r.fileName())); {
+		case err == nil:
+			n++
+		case errors.Is(err, os.ErrNotExist):
+			// Already gone (e.g. a previous partial Prune): fall through and
+			// finish the cleanup so the call is idempotent.
+		default:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("archive: %w", err)
+			}
+			continue // keep the sidecar and index for the file that remains
 		}
-		// Sidecars follow their segment; a missing one is fine.
-		if err := os.Remove(filepath.Join(l.dir, indexName(i))); err != nil && !errors.Is(err, os.ErrNotExist) {
-			return n, fmt.Errorf("archive: %w", err)
+		if err := os.Remove(filepath.Join(l.dir, r.sidecarName())); err != nil && !errors.Is(err, os.ErrNotExist) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("archive: %w", err)
+			}
 		}
-		delete(l.idx, i)
-		n++
+		delete(l.idx, r.key())
 	}
-	return n, nil
+	// Sweep orphaned sidecars — a data file yanked out from under the log
+	// (or a previous partial Prune) leaves a sidecar with nothing to index.
+	if after, err := l.scanRefs(); err == nil {
+		live := make(map[segKey]bool, len(after))
+		for _, r := range after {
+			live[r.key()] = true
+		}
+		entries, err := os.ReadDir(l.dir)
+		if err == nil {
+			for _, e := range entries {
+				k, ok := parseSidecar(e.Name())
+				if !ok || live[k] {
+					continue
+				}
+				if err := os.Remove(filepath.Join(l.dir, e.Name())); err != nil && !errors.Is(err, os.ErrNotExist) && firstErr == nil {
+					firstErr = fmt.Errorf("archive: %w", err)
+				}
+				delete(l.idx, k)
+			}
+		}
+	}
+	return n, firstErr
+}
+
+// parseSidecar decodes an index sidecar file name into its segment key.
+func parseSidecar(name string) (segKey, bool) {
+	if !strings.HasSuffix(name, ".idx") {
+		return segKey{}, false
+	}
+	base := strings.TrimSuffix(name, ".idx")
+	switch {
+	case strings.HasPrefix(base, "segment-"):
+		if i, err := strconv.Atoi(strings.TrimPrefix(base, "segment-")); err == nil {
+			return segKey{tier: TierRaw, index: i}, true
+		}
+	case strings.HasPrefix(base, "rollup1-"):
+		if i, err := strconv.Atoi(strings.TrimPrefix(base, "rollup1-")); err == nil {
+			return segKey{tier: Tier10s, index: i}, true
+		}
+	case strings.HasPrefix(base, "rollup2-"):
+		if i, err := strconv.Atoi(strings.TrimPrefix(base, "rollup2-")); err == nil {
+			return segKey{tier: Tier1m, index: i}, true
+		}
+	}
+	return segKey{}, false
 }

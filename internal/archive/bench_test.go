@@ -1,0 +1,112 @@
+package archive
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// Benchmarks for the tiered compressed archive (scripts/bench_archive.sh →
+// BENCH_7.json): compaction throughput with the raw-vs-block footprint as
+// reported metrics, and tail reads over a fully compacted archive with the
+// bytes actually read (ReadBytes / archive_read_bytes_total) as the win.
+
+// benchCompactedLog builds a many-segment archive from the synthetic NVMe
+// corpus and compacts every sealed segment into block files.
+func benchCompactedLog(b *testing.B, records int) (*Log, []telemetry.Info) {
+	b.Helper()
+	infos := syntheticCorpus(records)
+	l, err := Open(b.TempDir(), Options{SegmentBytes: 16 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { l.Close() })
+	for _, in := range infos {
+		if err := l.Append(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := l.Compact(1<<62, Retention{}); err != nil {
+		b.Fatal(err)
+	}
+	return l, infos
+}
+
+// BenchmarkArchiveCompact measures one full compression pass over a freshly
+// written archive, reporting the raw and block footprints it moved.
+func BenchmarkArchiveCompact(b *testing.B) {
+	infos := syntheticCorpus(16384)
+	var raw, blk int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		l, err := Open(b.TempDir(), Options{SegmentBytes: 16 << 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, in := range infos {
+			if err := l.Append(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		st, err := l.Compact(1<<62, Retention{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if st.CompressedSegments == 0 {
+			b.Fatal("nothing compacted")
+		}
+		raw += st.RawBytes
+		blk += st.CompressedBytes
+		l.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(raw)/float64(b.N), "rawbytes/op")
+	b.ReportMetric(float64(blk)/float64(b.N), "blockbytes/op")
+	b.ReportMetric(float64(len(infos))/(b.Elapsed().Seconds()/float64(b.N)), "recs/s")
+}
+
+// BenchmarkArchiveRangeCompressedTail reads a 5-record window at the tail of
+// a compacted archive through the block-granular sidecar index.
+func BenchmarkArchiveRangeCompressedTail(b *testing.B) {
+	l, infos := benchCompactedLog(b, 16384)
+	last := infos[len(infos)-1].Timestamp
+	from := infos[len(infos)-5].Timestamp
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		if err := l.Range(from, last, func(telemetry.Info) error { count++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if count != 5 {
+			b.Fatalf("count=%d", count)
+		}
+	}
+	b.ReportMetric(float64(l.ReadBytes())/float64(b.N), "readbytes/op")
+}
+
+// BenchmarkArchiveReplayCompressed is the tail-read baseline: decode the
+// whole compacted archive and filter to the same 5-record window.
+func BenchmarkArchiveReplayCompressed(b *testing.B) {
+	l, infos := benchCompactedLog(b, 16384)
+	last := infos[len(infos)-1].Timestamp
+	from := infos[len(infos)-5].Timestamp
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		if err := l.Replay(func(in telemetry.Info) error {
+			if in.Timestamp >= from && in.Timestamp <= last {
+				count++
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if count != 5 {
+			b.Fatalf("count=%d", count)
+		}
+	}
+	b.ReportMetric(float64(l.ReadBytes())/float64(b.N), "readbytes/op")
+}

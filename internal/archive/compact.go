@@ -1,0 +1,755 @@
+package archive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Tiered compaction and retention. A Compact pass does three things, each
+// crash-safe on its own:
+//
+//  1. Compress: every sealed full-resolution segment is rewritten in place
+//     (same index, `.log` → `.blk`) as Gorilla blocks.
+//  2. Rollup: full-resolution files wholly older than Retention.Raw are
+//     downsampled into one 10-second-bucket rollup file; 10s files wholly
+//     older than Retention.Rollup10s are downsampled again into 1-minute
+//     buckets.
+//  3. Drop: 1m files wholly older than Retention.Rollup1m are deleted.
+//
+// Every rewrite follows the same protocol: write the output to a `.tmp`
+// file, journal the intent (`compact.meta`: destination + source list),
+// rename the output into place, delete the sources, clear the journal. The
+// rename is atomic, so recovery on Open is trivial — if the journalled
+// destination exists the rewrite happened and any surviving sources are
+// deleted; if it does not, nothing happened and only the tmp file is swept.
+// A pass therefore never duplicates or loses data across a crash at any
+// instant.
+//
+// Rollup files are selected whole (file lastTS strictly older than the
+// horizon), never split, so a tuple is represented in exactly one tier at a
+// time and Range/Replay — which walk tiers coarsest-first — never see a
+// tuple twice.
+
+// Retention is a per-log age policy, each bound measured back from the
+// compaction pass's notion of now. A tuple younger than Raw stays at full
+// resolution; between Raw and Rollup10s it lives as a 10-second rollup;
+// between Rollup10s and Rollup1m as a 1-minute rollup; past Rollup1m it is
+// dropped. A zero Raw disables downsampling entirely (segments are still
+// compressed); a zero deeper bound keeps that tier forever.
+type Retention struct {
+	Raw       time.Duration // keep full resolution this long
+	Rollup10s time.Duration // then 10s averages this long
+	Rollup1m  time.Duration // then 1m averages this long, then drop
+}
+
+// String renders the policy in the flag syntax ParseRetention accepts.
+func (r Retention) String() string {
+	return fmt.Sprintf("raw=%s,10s=%s,1m=%s", r.Raw, r.Rollup10s, r.Rollup1m)
+}
+
+// IsZero reports whether the policy is entirely unset.
+func (r Retention) IsZero() bool { return r == Retention{} }
+
+// ParseRetention parses the CLI form "raw=15m,10s=2h,1m=24h". Keys may
+// appear in any order and be omitted (omitted bounds stay zero = keep
+// forever / no downsampling).
+func ParseRetention(s string) (Retention, error) {
+	var r Retention
+	if strings.TrimSpace(s) == "" {
+		return r, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return r, fmt.Errorf("archive: retention %q: want key=duration", part)
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(v))
+		if err != nil {
+			return r, fmt.Errorf("archive: retention %q: %w", part, err)
+		}
+		if d < 0 {
+			return r, fmt.Errorf("archive: retention %q: negative duration", part)
+		}
+		switch strings.TrimSpace(k) {
+		case "raw":
+			r.Raw = d
+		case "10s":
+			r.Rollup10s = d
+		case "1m":
+			r.Rollup1m = d
+		default:
+			return r, fmt.Errorf("archive: retention %q: unknown tier (want raw, 10s, 1m)", k)
+		}
+	}
+	return r, nil
+}
+
+// Rollup bucket widths per tier.
+const (
+	Tier10sBucket = 10 * time.Second
+	Tier1mBucket  = time.Minute
+)
+
+// DefaultCompactInterval is how often the Compactor runs when unset.
+const DefaultCompactInterval = time.Minute
+
+// CompactStats summarizes one Compact pass.
+type CompactStats struct {
+	CompressedSegments int   // raw segments rewritten as block files
+	RawBytes           int64 // raw bytes consumed by compression
+	CompressedBytes    int64 // block bytes written (compression + rollups)
+	Rolled10s          int   // tuples written into the 10s tier
+	Rolled1m           int   // tuples written into the 1m tier
+	DroppedFiles       int   // files removed by retention
+}
+
+// ---- compaction journal -------------------------------------------------
+
+const (
+	metaName    = "compact.meta"
+	metaMagic   = 0x544D4341 // "ACMT"
+	metaVersion = 1
+)
+
+// inflightOp journals one rewrite: dst is about to be renamed into place and
+// srcs deleted.
+type inflightOp struct {
+	dst  segRef
+	srcs []segRef
+}
+
+func appendRef(b []byte, r segRef) []byte {
+	b = append(b, byte(r.tier))
+	if r.compressed {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return binary.LittleEndian.AppendUint32(b, uint32(r.index))
+}
+
+func readRef(b []byte) (segRef, []byte, bool) {
+	if len(b) < 6 {
+		return segRef{}, nil, false
+	}
+	r := segRef{tier: int(b[0]), compressed: b[1] != 0, index: int(binary.LittleEndian.Uint32(b[2:]))}
+	if r.tier < 0 || r.tier >= numTiers {
+		return segRef{}, nil, false
+	}
+	return r, b[6:], true
+}
+
+// saveJournal persists op atomically; a nil op clears the journal.
+func saveJournal(dir string, op *inflightOp) error {
+	path := filepath.Join(dir, metaName)
+	if op == nil {
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("archive: %w", err)
+		}
+		return nil
+	}
+	b := binary.LittleEndian.AppendUint32(nil, metaMagic)
+	b = append(b, metaVersion)
+	b = appendRef(b, op.dst)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(op.srcs)))
+	for _, s := range op.srcs {
+		b = appendRef(b, s)
+	}
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("archive: %w", err)
+	}
+	return nil
+}
+
+// loadJournal reads the journal; a missing or corrupt journal is nil (a
+// corrupt journal cannot exist via the atomic write path, so nil is the
+// safe reading — the duplicate-shadowing in scanRefs still protects reads).
+func loadJournal(dir string) *inflightOp {
+	b, err := os.ReadFile(filepath.Join(dir, metaName))
+	if err != nil || len(b) < 4+1+6+2+4 {
+		return nil
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil
+	}
+	if binary.LittleEndian.Uint32(b) != metaMagic || b[4] != metaVersion {
+		return nil
+	}
+	rest := body[5:]
+	op := &inflightOp{}
+	var ok bool
+	if op.dst, rest, ok = readRef(rest); !ok {
+		return nil
+	}
+	if len(rest) < 2 {
+		return nil
+	}
+	n := int(binary.LittleEndian.Uint16(rest))
+	rest = rest[2:]
+	for i := 0; i < n; i++ {
+		var s segRef
+		if s, rest, ok = readRef(rest); !ok {
+			return nil
+		}
+		op.srcs = append(op.srcs, s)
+	}
+	if len(rest) != 0 {
+		return nil
+	}
+	return op
+}
+
+// recoverCompaction rolls an interrupted rewrite forward or back from its
+// journal and sweeps stray tmp files. Called by Open before anything is
+// read. It also resolves raw/compressed duplicates directly (a compressed
+// rewrite whose journal was already cleared can never coexist with its raw
+// source, but a lost journal plus crash could leave both): the compressed
+// file is complete by rename atomicity, so the raw file goes.
+func (l *Log) recoverCompaction() error {
+	if op := loadJournal(l.dir); op != nil {
+		if _, err := os.Stat(filepath.Join(l.dir, op.dst.fileName())); err == nil {
+			// The rename happened: the rewrite is complete, finish deleting
+			// the sources.
+			for _, s := range op.srcs {
+				if err := removeRefFiles(l.dir, s, op.dst); err != nil {
+					return err
+				}
+			}
+		}
+		if err := saveJournal(l.dir, nil); err != nil {
+			return err
+		}
+	}
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	haveBlk := make(map[int]bool)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(l.dir, e.Name()))
+			continue
+		}
+		if r, ok := parseRef(e.Name()); ok && r.tier == TierRaw && r.compressed {
+			haveBlk[r.index] = true
+		}
+	}
+	for _, e := range entries {
+		if r, ok := parseRef(e.Name()); ok && r.tier == TierRaw && !r.compressed && haveBlk[r.index] {
+			if err := os.Remove(filepath.Join(l.dir, e.Name())); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return fmt.Errorf("archive: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// removeRefFiles deletes a source file and its sidecar, keeping the sidecar
+// when the destination shares it (a compressed rewrite reuses the raw
+// segment's index path).
+func removeRefFiles(dir string, src, dst segRef) error {
+	if err := os.Remove(filepath.Join(dir, src.fileName())); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("archive: %w", err)
+	}
+	if src.sidecarName() == dst.sidecarName() {
+		return nil
+	}
+	if err := os.Remove(filepath.Join(dir, src.sidecarName())); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("archive: %w", err)
+	}
+	return nil
+}
+
+// ---- the compaction pass ------------------------------------------------
+
+// Compact runs one compaction pass against the policy, with now (unix nanos)
+// anchoring the age horizons — the caller supplies it so virtual-clock
+// scenarios stay deterministic. The active segment is never touched, so
+// Compact runs concurrently with Append; it excludes Replay/Range/Prune for
+// the duration of the pass.
+func (l *Log) Compact(now int64, policy Retention) (CompactStats, error) {
+	l.compactMu.Lock()
+	defer l.compactMu.Unlock()
+	var st CompactStats
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return st, errors.New("archive: log closed")
+	}
+	cur := l.curIndex
+	l.mu.Unlock()
+
+	refs, err := l.scanRefs()
+	if err != nil {
+		return st, err
+	}
+
+	// Pass 1: compress sealed raw segments in place.
+	for _, r := range refs {
+		if r.tier != TierRaw || r.compressed || r.index == cur {
+			continue
+		}
+		if err := l.compressSegment(r, &st); err != nil {
+			return st, err
+		}
+	}
+
+	// Pass 2: roll full-resolution files past the Raw horizon into the 10s
+	// tier, then 10s files past the Rollup10s horizon into the 1m tier.
+	if policy.Raw > 0 {
+		if refs, err = l.scanRefs(); err != nil {
+			return st, err
+		}
+		n, err := l.rollupTier(refs, TierRaw, cur, now-policy.Raw.Nanoseconds(), Tier10s, Tier10sBucket, &st)
+		if err != nil {
+			return st, err
+		}
+		st.Rolled10s += n
+		if policy.Rollup10s > 0 {
+			if refs, err = l.scanRefs(); err != nil {
+				return st, err
+			}
+			n, err := l.rollupTier(refs, Tier10s, -1, now-policy.Rollup10s.Nanoseconds(), Tier1m, Tier1mBucket, &st)
+			if err != nil {
+				return st, err
+			}
+			st.Rolled1m += n
+
+			// Pass 3: retention — drop 1m files past the final horizon.
+			// Rollup points carry their bucket's start timestamp, so a
+			// file's lastTS understates the age of the newest tuple it
+			// represents by up to one bucket width; push the horizon back
+			// by that much so no tuple inside Rollup1m is ever dropped.
+			if policy.Rollup1m > 0 {
+				if refs, err = l.scanRefs(); err != nil {
+					return st, err
+				}
+				horizon := now - policy.Rollup1m.Nanoseconds() - Tier1mBucket.Nanoseconds()
+				for _, r := range refs {
+					if r.tier != Tier1m {
+						continue
+					}
+					l.mu.Lock()
+					si := l.idx[r.key()]
+					l.mu.Unlock()
+					if si == nil || si.records == 0 || si.lastTS >= horizon {
+						continue
+					}
+					if err := os.Remove(filepath.Join(l.dir, r.fileName())); err != nil && !errors.Is(err, os.ErrNotExist) {
+						return st, fmt.Errorf("archive: %w", err)
+					}
+					if err := os.Remove(filepath.Join(l.dir, r.sidecarName())); err != nil && !errors.Is(err, os.ErrNotExist) {
+						return st, fmt.Errorf("archive: %w", err)
+					}
+					l.mu.Lock()
+					delete(l.idx, r.key())
+					l.mu.Unlock()
+					st.DroppedFiles++
+				}
+			}
+		}
+	}
+
+	l.mu.Lock()
+	l.compactRuns++
+	l.compressedSegs += uint64(st.CompressedSegments)
+	l.compressedBytes += uint64(st.CompressedBytes)
+	l.rolled[0] += uint64(st.Rolled10s)
+	l.rolled[1] += uint64(st.Rolled1m)
+	l.droppedFiles += uint64(st.DroppedFiles)
+	l.mu.Unlock()
+	l.obsCompactRuns.Inc()
+	l.obsCompressed.Add(uint64(st.CompressedBytes))
+	l.obsDroppedFiles.Add(uint64(st.DroppedFiles))
+	if l.obsTierBytes[0] != nil {
+		l.updateTierGauges()
+	}
+	return st, nil
+}
+
+// compressSegment rewrites one sealed raw segment as a block file under the
+// journal protocol. Corrupt records are skipped (counted), exactly as replay
+// would skip them; an unreadable/empty segment is simply removed.
+func (l *Log) compressSegment(r segRef, st *CompactStats) error {
+	src := filepath.Join(l.dir, r.fileName())
+	var infos []telemetry.Info
+	corrupt, rawBytes, err := replayFile(src, false, func(in telemetry.Info) error {
+		infos = append(infos, in)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if corrupt > 0 {
+		l.account(corrupt, 0, 0)
+	}
+	dst := segRef{tier: TierRaw, index: r.index, compressed: true}
+	if len(infos) == 0 {
+		// Nothing decodable: the sealed segment is dead weight; drop it.
+		if err := removeRefFiles(l.dir, r, segRef{tier: -1}); err != nil {
+			return err
+		}
+		l.mu.Lock()
+		delete(l.idx, r.key())
+		l.mu.Unlock()
+		return nil
+	}
+	blob, si := encodeBlocks(uint8(TierRaw), infos)
+	if err := l.writeRewrite(dst, blob, si, []segRef{r}); err != nil {
+		return err
+	}
+	st.CompressedSegments++
+	st.RawBytes += rawBytes
+	st.CompressedBytes += int64(len(blob))
+	return nil
+}
+
+// rollupTier downsamples every file of srcTier whose records all predate
+// horizon into one new file of dstTier, bucket-averaged. skipIndex excludes
+// the active segment when srcTier is the raw tier. Returns the number of
+// rollup tuples written.
+func (l *Log) rollupTier(refs []segRef, srcTier, skipIndex int, horizon int64, dstTier int, bucket time.Duration, st *CompactStats) (int, error) {
+	var srcs []segRef
+	var infos []telemetry.Info
+	for _, r := range refs {
+		if r.tier != srcTier || (srcTier == TierRaw && r.index == skipIndex) {
+			continue
+		}
+		l.mu.Lock()
+		si := l.idx[r.key()]
+		l.mu.Unlock()
+		if si == nil || si.lastTS >= horizon {
+			continue
+		}
+		path := filepath.Join(l.dir, r.fileName())
+		var err error
+		if r.compressed {
+			_, _, err = replayBlockFile(path, func(in telemetry.Info) error {
+				infos = append(infos, in)
+				return nil
+			})
+		} else {
+			_, _, err = replayFile(path, false, func(in telemetry.Info) error {
+				infos = append(infos, in)
+				return nil
+			})
+		}
+		if err != nil {
+			return 0, err
+		}
+		srcs = append(srcs, r)
+	}
+	if len(srcs) == 0 {
+		return 0, nil
+	}
+	out := rollup(infos, bucket)
+	if len(out) == 0 {
+		// Sources held nothing decodable; just delete them.
+		for _, s := range srcs {
+			if err := removeRefFiles(l.dir, s, segRef{tier: -1}); err != nil {
+				return 0, err
+			}
+			l.mu.Lock()
+			delete(l.idx, s.key())
+			l.mu.Unlock()
+		}
+		return 0, nil
+	}
+	next := 0
+	for _, r := range refs {
+		if r.tier == dstTier && r.index >= next {
+			next = r.index + 1
+		}
+	}
+	dst := segRef{tier: dstTier, index: next, compressed: true}
+	blob, si := encodeBlocks(uint8(dstTier), out)
+	if err := l.writeRewrite(dst, blob, si, srcs); err != nil {
+		return 0, err
+	}
+	st.CompressedBytes += int64(len(blob))
+	return len(out), nil
+}
+
+// writeRewrite executes the journaled rewrite protocol: tmp write → journal
+// → rename → sidecar → delete sources → clear journal, updating the
+// in-memory index map at the end.
+func (l *Log) writeRewrite(dst segRef, blob []byte, si *segIndex, srcs []segRef) error {
+	dstPath := filepath.Join(l.dir, dst.fileName())
+	tmp := dstPath + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	if err := saveJournal(l.dir, &inflightOp{dst: dst, srcs: srcs}); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, dstPath); err != nil {
+		os.Remove(tmp)
+		saveJournal(l.dir, nil)
+		return fmt.Errorf("archive: %w", err)
+	}
+	// The rewrite is durable from here; everything below is cleanup that
+	// recovery would redo after a crash.
+	if err := writeSidecar(filepath.Join(l.dir, dst.sidecarName()), si); err != nil {
+		return err
+	}
+	for _, s := range srcs {
+		if err := removeRefFiles(l.dir, s, dst); err != nil {
+			return err
+		}
+	}
+	if err := saveJournal(l.dir, nil); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	for _, s := range srcs {
+		delete(l.idx, s.key())
+	}
+	l.idx[dst.key()] = si
+	l.mu.Unlock()
+	return nil
+}
+
+// rollup buckets infos per (metric, bucket-start) and averages each bucket.
+// The output timestamp is the bucket start; the Source is Measured only when
+// every contributing tuple was measured; the Kind is the first seen. Output
+// is sorted by (timestamp, metric) so rollup files are sorted and seekable.
+func rollup(infos []telemetry.Info, bucket time.Duration) []telemetry.Info {
+	type aggKey struct {
+		metric telemetry.MetricID
+		start  int64
+	}
+	type agg struct {
+		sum       float64
+		n         int64
+		kind      telemetry.Kind
+		predicted bool
+	}
+	width := bucket.Nanoseconds()
+	m := make(map[aggKey]*agg)
+	for _, in := range infos {
+		rem := in.Timestamp % width
+		if rem < 0 {
+			rem += width
+		}
+		k := aggKey{metric: in.Metric, start: in.Timestamp - rem}
+		a := m[k]
+		if a == nil {
+			a = &agg{kind: in.Kind}
+			m[k] = a
+		}
+		a.sum += in.Value
+		a.n++
+		if in.Source != telemetry.Measured {
+			a.predicted = true
+		}
+	}
+	out := make([]telemetry.Info, 0, len(m))
+	for k, a := range m {
+		src := telemetry.Measured
+		if a.predicted {
+			src = telemetry.Predicted
+		}
+		out = append(out, telemetry.Info{
+			Metric:    k.metric,
+			Timestamp: k.start,
+			Value:     a.sum / float64(a.n),
+			Kind:      a.kind,
+			Source:    src,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Timestamp != out[j].Timestamp {
+			return out[i].Timestamp < out[j].Timestamp
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}
+
+// ---- background compactor ----------------------------------------------
+
+// Compactor periodically compacts a set of logs on a clock — sim.Wall in
+// production, a *sim.Virtual in scenarios, which makes every compaction
+// decision a deterministic function of the schedule.
+type Compactor struct {
+	clock    sim.Clock
+	interval time.Duration
+
+	mu      sync.Mutex
+	targets []compactTarget
+	quit    chan struct{}
+	done    chan struct{}
+	runs    uint64
+	errs    uint64
+	lastErr error
+}
+
+type compactTarget struct {
+	log    *Log
+	policy Retention
+}
+
+// NewCompactor creates a stopped compactor; Add targets, then Start. A nil
+// clock means wall time; a non-positive interval means
+// DefaultCompactInterval.
+func NewCompactor(clock sim.Clock, interval time.Duration) *Compactor {
+	if interval <= 0 {
+		interval = DefaultCompactInterval
+	}
+	return &Compactor{clock: sim.Or(clock), interval: interval}
+}
+
+// Add registers a log with its retention policy. Safe while running.
+func (c *Compactor) Add(l *Log, policy Retention) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.targets = append(c.targets, compactTarget{log: l, policy: policy})
+}
+
+// Start launches the background loop; it is a no-op if already running.
+func (c *Compactor) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.quit != nil {
+		return
+	}
+	c.quit = make(chan struct{})
+	c.done = make(chan struct{})
+	go c.run(c.quit, c.done)
+}
+
+// Stop halts the loop and waits for an in-flight pass to finish.
+func (c *Compactor) Stop() {
+	c.mu.Lock()
+	quit, done := c.quit, c.done
+	c.quit, c.done = nil, nil
+	c.mu.Unlock()
+	if quit == nil {
+		return
+	}
+	close(quit)
+	<-done
+}
+
+func (c *Compactor) run(quit <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := c.clock.NewTimer(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-quit:
+			return
+		case <-t.C:
+			c.RunOnce()
+			t.Reset(c.interval)
+		}
+	}
+}
+
+// RunOnce compacts every registered log once at the clock's current time,
+// returning the first error (remaining logs are still compacted).
+func (c *Compactor) RunOnce() error {
+	c.mu.Lock()
+	targets := make([]compactTarget, len(c.targets))
+	copy(targets, c.targets)
+	c.mu.Unlock()
+	now := c.clock.Now().UnixNano()
+	var firstErr error
+	for _, t := range targets {
+		if _, err := t.log.Compact(now, t.policy); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	c.mu.Lock()
+	c.runs++
+	if firstErr != nil {
+		c.errs++
+		c.lastErr = firstErr
+	}
+	c.mu.Unlock()
+	return firstErr
+}
+
+// Runs reports completed passes and pass errors since creation.
+func (c *Compactor) Runs() (runs, errs uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runs, c.errs
+}
+
+// ---- directory inspection (apolloctl retention) -------------------------
+
+// TierStats summarizes one tier of an archive directory.
+type TierStats struct {
+	Files   int
+	Bytes   int64
+	Records uint64
+	FirstTS int64
+	LastTS  int64
+}
+
+// DirStats summarizes an archive directory per tier without opening it for
+// writing, preferring sidecars and falling back to scanning the data.
+func DirStats(dir string) ([numTiers]TierStats, error) {
+	var out [numTiers]TierStats
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return out, fmt.Errorf("archive: %w", err)
+	}
+	for _, e := range entries {
+		r, ok := parseRef(e.Name())
+		if !ok {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		st, err := os.Stat(path)
+		if err != nil {
+			continue
+		}
+		si, err := loadSidecar(filepath.Join(dir, r.sidecarName()), st.Size())
+		if err != nil {
+			if r.compressed {
+				si, err = buildBlockIndex(path)
+			} else {
+				si, err = buildSegIndex(path)
+			}
+			if err != nil {
+				continue
+			}
+		}
+		ts := &out[r.tier]
+		ts.Files++
+		ts.Bytes += st.Size()
+		if si.records == 0 {
+			continue
+		}
+		if ts.Records == 0 || si.firstTS < ts.FirstTS {
+			ts.FirstTS = si.firstTS
+		}
+		if ts.Records == 0 || si.lastTS > ts.LastTS {
+			ts.LastTS = si.lastTS
+		}
+		ts.Records += uint64(si.records)
+	}
+	return out, nil
+}

@@ -81,6 +81,16 @@ type Config struct {
 	BaseTick time.Duration
 	// ArchiveDir, if set, persists evicted queue entries per metric.
 	ArchiveDir string
+	// ArchiveRetention is the default tiered retention policy for every
+	// metric archive: raw records age into 10s rollups, then 1m rollups,
+	// then out entirely (see archive.Retention). The zero value keeps
+	// everything at full resolution forever (sealed segments are still
+	// compressed). Per-metric overrides via WithRetention.
+	ArchiveRetention archive.Retention
+	// CompactInterval is how often the background archive compactor runs
+	// when ArchiveDir is set (0: archive.DefaultCompactInterval). It runs on
+	// Clock, so virtual-time scenarios compact deterministically.
+	CompactInterval time.Duration
 	// HistorySize bounds per-vertex in-memory queues (0: default).
 	HistorySize int
 	// PlanCache sets the query engine's prepared-plan LRU capacity: 0 means
@@ -125,6 +135,8 @@ type Service struct {
 	engine *aqe.Engine
 	obs    *obs.Registry
 	bus    *busSwitch
+
+	compactor *archive.Compactor
 
 	mu        sync.Mutex
 	archives  []*archive.Log
@@ -205,6 +217,9 @@ func New(cfg Config) *Service {
 		obs:    cfg.Obs,
 	}
 	s.bus = &busSwitch{bus: s.broker}
+	if cfg.ArchiveDir != "" {
+		s.compactor = archive.NewCompactor(cfg.Clock, cfg.CompactInterval)
+	}
 	s.broker.Instrument(s.obs)
 	s.engine = aqe.NewEngine(aqe.GraphResolver{Graph: s.graph}, aqe.WithPlanCache(cfg.PlanCache))
 	s.engine.Instrument(s.obs)
@@ -262,6 +277,13 @@ func WithPublishUnchanged() MetricOption {
 	return func(fc *score.FactConfig) { fc.PublishUnchanged = true }
 }
 
+// WithRetention overrides the service-level archive retention policy for
+// this metric (Config.ArchiveRetention). Only meaningful when the service
+// has an ArchiveDir.
+func WithRetention(r archive.Retention) MetricOption {
+	return func(fc *score.FactConfig) { fc.Retention = &r }
+}
+
 // RegisterMetric deploys a Fact Vertex for hook. Safe before or after Start;
 // vertices registered after Start are started immediately.
 func (s *Service) RegisterMetric(hook score.Hook, opts ...MetricOption) (*score.FactVertex, error) {
@@ -294,6 +316,13 @@ func (s *Service) RegisterMetric(hook score.Hook, opts ...MetricOption) (*score.
 	}
 	for _, o := range opts {
 		o(&fc)
+	}
+	if fc.Archive != nil && s.compactor != nil {
+		policy := s.cfg.ArchiveRetention
+		if fc.Retention != nil {
+			policy = *fc.Retention
+		}
+		s.compactor.Add(fc.Archive, policy)
 	}
 	v, err := score.NewFactVertex(fc)
 	if err != nil {
@@ -353,6 +382,9 @@ func (s *Service) Start() error {
 	}
 	s.started = true
 	s.mu.Unlock()
+	if s.compactor != nil {
+		s.compactor.Start()
+	}
 	return s.graph.StartAll()
 }
 
@@ -371,6 +403,9 @@ func (s *Service) Stop() {
 	archives := s.archives
 	s.mu.Unlock()
 	s.graph.StopAll()
+	if s.compactor != nil {
+		s.compactor.Stop() // before the archives close under it
+	}
 	if fabric != nil {
 		fabric.Stop()
 	}

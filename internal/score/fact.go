@@ -35,6 +35,10 @@ type FactConfig struct {
 	HistorySize int
 	// Archive, if non-nil, receives entries evicted from the queue.
 	Archive *archive.Log
+	// Retention, if non-nil, overrides the service-level tiered retention
+	// policy for this metric's archive. The vertex does not act on it — the
+	// owner of the background compactor (core) reads it at registration.
+	Retention *archive.Retention
 	// Delphi, if non-nil, publishes predicted Facts for the base-tick
 	// instants the relaxed polling interval skips.
 	Delphi *delphi.Online

@@ -1,0 +1,78 @@
+#!/usr/bin/env sh
+# Runs the tiered-archive benchmark suite — compaction throughput with the
+# raw-vs-block footprint, and indexed tail reads over a compacted archive
+# (bytes actually read, the archive_read_bytes_total win) — and writes a
+# BENCH_<n>.json snapshot so the archive perf trajectory is tracked across
+# PRs. Fails if the compressed footprint reduction drops below 5x.
+# Usage: scripts/bench_archive.sh [n]   (default n=7)
+set -eu
+
+cd "$(dirname "$0")/.."
+N="${1:-7}"
+OUT="BENCH_${N}.json"
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run xxx \
+    -bench 'BenchmarkArchiveCompact$|BenchmarkArchiveRangeCompressedTail|BenchmarkArchiveReplayCompressed' \
+    -benchtime 20x ./internal/archive/ | tee "$RAW"
+
+python3 - "$RAW" "$OUT" <<'EOF'
+import json, re, subprocess, sys
+
+raw, out = sys.argv[1], sys.argv[2]
+results = {}
+cpu = goos = ""
+for line in open(raw):
+    if line.startswith("cpu:"):
+        cpu = line.split(":", 1)[1].strip()
+    if line.startswith("goos:"):
+        goos = line.split(":", 1)[1].strip()
+    m = re.match(r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)", line)
+    if not m:
+        continue
+    name, iters, ns, rest = m.group(1), int(m.group(2)), float(m.group(3)), m.group(4)
+    entry = {"iterations": iters, "ns_per_op": ns}
+    for metric, key in (
+        ("rawbytes/op", "raw_bytes_per_op"),
+        ("blockbytes/op", "block_bytes_per_op"),
+        ("readbytes/op", "read_bytes_per_op"),
+        ("recs/s", "records_per_sec"),
+    ):
+        v = re.search(r"([\d.]+) " + re.escape(metric), rest)
+        if v:
+            entry[key] = float(v.group(1))
+    results[name] = entry
+
+compact = results.get("BenchmarkArchiveCompact", {})
+tail = results.get("BenchmarkArchiveRangeCompressedTail", {})
+full = results.get("BenchmarkArchiveReplayCompressed", {})
+
+summary = {}
+raw_b, blk_b = compact.get("raw_bytes_per_op"), compact.get("block_bytes_per_op")
+if raw_b and blk_b:
+    summary["compressed_footprint_reduction"] = round(raw_b / blk_b, 2)
+if compact.get("records_per_sec"):
+    summary["compaction_records_per_sec"] = round(compact["records_per_sec"])
+tail_b, full_b = tail.get("read_bytes_per_op"), full.get("read_bytes_per_op")
+if tail_b and full_b:
+    summary["tail_read_bytes_saved_vs_full_decode"] = round(full_b / tail_b, 2)
+if tail.get("ns_per_op") and full.get("ns_per_op"):
+    summary["tail_read_speedup_vs_full_decode"] = round(full["ns_per_op"] / tail["ns_per_op"], 2)
+
+go_version = subprocess.run(["go", "version"], capture_output=True, text=True).stdout.strip()
+doc = {
+    "bench": "tiered compressed archive: Gorilla-block footprint, compaction throughput, indexed tail reads",
+    "go": go_version,
+    "goos": goos,
+    "cpu": cpu,
+    "results": results,
+    "summary": summary,
+}
+json.dump(doc, open(out, "w"), indent=2)
+print(f"wrote {out}: {summary}")
+
+reduction = summary.get("compressed_footprint_reduction", 0)
+if reduction < 5:
+    sys.exit(f"compressed footprint reduction {reduction}x is below the 5x gate")
+EOF

@@ -41,6 +41,12 @@ go test -race -count=1 ./internal/sim/scenario -run TestScenario
 echo "==> go test -race -count=1 ./internal/sim/scenario -run TestFabricScenario"
 go test -race -count=1 ./internal/sim/scenario -run TestFabricScenario
 
+# Tiered-retention gate: an hour of virtual time with per-minute compaction
+# passes must never drop an acked tuple inside the retention window (exact
+# tuples inside the raw bound, bucket coverage out to the 1m bound).
+echo "==> go test -race -count=1 ./internal/sim/scenario -run TestRetention"
+go test -race -count=1 ./internal/sim/scenario -run TestRetention
+
 # 3-node smoke: a real apollod fabric over TCP, bounded wall time.
 echo "==> scripts/smoke_fabric.sh"
 ./scripts/smoke_fabric.sh
@@ -54,6 +60,7 @@ for target in \
     "./internal/stream FuzzReadFrame" \
     "./internal/stream FuzzDecodeEntries" \
     "./internal/archive FuzzSegmentReplay" \
+    "./internal/archive FuzzBlockDecode" \
     "./internal/aqe FuzzPrepare"; do
     set -- $target
     echo "==> go test $1 -run ^\$ -fuzz ^$2\$ -fuzztime 10s"
@@ -61,8 +68,9 @@ for target in \
 done
 
 # Benchmark smoke: one iteration of the hot-path suites so the benchmarks
-# themselves can't rot. (The full-length runs are scripts/bench_batch.sh and
-# scripts/bench_query.sh, which write BENCH_<n>.json.)
+# themselves can't rot. (The full-length runs are scripts/bench_batch.sh,
+# scripts/bench_query.sh, and scripts/bench_archive.sh, which write
+# BENCH_<n>.json.)
 echo "==> go test -run xxx -bench . -benchtime 1x ./internal/stream/..."
 go test -run xxx -bench . -benchtime 1x ./internal/stream/...
 echo "==> go test -run xxx -bench . -benchtime 1x ./internal/aqe/... ./internal/queue/... ./internal/archive/..."
