@@ -1,0 +1,200 @@
+package apiv1
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestWireCompatibility pins the exact JSON rendering of every public type.
+// These golden strings ARE the v1 contract: if this test fails you renamed
+// or retyped a wire field, which breaks deployed clients — add api/v2
+// instead.
+func TestWireCompatibility(t *testing.T) {
+	cases := []struct {
+		name string
+		in   any
+		want string
+	}{
+		{
+			"query_request",
+			QueryRequest{Query: "SELECT MAX(Timestamp), metric FROM cluster.capacity"},
+			`{"query":"SELECT MAX(Timestamp), metric FROM cluster.capacity"}`,
+		},
+		{
+			"query_response",
+			QueryResponse{
+				Columns: []string{"MAX(Timestamp)", "metric"},
+				Rows:    [][]Value{{IntValue(1700000000000000000), StringValue("cluster.capacity")}, {FloatValue(0.5), StringValue("x")}},
+			},
+			`{"columns":["MAX(Timestamp)","metric"],"rows":[[1700000000000000000,"cluster.capacity"],[0.5,"x"]]}`,
+		},
+		{
+			"tuple",
+			Tuple{Metric: "n0.nvme0.capacity", TimestampNS: 123, Value: 42.5, Kind: "fact", Source: "measured", StreamID: 7},
+			`{"metric":"n0.nvme0.capacity","timestamp_ns":123,"value":42.5,"kind":"fact","source":"measured","stream_id":7}`,
+		},
+		{
+			"frame_tuple",
+			Frame{Type: FrameTuple, Tuple: &Tuple{Metric: "m", TimestampNS: 1, Value: 2, Kind: "insight", Source: "predicted", StreamID: 3}},
+			`{"type":"tuple","tuple":{"metric":"m","timestamp_ns":1,"value":2,"kind":"insight","source":"predicted","stream_id":3}}`,
+		},
+		{
+			"frame_error",
+			Frame{Type: FrameError, Error: &Error{Code: CodeSlowConsumer, Message: "send queue overflow", Retryable: true}},
+			`{"type":"error","error":{"code":"slow_consumer","message":"send queue overflow","retryable":true}}`,
+		},
+		{
+			"frame_goaway",
+			Frame{Type: FrameGoaway, Error: &Error{Code: CodeDraining, Message: "gateway draining", Retryable: true}},
+			`{"type":"goaway","error":{"code":"draining","message":"gateway draining","retryable":true}}`,
+		},
+		{
+			"error_envelope",
+			Error{Code: CodeRateLimited, Message: "principal over budget", Retryable: true},
+			`{"code":"rate_limited","message":"principal over budget","retryable":true}`,
+		},
+		{
+			"topics",
+			TopicsResponse{Topics: []string{"a", "b"}},
+			`{"topics":["a","b"]}`,
+		},
+		{
+			"health",
+			HealthResponse{Status: "ok", Degraded: false},
+			`{"status":"ok","degraded":false}`,
+		},
+		{
+			"retention",
+			RetentionResponse{Metrics: []RetentionMetric{{
+				Metric: "m",
+				Tiers:  []RetentionTier{{Tier: "raw", Files: 1, Bytes: 2, Records: 3, FirstTimestampNS: 4, LastTimestampNS: 5}},
+			}}},
+			`{"metrics":[{"metric":"m","tiers":[{"tier":"raw","files":1,"bytes":2,"records":3,"first_timestamp_ns":4,"last_timestamp_ns":5}]}]}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := json.Marshal(tc.in)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			if string(got) != tc.want {
+				t.Fatalf("wire shape changed:\n got  %s\n want %s", got, tc.want)
+			}
+			// Round trip back into a fresh value of the same type.
+			out := reflect.New(reflect.TypeOf(tc.in))
+			if err := json.Unmarshal(got, out.Interface()); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			back, err := json.Marshal(out.Elem().Interface())
+			if err != nil {
+				t.Fatalf("re-marshal: %v", err)
+			}
+			if string(back) != tc.want {
+				t.Fatalf("round trip not stable:\n got  %s\n want %s", back, tc.want)
+			}
+		})
+	}
+}
+
+// TestWireFieldNamesFrozen walks every exported struct and asserts the full
+// set of JSON tags. A rename, addition under a recycled name, or tag removal
+// fails here even if the golden strings above were "helpfully" updated in
+// the same commit.
+func TestWireFieldNamesFrozen(t *testing.T) {
+	frozen := map[string][]string{
+		"QueryRequest":      {"query"},
+		"QueryResponse":     {"columns", "rows"},
+		"Tuple":             {"metric", "timestamp_ns", "value", "kind", "source", "stream_id"},
+		"Frame":             {"type", "tuple", "error"},
+		"Error":             {"code", "message", "retryable"},
+		"TopicsResponse":    {"topics"},
+		"HealthResponse":    {"status", "degraded"},
+		"RetentionTier":     {"tier", "files", "bytes", "records", "first_timestamp_ns", "last_timestamp_ns"},
+		"RetentionMetric":   {"metric", "tiers"},
+		"RetentionResponse": {"metrics"},
+	}
+	types := []any{
+		QueryRequest{}, QueryResponse{}, Tuple{}, Frame{}, Error{},
+		TopicsResponse{}, HealthResponse{}, RetentionTier{}, RetentionMetric{}, RetentionResponse{},
+	}
+	seen := make(map[string]bool)
+	for _, v := range types {
+		rt := reflect.TypeOf(v)
+		want, ok := frozen[rt.Name()]
+		if !ok {
+			t.Fatalf("type %s has no frozen tag list — add it (and only ever append)", rt.Name())
+		}
+		seen[rt.Name()] = true
+		var got []string
+		for i := 0; i < rt.NumField(); i++ {
+			tag := rt.Field(i).Tag.Get("json")
+			name, _, _ := strings.Cut(tag, ",")
+			if name == "" || name == "-" {
+				t.Fatalf("%s.%s has no json tag: every public-edge field is explicitly named", rt.Name(), rt.Field(i).Name)
+			}
+			got = append(got, name)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s wire fields changed:\n got  %v\n want %v\n(renames are breaking; additions must extend the frozen list)", rt.Name(), got, want)
+		}
+	}
+	for name := range frozen {
+		if !seen[name] {
+			t.Fatalf("frozen list names %s but the test no longer checks it", name)
+		}
+	}
+}
+
+// TestErrorCodesFrozen pins the code strings and their HTTP mappings.
+func TestErrorCodesFrozen(t *testing.T) {
+	want := map[Code]int{
+		CodeBadRequest:   400,
+		CodeUnauthorized: 401,
+		CodeRateLimited:  429,
+		CodeNoSuchMetric: 404,
+		CodeSlowConsumer: 409,
+		CodeDraining:     503,
+		CodeUnavailable:  503,
+		CodeInternal:     500,
+	}
+	wantStr := map[Code]string{
+		CodeBadRequest:   "bad_request",
+		CodeUnauthorized: "unauthorized",
+		CodeRateLimited:  "rate_limited",
+		CodeNoSuchMetric: "no_such_metric",
+		CodeSlowConsumer: "slow_consumer",
+		CodeDraining:     "draining",
+		CodeUnavailable:  "unavailable",
+		CodeInternal:     "internal",
+	}
+	for c, status := range want {
+		if got := c.HTTPStatus(); got != status {
+			t.Fatalf("%s maps to %d, want %d", c, got, status)
+		}
+		if string(c) != wantStr[c] {
+			t.Fatalf("code string changed: %q want %q", c, wantStr[c])
+		}
+	}
+}
+
+// TestValueKinds checks integer-ness survives the scalar encoding.
+func TestValueKinds(t *testing.T) {
+	in := []Value{IntValue(-9007199254740993), FloatValue(1.25), StringValue("1.25"), IntValue(0)}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Value
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: got %+v want %+v", out, in)
+	}
+	if out[0].Kind != ValueInt || out[1].Kind != ValueFloat || out[2].Kind != ValueString {
+		t.Fatalf("kinds not preserved: %+v", out)
+	}
+}

@@ -55,6 +55,9 @@ type (
 func ParseRetention(s string) (Retention, error) { return archive.ParseRetention(s) }
 
 // WithRetention overrides Config.ArchiveRetention for one metric.
+//
+// Deprecated: renamed to WithMetricRetention (see core.WithRetention); this
+// alias is removed one release after the gateway release.
 func WithRetention(r Retention) MetricOption { return core.WithRetention(r) }
 
 // Telemetry types.

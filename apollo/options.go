@@ -1,0 +1,77 @@
+package apollo
+
+import (
+	"repro/internal/core"
+	"repro/internal/gateway"
+)
+
+// Option mutates a Config before the service is built (alias of
+// core.Option). Every Config field has a With* option; assemble a service
+// without struct literals:
+//
+//	svc := apollo.NewWith(
+//		apollo.WithMode(apollo.IntervalComplexAIMD),
+//		apollo.WithGatewayAddr("127.0.0.1:8080"),
+//	)
+type Option = core.Option
+
+// NewWith builds a service from options applied to the zero Config.
+func NewWith(opts ...Option) *Service { return core.NewWith(opts...) }
+
+// Gateway types: the public HTTP/JSON edge serving the api/v1 contract
+// (queries, latest values, WebSocket/SSE subscriptions) with bearer-token
+// auth, per-principal rate limits, and slow-consumer eviction.
+type (
+	// Gateway is the running public edge; Service.Gateway returns it.
+	Gateway = gateway.Gateway
+	// GatewayConfig parameterizes the edge (tokens, rate, burst, queue).
+	GatewayConfig = gateway.Config
+)
+
+// Service configuration options (one per Config field).
+var (
+	// WithClock runs polling, compaction, and gateway rate limiting on an
+	// injected clock (e.g. NewSimClock for deterministic tests).
+	WithClock = core.WithClock
+	// WithStreamRetention bounds each metric's broker topic.
+	WithStreamRetention = core.WithStreamRetention
+	// WithShards sets the broker's lock-stripe count.
+	WithShards = core.WithShards
+	// WithMode picks the polling-interval controller.
+	WithMode = core.WithMode
+	// WithAdaptive parameterizes the AIMD controllers.
+	WithAdaptive = core.WithAdaptive
+	// WithDelphi enables predicted values between polls.
+	WithDelphi = core.WithDelphi
+	// WithBaseTick sets the resolution Delphi restores.
+	WithBaseTick = core.WithBaseTick
+	// WithArchiveDir persists evicted queue entries per metric.
+	WithArchiveDir = core.WithArchiveDir
+	// WithArchiveRetention sets the default tiered archive age policy.
+	WithArchiveRetention = core.WithArchiveRetention
+	// WithCompactInterval sets the archive compactor cadence.
+	WithCompactInterval = core.WithCompactInterval
+	// WithHistorySize bounds per-vertex in-memory queues.
+	WithHistorySize = core.WithHistorySize
+	// WithPlanCache sizes the query engine's prepared-plan LRU.
+	WithPlanCache = core.WithPlanCache
+	// WithObs instruments the service on a shared metrics registry.
+	WithObs = core.WithObs
+	// WithNodeID names this broker in a replicated fabric.
+	WithNodeID = core.WithNodeID
+	// WithPeers maps fabric members to their stream addresses.
+	WithPeers = core.WithPeers
+	// WithReplicas sets the per-topic replication factor.
+	WithReplicas = core.WithReplicas
+	// WithLeaseTTL bounds leader leases.
+	WithLeaseTTL = core.WithLeaseTTL
+	// WithReplicaLagMax sets the degraded-health follower-lag threshold.
+	WithReplicaLagMax = core.WithReplicaLagMax
+	// WithGatewayAddr serves the public HTTP/JSON edge on this address.
+	WithGatewayAddr = core.WithGatewayAddr
+	// WithGateway parameterizes the public edge.
+	WithGateway = core.WithGateway
+)
+
+// WithMetricRetention overrides Config.ArchiveRetention for one metric.
+func WithMetricRetention(r Retention) MetricOption { return core.WithMetricRetention(r) }

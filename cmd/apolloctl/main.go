@@ -11,91 +11,71 @@
 //	apolloctl -addr 127.0.0.1:7070 replication
 //	apolloctl -addr 127.0.0.1:7070 topology
 //
-// The retention command inspects (and optionally compacts) an archive
-// directory on the local filesystem — apollod's -archive-dir — without
-// touching the fabric:
+// With -gateway-addr set, query and retention speak the public api/v1 HTTP
+// contract to a gateway instead of the internal binary protocol — the query
+// runs server-side on the shared plan cache, and retention stats come from
+// the serving node's archive rather than the local filesystem:
+//
+//	apolloctl -gateway-addr 127.0.0.1:8080 -token s3cret query "SELECT MAX(Value) FROM cluster.capacity"
+//	apolloctl -gateway-addr 127.0.0.1:8080 retention
+//
+// Without a gateway, the retention command inspects (and optionally
+// compacts) an archive directory on the local filesystem — apollod's
+// -archive-dir — without touching the fabric:
 //
 //	apolloctl retention /var/lib/apollo/archive
 //	apolloctl -apply "raw=15m,10s=2h,1m=24h" retention /var/lib/apollo/archive
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
+	apiv1 "repro/api/v1"
 	"repro/internal/aqe"
 	"repro/internal/archive"
-	"repro/internal/score"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 )
 
-// remoteExecutor adapts one remote topic to the score.Executor interface so
-// the AQE can run client-side over the TCP fabric. The Client is a
-// stream.Bus, so it serves Latest/Range directly.
-type remoteExecutor struct {
-	bus   stream.Bus
-	topic string
-}
-
-func (r remoteExecutor) Metric() telemetry.MetricID { return telemetry.MetricID(r.topic) }
-
-func (r remoteExecutor) Latest() (telemetry.Info, bool) {
-	e, err := r.bus.Latest(context.Background(), r.topic)
-	if err != nil {
-		return telemetry.Info{}, false
-	}
-	var in telemetry.Info
-	if err := in.UnmarshalBinary(e.Payload); err != nil {
-		return telemetry.Info{}, false
-	}
-	return in, true
-}
-
-func (r remoteExecutor) Range(from, to int64) []telemetry.Info {
-	entries, err := r.bus.Range(context.Background(), r.topic, 1, 1<<62, 0)
-	if err != nil {
-		return nil
-	}
-	var out []telemetry.Info
-	for _, e := range entries {
-		var in telemetry.Info
-		if err := in.UnmarshalBinary(e.Payload); err != nil {
-			continue
-		}
-		if in.Timestamp >= from && in.Timestamp <= to {
-			out = append(out, in)
-		}
-	}
-	return out
-}
-
-type remoteResolver struct{ bus stream.Bus }
-
-func (r remoteResolver) Resolve(table string) (score.Executor, error) {
-	return remoteExecutor{bus: r.bus, topic: table}, nil
-}
-
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "apollod fabric address")
+	gwAddr := flag.String("gateway-addr", "", "api/v1 gateway address; when set, query and retention go over HTTP instead of the internal protocol")
+	token := flag.String("token", "", "bearer token for -gateway-addr requests")
 	lagMax := flag.Uint64("lag-max", 64, "replication lag (entries) above which `replication` marks a topic degraded")
 	applyF := flag.String("apply", "", `retention policy for "retention" to apply with one compaction pass, e.g. "raw=15m,10s=2h,1m=24h"`)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "apolloctl: need a command: topics | latest <metric> | watch <metric> | query <sql> | replication | topology | retention <archive-dir>")
+		fmt.Fprintln(os.Stderr, "apolloctl: need a command: topics | latest <metric> | watch <metric> | query <sql> | replication | topology | retention [<archive-dir>]")
 		os.Exit(2)
 	}
+	gw := gatewayClient{addr: *gwAddr, token: *token}
 	if args[0] == "retention" {
+		if gw.enabled() && len(args) == 1 {
+			gw.retention()
+			return
+		}
 		// Local-filesystem command: no fabric connection needed.
 		runRetention(args[1:], *applyF)
+		return
+	}
+	if args[0] == "query" && gw.enabled() {
+		if len(args) < 2 {
+			log.Fatal(`apolloctl: query "<sql>"`)
+		}
+		gw.query(strings.Join(args[1:], " "))
 		return
 	}
 	bus, err := stream.Dial(*addr)
@@ -118,7 +98,7 @@ func main() {
 		if len(args) != 2 {
 			log.Fatal("apolloctl: latest <metric>")
 		}
-		in, ok := (remoteExecutor{bus: bus, topic: args[1]}).Latest()
+		in, ok := latestInfo(bus, args[1])
 		if !ok {
 			log.Fatalf("apolloctl: no data for %q", args[1])
 		}
@@ -148,7 +128,7 @@ func main() {
 		if len(args) < 2 {
 			log.Fatal(`apolloctl: query "<sql>"`)
 		}
-		eng := aqe.NewEngine(remoteResolver{bus: bus})
+		eng := aqe.NewEngine(aqe.BusResolver{Bus: bus})
 		res, err := eng.Query(strings.Join(args[1:], " "))
 		if err != nil {
 			log.Fatalf("apolloctl: %v", err)
@@ -195,6 +175,95 @@ func main() {
 
 	default:
 		log.Fatalf("apolloctl: unknown command %q", args[0])
+	}
+}
+
+// latestInfo fetches and decodes the newest tuple of a remote topic.
+func latestInfo(bus stream.Bus, topic string) (telemetry.Info, bool) {
+	e, err := bus.Latest(context.Background(), topic)
+	if err != nil {
+		return telemetry.Info{}, false
+	}
+	var in telemetry.Info
+	if err := in.UnmarshalBinary(e.Payload); err != nil {
+		return telemetry.Info{}, false
+	}
+	return in, true
+}
+
+// gatewayClient speaks the public api/v1 HTTP contract for the commands the
+// gateway serves; everything else stays on the internal protocol.
+type gatewayClient struct {
+	addr  string
+	token string
+}
+
+func (g gatewayClient) enabled() bool { return g.addr != "" }
+
+// do runs one request and decodes the response into out, rendering the
+// machine-readable error envelope on failure.
+func (g gatewayClient) do(method, path string, body, out any) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			log.Fatalf("apolloctl: %v", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, "http://"+g.addr+path, rd)
+	if err != nil {
+		log.Fatalf("apolloctl: %v", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if g.token != "" {
+		req.Header.Set("Authorization", "Bearer "+g.token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatalf("apolloctl: gateway %s: %v", g.addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e apiv1.Error
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Code != "" {
+			log.Fatalf("apolloctl: gateway: %v", &e)
+		}
+		log.Fatalf("apolloctl: gateway: HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatalf("apolloctl: gateway: %v", err)
+	}
+}
+
+func (g gatewayClient) query(sql string) {
+	var res apiv1.QueryResponse
+	g.do(http.MethodPost, apiv1.PathQuery, apiv1.QueryRequest{Query: sql}, &res)
+	fmt.Println(strings.Join(res.Columns, "\t"))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = c.String()
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+}
+
+func (g gatewayClient) retention() {
+	var res apiv1.RetentionResponse
+	g.do(http.MethodGet, apiv1.PathRetention, nil, &res)
+	fmt.Printf("%-36s %-4s %6s %12s %10s %s\n", "METRIC", "TIER", "FILES", "BYTES", "RECORDS", "SPAN")
+	for _, m := range res.Metrics {
+		name := m.Metric
+		for _, ts := range m.Tiers {
+			span := fmt.Sprintf("%s .. %s",
+				time.Unix(0, ts.FirstTimestampNS).UTC().Format(time.RFC3339),
+				time.Unix(0, ts.LastTimestampNS).UTC().Format(time.RFC3339))
+			fmt.Printf("%-36s %-4s %6d %12d %10d %s\n", name, ts.Tier, ts.Files, ts.Bytes, ts.Records, span)
+			name = ""
+		}
 	}
 }
 

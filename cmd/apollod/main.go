@@ -56,6 +56,14 @@ func main() {
 		replicas = flag.Int("replicas", 0, "per-topic replication factor, leader included (0 = default)")
 		leaseTTL = flag.Duration("lease-ttl", 0, "leader lease TTL; followers may promote this long after renewals stop (0 = default)")
 		lagMax   = flag.Uint64("replica-lag-max", 0, "follower lag (entries) above which a topic reports Degraded (0 = default)")
+		streamR  = flag.Int("stream-retention", 0, "entries each broker topic retains (0 = default)")
+		history  = flag.Int("history-size", 0, "per-vertex in-memory queue bound (0 = default)")
+		baseTick = flag.Duration("base-tick", time.Second, "target resolution Delphi restores between polls")
+		gwAddr   = flag.String("gateway-addr", "", "HTTP address serving the public api/v1 gateway (queries, SSE/WebSocket subscriptions); empty disables")
+		gwTokens = flag.String("gateway-tokens", "", "comma-separated token=principal bearer tokens for the gateway; empty leaves it open (anonymous)")
+		gwRate   = flag.Float64("gateway-rate", 0, "per-principal sustained request budget, requests/second (0 = default, negative disables)")
+		gwBurst  = flag.Int("gateway-burst", 0, "gateway token-bucket capacity (0 = default)")
+		gwQueue  = flag.Int("gateway-queue", 0, "per-subscriber send-queue bound in frames; overflow evicts the client (0 = default)")
 	)
 	flag.Parse()
 
@@ -94,11 +102,21 @@ func main() {
 		log.Printf("delphi model loaded from %s", *delphiF)
 	}
 
+	gwTokenMap, err := parseTokens(*gwTokens)
+	if err != nil {
+		log.Fatalf("apollod: %v", err)
+	}
+	if *gwAddr == "" && (*gwTokens != "" || *gwRate != 0 || *gwBurst != 0 || *gwQueue != 0) {
+		log.Fatal("apollod: -gateway-tokens/-gateway-rate/-gateway-burst/-gateway-queue require -gateway-addr")
+	}
+
 	sim := cluster.BuildAres(time.Now(), *compute, *storage)
 	svc := core.New(core.Config{
 		Mode:             core.IntervalMode(cfg.Mode),
 		Delphi:           cfg.Delphi,
-		BaseTick:         time.Second,
+		BaseTick:         *baseTick,
+		Retention:        *streamR,
+		HistorySize:      *history,
 		Shards:           *shards,
 		PlanCache:        *planC,
 		ArchiveDir:       *archDir,
@@ -109,6 +127,13 @@ func main() {
 		Replicas:         *replicas,
 		LeaseTTL:         *leaseTTL,
 		ReplicaLagMax:    *lagMax,
+		GatewayAddr:      *gwAddr,
+		Gateway: apollo.GatewayConfig{
+			Tokens:    gwTokenMap,
+			Rate:      *gwRate,
+			Burst:     *gwBurst,
+			QueueSize: *gwQueue,
+		},
 	})
 	var metrics int
 	for _, n := range sim.Nodes() {
@@ -135,6 +160,13 @@ func main() {
 	if f := svc.Fabric(); f != nil {
 		log.Printf("fabric node %q on a %d-member ring (replication factor %d)",
 			f.ID(), len(peers)+1, *replicas)
+	}
+	if ga := svc.GatewayAddr(); ga != "" {
+		auth := "open (anonymous)"
+		if len(gwTokenMap) > 0 {
+			auth = fmt.Sprintf("%d bearer tokens", len(gwTokenMap))
+		}
+		log.Printf("gateway on http://%s/api/v1 (%s)", ga, auth)
 	}
 	if *archDir != "" {
 		if retention.IsZero() {
@@ -192,6 +224,23 @@ func main() {
 	}
 	s := <-sig
 	fmt.Printf("apollod: %v, shutting down\n", s)
+}
+
+// parseTokens decodes a comma-separated token=principal list into the
+// gateway's static auth map.
+func parseTokens(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	tokens := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		tok, principal, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || tok == "" || principal == "" {
+			return nil, fmt.Errorf("bad -gateway-tokens entry %q (want token=principal)", part)
+		}
+		tokens[tok] = principal
+	}
+	return tokens, nil
 }
 
 // parsePeers decodes a comma-separated id=addr list into a peer map.

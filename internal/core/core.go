@@ -20,6 +20,7 @@ import (
 	"repro/internal/archive"
 	"repro/internal/cluster"
 	"repro/internal/delphi"
+	"repro/internal/gateway"
 	"repro/internal/middleware"
 	"repro/internal/obs"
 	"repro/internal/score"
@@ -121,6 +122,15 @@ type Config struct {
 	// follower trails the leader by more than this many entries
 	// (0: DefaultReplicaLagMax).
 	ReplicaLagMax uint64
+
+	// GatewayAddr, if set, serves the public HTTP/JSON edge (the api/v1
+	// contract: queries, latest values, WebSocket/SSE subscriptions) on this
+	// address when the service starts. Empty keeps the public edge off.
+	GatewayAddr string
+	// Gateway parameterizes the public edge when GatewayAddr is set (auth
+	// tokens, rate limits, queue bounds). Its Clock and Obs default to the
+	// service's own.
+	Gateway gateway.Config
 }
 
 // DefaultReplicaLagMax is the follower-lag threshold (entries behind the
@@ -143,6 +153,8 @@ type Service struct {
 	server    *stream.Server
 	fabric    *stream.FabricNode
 	leaseConn *stream.Client
+	gateway   *gateway.Gateway
+	gwAddr    string
 	started   bool
 	stopped   bool
 }
@@ -196,7 +208,20 @@ func (b *busSwitch) Subscribe(ctx context.Context, topic string, afterID uint64)
 	return b.get().Subscribe(ctx, topic, afterID)
 }
 
-var _ stream.Bus = (*busSwitch)(nil)
+// SubscribeBuffered passes the gateway's per-client buffer bound through to
+// the underlying bus when it supports sized fan-out channels.
+func (b *busSwitch) SubscribeBuffered(ctx context.Context, topic string, afterID uint64, buffer int) (<-chan stream.Entry, error) {
+	bus := b.get()
+	if bs, ok := bus.(stream.BufferedSubscriber); ok {
+		return bs.SubscribeBuffered(ctx, topic, afterID, buffer)
+	}
+	return bus.Subscribe(ctx, topic, afterID)
+}
+
+var (
+	_ stream.Bus                = (*busSwitch)(nil)
+	_ stream.BufferedSubscriber = (*busSwitch)(nil)
+)
 
 // New builds an Apollo service.
 func New(cfg Config) *Service {
@@ -278,10 +303,14 @@ func WithPublishUnchanged() MetricOption {
 }
 
 // WithRetention overrides the service-level archive retention policy for
-// this metric (Config.ArchiveRetention). Only meaningful when the service
-// has an ArchiveDir.
+// this metric.
+//
+// Deprecated: renamed to WithMetricRetention to free the "retention" name
+// for the broker-topic bound (WithStreamRetention) and the archive default
+// (WithArchiveRetention). This alias is removed one release after the
+// gateway release.
 func WithRetention(r archive.Retention) MetricOption {
-	return func(fc *score.FactConfig) { fc.Retention = &r }
+	return WithMetricRetention(r)
 }
 
 // RegisterMetric deploys a Fact Vertex for hook. Safe before or after Start;
@@ -373,7 +402,8 @@ func (s *Service) isStarted() bool {
 	return s.started && !s.stopped
 }
 
-// Start launches every registered vertex.
+// Start launches every registered vertex and, when Config.GatewayAddr is
+// set, the public HTTP gateway.
 func (s *Service) Start() error {
 	s.mu.Lock()
 	if s.started {
@@ -384,6 +414,11 @@ func (s *Service) Start() error {
 	s.mu.Unlock()
 	if s.compactor != nil {
 		s.compactor.Start()
+	}
+	if s.cfg.GatewayAddr != "" {
+		if _, err := s.ServeGateway(s.cfg.GatewayAddr); err != nil {
+			return err
+		}
 	}
 	return s.graph.StartAll()
 }
@@ -401,7 +436,13 @@ func (s *Service) Stop() {
 	fabric := s.fabric
 	leaseConn := s.leaseConn
 	archives := s.archives
+	gw := s.gateway
 	s.mu.Unlock()
+	if gw != nil {
+		// Drain the public edge first: subscribers get goaway frames while
+		// the bus underneath is still alive.
+		gw.Shutdown(context.Background())
+	}
 	s.graph.StopAll()
 	if s.compactor != nil {
 		s.compactor.Stop() // before the archives close under it

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+
+	apiv1 "repro/api/v1"
+	"repro/internal/aqe"
+	"repro/internal/archive"
+	"repro/internal/gateway"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// Bus exposes the service's stream fabric as a Bus — the local broker
+// standalone, the fabric router once Serve joins a replicated fabric. The
+// gateway's subscription bridges ride this.
+func (s *Service) Bus() stream.Bus { return s.bus }
+
+// ServeGateway brings up the public HTTP/JSON edge (api/v1) on addr and
+// returns the bound address. Config.Gateway parameterizes it; its Clock and
+// Obs default to the service's own, so gateway rate-limit refill follows the
+// service clock (deterministic under virtual time) and gateway instruments
+// land on the service registry. Stop drains the gateway before the fabric.
+func (s *Service) ServeGateway(addr string) (string, error) {
+	s.mu.Lock()
+	if s.gateway != nil {
+		prev := s.gwAddr
+		s.mu.Unlock()
+		return "", errors.New("core: gateway already serving on " + prev)
+	}
+	s.mu.Unlock()
+	gcfg := s.cfg.Gateway
+	if gcfg.Clock == nil {
+		gcfg.Clock = s.cfg.Clock
+	}
+	if gcfg.Obs == nil {
+		gcfg.Obs = s.obs
+	}
+	gw := gateway.New(serviceBackend{s}, gcfg)
+	bound, err := gw.Serve(addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.gateway = gw
+	s.gwAddr = bound
+	s.mu.Unlock()
+	return bound, nil
+}
+
+// Gateway returns the running public edge, or nil when none was started.
+func (s *Service) Gateway() *gateway.Gateway {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gateway
+}
+
+// GatewayAddr returns the gateway's bound address ("" when not serving).
+func (s *Service) GatewayAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gwAddr
+}
+
+// serviceBackend adapts a Service to the gateway.Backend interface: queries
+// ride the service's shared prepared-plan cache, latest values come off the
+// vertex queues (Delphi-predicted values included), subscriptions bridge
+// onto the bus switch (fabric-aware), and retention stats read the archive
+// directory.
+type serviceBackend struct{ s *Service }
+
+func (b serviceBackend) Query(sql string) (*aqe.Result, error) { return b.s.engine.Query(sql) }
+
+func (b serviceBackend) Latest(metric string) (telemetry.Info, bool) {
+	return b.s.Latest(telemetry.MetricID(metric))
+}
+
+func (b serviceBackend) Topics(ctx context.Context) ([]string, error) {
+	return b.s.broker.Topics(), nil
+}
+
+func (b serviceBackend) Subscribe(ctx context.Context, metric string, afterID uint64, buffer int) (<-chan stream.Entry, error) {
+	return b.s.bus.SubscribeBuffered(ctx, metric, afterID, buffer)
+}
+
+func (b serviceBackend) Degraded() bool { return b.s.Degraded() }
+
+// tierLabels names the archive tiers on the public contract.
+var tierLabels = [...]string{"raw", "10s", "1m"}
+
+// Retention reports per-metric archive tier stats from the service's
+// archive directory (one subdirectory per metric).
+func (b serviceBackend) Retention() ([]apiv1.RetentionMetric, error) {
+	root := b.s.cfg.ArchiveDir
+	if root == "" {
+		return nil, gateway.ErrUnavailable
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []apiv1.RetentionMetric
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		tiers, err := archive.DirStats(filepath.Join(root, e.Name()))
+		if err != nil {
+			continue // e.g. a foreign directory without segments
+		}
+		m := apiv1.RetentionMetric{Metric: e.Name()}
+		for t, ts := range tiers {
+			if ts.Files == 0 {
+				continue
+			}
+			m.Tiers = append(m.Tiers, apiv1.RetentionTier{
+				Tier:             tierLabels[t],
+				Files:            ts.Files,
+				Bytes:            ts.Bytes,
+				Records:          int64(ts.Records),
+				FirstTimestampNS: ts.FirstTS,
+				LastTimestampNS:  ts.LastTS,
+			})
+		}
+		if len(m.Tiers) > 0 {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Metric < out[j].Metric })
+	return out, nil
+}
+
+var _ gateway.Backend = serviceBackend{}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/archive"
+	"repro/internal/delphi"
+	"repro/internal/gateway"
+	"repro/internal/obs"
+	"repro/internal/score"
+	"repro/internal/sim"
+)
+
+// Option mutates a Config before the service is built. Every Config field
+// has exactly one With* option (the options test enforces coverage), so
+// callers can assemble a service without touching struct literals:
+//
+//	svc := core.NewWith(
+//		core.WithMode(core.IntervalComplexAIMD),
+//		core.WithPlanCache(256),
+//		core.WithGatewayAddr("127.0.0.1:8080"),
+//	)
+type Option func(*Config)
+
+// NewWith builds a service from options applied to the zero Config.
+func NewWith(opts ...Option) *Service {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return New(cfg)
+}
+
+// WithClock runs all polling, compaction, and gateway rate limiting on clock
+// (e.g. a *sim.Virtual for deterministic tests).
+func WithClock(c sim.Clock) Option { return func(cfg *Config) { cfg.Clock = c } }
+
+// WithStreamRetention bounds each metric's broker topic to n entries.
+func WithStreamRetention(n int) Option { return func(cfg *Config) { cfg.Retention = n } }
+
+// WithShards sets the broker's topic-map lock-stripe count.
+func WithShards(n int) Option { return func(cfg *Config) { cfg.Shards = n } }
+
+// WithMode picks the polling-interval controller for registered metrics.
+func WithMode(m IntervalMode) Option { return func(cfg *Config) { cfg.Mode = m } }
+
+// WithAdaptive parameterizes the interval controllers.
+func WithAdaptive(a adaptive.Config) Option { return func(cfg *Config) { cfg.Adaptive = a } }
+
+// WithDelphi enables predicted values between polls.
+func WithDelphi(m *delphi.Model) Option { return func(cfg *Config) { cfg.Delphi = m } }
+
+// WithBaseTick sets the target resolution Delphi restores.
+func WithBaseTick(d time.Duration) Option { return func(cfg *Config) { cfg.BaseTick = d } }
+
+// WithArchiveDir persists evicted queue entries per metric under dir.
+func WithArchiveDir(dir string) Option { return func(cfg *Config) { cfg.ArchiveDir = dir } }
+
+// WithArchiveRetention sets the default tiered retention policy for every
+// metric archive (per-metric overrides via the WithMetricRetention
+// MetricOption).
+func WithArchiveRetention(r archive.Retention) Option {
+	return func(cfg *Config) { cfg.ArchiveRetention = r }
+}
+
+// WithCompactInterval sets how often the background archive compactor runs.
+func WithCompactInterval(d time.Duration) Option {
+	return func(cfg *Config) { cfg.CompactInterval = d }
+}
+
+// WithHistorySize bounds per-vertex in-memory queues.
+func WithHistorySize(n int) Option { return func(cfg *Config) { cfg.HistorySize = n } }
+
+// WithPlanCache sets the query engine's prepared-plan LRU capacity
+// (0: default, negative disables).
+func WithPlanCache(n int) Option { return func(cfg *Config) { cfg.PlanCache = n } }
+
+// WithObs instruments the service on r instead of a fresh registry.
+func WithObs(r *obs.Registry) Option { return func(cfg *Config) { cfg.Obs = r } }
+
+// WithNodeID names this broker in a replicated fabric.
+func WithNodeID(id string) Option { return func(cfg *Config) { cfg.NodeID = id } }
+
+// WithPeers maps the other fabric members' node IDs to their stream
+// addresses.
+func WithPeers(peers map[string]string) Option { return func(cfg *Config) { cfg.Peers = peers } }
+
+// WithReplicas sets the per-topic replication factor, leader included.
+func WithReplicas(n int) Option { return func(cfg *Config) { cfg.Replicas = n } }
+
+// WithLeaseTTL bounds leader leases.
+func WithLeaseTTL(d time.Duration) Option { return func(cfg *Config) { cfg.LeaseTTL = d } }
+
+// WithReplicaLagMax sets the follower-lag threshold above which Health
+// reports a replicated topic Degraded.
+func WithReplicaLagMax(n uint64) Option { return func(cfg *Config) { cfg.ReplicaLagMax = n } }
+
+// WithGatewayAddr serves the public HTTP/JSON edge (api/v1) on addr when the
+// service starts.
+func WithGatewayAddr(addr string) Option { return func(cfg *Config) { cfg.GatewayAddr = addr } }
+
+// WithGateway parameterizes the public edge (auth tokens, rate limits, queue
+// bounds) served at the WithGatewayAddr address.
+func WithGateway(g gateway.Config) Option { return func(cfg *Config) { cfg.Gateway = g } }
+
+// WithMetricRetention overrides the service-level archive retention policy
+// (Config.ArchiveRetention) for one metric. Only meaningful when the service
+// has an ArchiveDir.
+func WithMetricRetention(r archive.Retention) MetricOption {
+	return func(fc *score.FactConfig) { fc.Retention = &r }
+}

@@ -1,0 +1,80 @@
+package gateway
+
+import (
+	"context"
+
+	apiv1 "repro/api/v1"
+	"repro/internal/aqe"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// BusBackend serves the gateway from any stream.Bus — a dialed
+// stream.Client in the standalone cmd/apollo-gateway tier, or an in-process
+// Broker in tests and the load scenario. Queries run through a private AQE
+// engine over aqe.BusResolver with its own shared prepared-plan cache;
+// retention stats are unavailable (the archive lives with the service).
+type BusBackend struct {
+	bus    stream.Bus
+	engine *aqe.Engine
+}
+
+// NewBusBackend builds a backend over bus. planCache sets the prepared-plan
+// LRU capacity (0: aqe.DefaultPlanCacheSize; negative disables).
+func NewBusBackend(bus stream.Bus, planCache int) *BusBackend {
+	return &BusBackend{
+		bus:    bus,
+		engine: aqe.NewEngine(aqe.BusResolver{Bus: bus}, aqe.WithPlanCache(planCache)),
+	}
+}
+
+// Engine exposes the backend's query engine (plan-cache stats,
+// instrumentation).
+func (b *BusBackend) Engine() *aqe.Engine { return b.engine }
+
+// Query implements Backend.
+func (b *BusBackend) Query(sql string) (*aqe.Result, error) { return b.engine.Query(sql) }
+
+// Latest implements Backend.
+func (b *BusBackend) Latest(metric string) (telemetry.Info, bool) {
+	e, err := b.bus.Latest(context.Background(), metric)
+	if err != nil {
+		return telemetry.Info{}, false
+	}
+	var in telemetry.Info
+	if err := in.UnmarshalBinary(e.Payload); err != nil {
+		return telemetry.Info{}, false
+	}
+	return in, true
+}
+
+// Topics implements Backend over either transport's listing surface.
+func (b *BusBackend) Topics(ctx context.Context) ([]string, error) {
+	switch t := b.bus.(type) {
+	case interface {
+		Topics(ctx context.Context) ([]string, error)
+	}:
+		return t.Topics(ctx)
+	case interface{ Topics() []string }:
+		return t.Topics(), nil
+	default:
+		return nil, ErrUnavailable
+	}
+}
+
+// Subscribe implements Backend, using the buffered fan-out hook when the
+// bus offers it.
+func (b *BusBackend) Subscribe(ctx context.Context, metric string, afterID uint64, buffer int) (<-chan stream.Entry, error) {
+	if bs, ok := b.bus.(stream.BufferedSubscriber); ok {
+		return bs.SubscribeBuffered(ctx, metric, afterID, buffer)
+	}
+	return b.bus.Subscribe(ctx, metric, afterID)
+}
+
+// Degraded implements Backend; a bare bus carries no vertex health.
+func (b *BusBackend) Degraded() bool { return false }
+
+// Retention implements Backend.
+func (b *BusBackend) Retention() ([]apiv1.RetentionMetric, error) { return nil, ErrUnavailable }
+
+var _ Backend = (*BusBackend)(nil)

@@ -1,0 +1,217 @@
+package gateway
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	apiv1 "repro/api/v1"
+	"repro/internal/obs"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// hub owns every live subscription. Each attached Subscriber gets its own
+// upstream bus subscription (an independent pull cursor — a slow edge
+// client can never stall the broker's append path) and a bounded send
+// queue. The bridge goroutine enqueues frames without ever blocking: a full
+// queue means the client fell behind its budget, and the subscriber is
+// evicted with a slow_consumer error frame instead of exerting unbounded
+// memory pressure or backpressure on the fan-out. That is the backpressure
+// contract of the public edge: well-behaved clients see every tuple in
+// order; slow ones are cut loose at a known queue depth, and cancelling
+// their upstream subscription returns the slack to the bus.
+type hub struct {
+	backend   Backend
+	queueSize int
+
+	mu   sync.Mutex
+	subs map[*Subscriber]struct{}
+
+	obsSubscribers *obs.Gauge
+	obsAttached    *obs.Counter
+	obsEvicted     *obs.Counter
+	obsFrames      *obs.Counter
+}
+
+func newHub(backend Backend, queueSize int, r *obs.Registry) *hub {
+	return &hub{
+		backend:        backend,
+		queueSize:      queueSize,
+		subs:           make(map[*Subscriber]struct{}),
+		obsSubscribers: r.Gauge("gateway_subscribers"),
+		obsAttached:    r.Counter("gateway_subscriptions_total"),
+		obsEvicted:     r.Counter("gateway_evictions_total"),
+		obsFrames:      r.Counter("gateway_frames_sent_total"),
+	}
+}
+
+// Subscriber is one attached live-stream consumer, transport-agnostic: the
+// WS and SSE handlers drain it onto their connections, and the load
+// scenario drains it directly.
+type Subscriber struct {
+	principal string
+	metric    string
+
+	frames chan apiv1.Frame // bounded send queue
+	final  chan apiv1.Frame // capacity 1: eviction or goaway notice
+	cancel context.CancelFunc
+	hub    *hub
+
+	sent    atomic.Uint64
+	evicted atomic.Bool
+	once    sync.Once
+}
+
+// attach bridges a new subscriber onto the backend.
+func (h *hub) attach(ctx context.Context, principal, metric string, afterID uint64) (*Subscriber, error) {
+	bctx, cancel := context.WithCancel(ctx)
+	// The upstream buffer matches the client queue: total slack per
+	// subscriber is bounded and known (queue + upstream buffer).
+	ch, err := h.backend.Subscribe(bctx, metric, afterID, h.queueSize)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s := &Subscriber{
+		principal: principal,
+		metric:    metric,
+		frames:    make(chan apiv1.Frame, h.queueSize),
+		final:     make(chan apiv1.Frame, 1),
+		cancel:    cancel,
+		hub:       h,
+	}
+	h.mu.Lock()
+	h.subs[s] = struct{}{}
+	n := len(h.subs)
+	h.mu.Unlock()
+	h.obsAttached.Inc()
+	h.obsSubscribers.Set(float64(n))
+	go s.bridge(ch)
+	return s, nil
+}
+
+func (h *hub) remove(s *Subscriber) {
+	h.mu.Lock()
+	delete(h.subs, s)
+	n := len(h.subs)
+	h.mu.Unlock()
+	h.obsSubscribers.Set(float64(n))
+}
+
+func (h *hub) size() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// drain sends a goaway to every live subscriber and cancels its upstream
+// subscription, then waits (bounded by ctx) for the bridges to unwind.
+func (h *hub) drain(ctx context.Context) {
+	h.mu.Lock()
+	subs := make([]*Subscriber, 0, len(h.subs))
+	for s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+	for _, s := range subs {
+		s.goaway()
+		s.cancel()
+	}
+	// Wait (bounded by ctx) for the bridges to unwind so the caller can
+	// close the backend without racing in-flight deliveries.
+	for h.size() > 0 {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// bridge pumps upstream entries into the bounded queue. It never blocks on
+// a slow consumer: a full queue evicts.
+func (s *Subscriber) bridge(ch <-chan stream.Entry) {
+	defer s.hub.remove(s)
+	defer s.cancel()
+	for e := range ch {
+		var in telemetry.Info
+		if err := in.UnmarshalBinary(e.Payload); err != nil {
+			continue // foreign payload on the topic: not part of the contract
+		}
+		f := apiv1.Frame{Type: apiv1.FrameTuple, Tuple: tupleFromInfo(in, e.ID)}
+		select {
+		case s.frames <- f:
+			s.sent.Add(1)
+			s.hub.obsFrames.Inc()
+		default:
+			s.evict()
+			return
+		}
+	}
+	// Upstream ended: handler ctx cancelled, drain, or broker closed.
+	s.goaway()
+}
+
+// evict marks the subscriber slow and queues its terminal error frame.
+func (s *Subscriber) evict() {
+	s.once.Do(func() {
+		s.evicted.Store(true)
+		s.hub.obsEvicted.Inc()
+		s.final <- apiv1.Frame{Type: apiv1.FrameError, Error: apiv1.Errorf(
+			apiv1.CodeSlowConsumer, true,
+			"subscriber for %q overflowed its %d-frame send queue", s.metric, cap(s.frames))}
+		s.cancel()
+	})
+}
+
+// goaway queues the graceful-shutdown terminal frame.
+func (s *Subscriber) goaway() {
+	s.once.Do(func() {
+		s.final <- apiv1.Frame{Type: apiv1.FrameGoaway, Error: apiv1.Errorf(
+			apiv1.CodeDraining, true, "subscription closed by server")}
+	})
+}
+
+// Next returns the next frame to deliver, preferring queued tuples so a
+// terminal frame never jumps ahead of data already accepted into the queue.
+// The second result is false when the subscription is over: the caller
+// writes the returned terminal frame (if any) and closes its transport. A
+// false result with an empty frame means ctx ended first.
+func (s *Subscriber) Next(ctx context.Context) (apiv1.Frame, bool) {
+	select {
+	case f := <-s.frames:
+		return f, true
+	default:
+	}
+	select {
+	case f := <-s.frames:
+		return f, true
+	case f := <-s.final:
+		return f, false
+	case <-ctx.Done():
+		return apiv1.Frame{}, false
+	}
+}
+
+// Frames exposes the bounded send queue (load-scenario fast path).
+func (s *Subscriber) Frames() <-chan apiv1.Frame { return s.frames }
+
+// Final exposes the terminal-frame channel (load-scenario fast path).
+func (s *Subscriber) Final() <-chan apiv1.Frame { return s.final }
+
+// Evicted reports whether the subscriber was cut loose as a slow consumer.
+func (s *Subscriber) Evicted() bool { return s.evicted.Load() }
+
+// Sent reports how many tuple frames were accepted into the send queue.
+func (s *Subscriber) Sent() uint64 { return s.sent.Load() }
+
+// Principal returns the authenticated principal that attached this
+// subscriber.
+func (s *Subscriber) Principal() string { return s.principal }
+
+// Close detaches the subscriber (client went away).
+func (s *Subscriber) Close() {
+	s.cancel()
+}

@@ -764,11 +764,21 @@ func (c *Client) Topics(ctx context.Context) ([]string, error) {
 // connection (see Subscription) delivering entries of topic with ID >
 // afterID until ctx ends.
 func (c *Client) Subscribe(ctx context.Context, topic string, afterID uint64) (<-chan Entry, error) {
+	return c.SubscribeBuffered(ctx, topic, afterID, DefaultSubscribeBuffer)
+}
+
+// SubscribeBuffered implements the same fan-out hook as
+// Broker.SubscribeBuffered over the TCP transport: Subscribe semantics with
+// a caller-sized delivery channel.
+func (c *Client) SubscribeBuffered(ctx context.Context, topic string, afterID uint64, buffer int) (<-chan Entry, error) {
 	sub, err := subscribeOpt(c.addr, topic, afterID, c.opt)
 	if err != nil {
 		return nil, err
 	}
-	out := make(chan Entry, 64)
+	if buffer < 1 {
+		buffer = DefaultSubscribeBuffer
+	}
+	out := make(chan Entry, buffer)
 	go func() {
 		defer close(out)
 		defer sub.Close()

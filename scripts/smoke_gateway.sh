@@ -1,0 +1,125 @@
+#!/usr/bin/env sh
+# Public-edge smoke: boots apollod with its embedded api/v1 gateway, then
+# stacks a standalone apollo-gateway tier in front of the same fabric, and
+# exercises the HTTP surface end to end — auth (401 without the bearer
+# token), AQE query over HTTP, an SSE live subscription that must deliver
+# real frames, and apolloctl's -gateway-addr mode. Wall time is bounded
+# twice over: every poll loop gives up after DEADLINE seconds, and the
+# daemon exits on its own -duration even if this script is killed before
+# the trap runs.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASE=${GATEWAY_SMOKE_PORT:-18070}
+FAB="127.0.0.1:$BASE"
+GW="127.0.0.1:$((BASE + 1))"
+EDGE="127.0.0.1:$((BASE + 2))"
+DEADLINE=${GATEWAY_SMOKE_DEADLINE:-40}
+TOKEN=smoke-token
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+    # shellcheck disable=SC2086
+    [ -n "$pids" ] && kill $pids 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "smoke_gateway: $1" >&2
+    for f in apollod.log edge.log; do
+        [ -f "$tmp/$f" ] && { echo "--- $f ---" >&2; cat "$tmp/$f" >&2; }
+    done
+    exit 1
+}
+
+echo "==> building apollod + apollo-gateway + apolloctl"
+go build -o "$tmp/apollod" ./cmd/apollod
+go build -o "$tmp/apollo-gateway" ./cmd/apollo-gateway
+go build -o "$tmp/apolloctl" ./cmd/apolloctl
+
+echo "==> starting apollod with embedded gateway on $GW"
+"$tmp/apollod" -listen "$FAB" -gateway-addr "$GW" \
+    -gateway-tokens "$TOKEN=smoke" -compute 2 -storage 2 \
+    -duration 90s >"$tmp/apollod.log" 2>&1 &
+pids="$pids $!"
+
+echo "==> waiting for gateway readiness"
+elapsed=0
+while ! curl -fsS -m 2 "http://$GW/api/v1/readyz" >/dev/null 2>&1; do
+    elapsed=$((elapsed + 1))
+    if [ "$elapsed" -ge "$DEADLINE" ]; then
+        fail "embedded gateway not ready within ${DEADLINE}s"
+    fi
+    sleep 1
+done
+
+echo "==> auth: unauthenticated query must 401 with a machine-readable envelope"
+code=$(curl -s -m 5 -o "$tmp/unauth.json" -w '%{http_code}' \
+    -X POST "http://$GW/api/v1/query" \
+    -d '{"query":"SELECT COUNT(Value) FROM cluster.capacity"}')
+[ "$code" = "401" ] || fail "unauthenticated query returned $code, want 401"
+grep -q '"code"[[:space:]]*:[[:space:]]*"unauthorized"' "$tmp/unauth.json" ||
+    fail "401 body lacks the unauthorized error envelope: $(cat "$tmp/unauth.json")"
+
+echo "==> query: AQE over HTTP must return rows once telemetry flows"
+elapsed=0
+while :; do
+    if curl -fsS -m 5 -X POST "http://$GW/api/v1/query" \
+        -H "Authorization: Bearer $TOKEN" \
+        -d '{"query":"SELECT COUNT(Value) FROM cluster.capacity"}' \
+        >"$tmp/query.json" 2>/dev/null &&
+        grep -q '"rows":[[:space:]]*\[\[' "$tmp/query.json"; then
+        break
+    fi
+    elapsed=$((elapsed + 1))
+    if [ "$elapsed" -ge "$DEADLINE" ]; then
+        fail "query returned no rows within ${DEADLINE}s: $(cat "$tmp/query.json" 2>/dev/null)"
+    fi
+    sleep 1
+done
+echo "    $(cat "$tmp/query.json")"
+
+echo "==> subscribe: SSE stream must deliver live tuple frames"
+curl -sN -m 10 -H "Authorization: Bearer $TOKEN" \
+    "http://$GW/api/v1/subscribe/cluster.capacity" >"$tmp/sse.txt" 2>/dev/null || true
+frames=$(grep -c '^data:' "$tmp/sse.txt") || frames=0
+[ "$frames" -ge 2 ] || fail "SSE subscription delivered $frames frames, want >= 2"
+grep -q '^id:' "$tmp/sse.txt" || fail "SSE frames carry no resume ids"
+
+echo "==> standalone apollo-gateway tier on $EDGE fronting the same fabric"
+"$tmp/apollo-gateway" -listen "$EDGE" -backend "$FAB" >"$tmp/edge.log" 2>&1 &
+edge_pid=$!
+pids="$pids $edge_pid"
+elapsed=0
+while ! curl -fsS -m 2 "http://$EDGE/api/v1/readyz" >/dev/null 2>&1; do
+    elapsed=$((elapsed + 1))
+    if [ "$elapsed" -ge "$DEADLINE" ]; then
+        fail "standalone gateway not ready within ${DEADLINE}s"
+    fi
+    sleep 1
+done
+topics=$(curl -fsS -m 5 "http://$EDGE/api/v1/topics" |
+    grep -o '"[a-z0-9.-]*\.capacity"' | wc -l) || topics=0
+[ "$topics" -ge 1 ] || fail "no capacity topics visible through the standalone gateway"
+
+echo "==> apolloctl -gateway-addr: query must go over HTTP"
+"$tmp/apolloctl" -gateway-addr "$EDGE" \
+    query 'SELECT COUNT(Value) FROM cluster.capacity' >"$tmp/ctl.txt" ||
+    fail "apolloctl gateway query failed"
+grep -q 'COUNT' "$tmp/ctl.txt" || fail "apolloctl gateway query printed no header: $(cat "$tmp/ctl.txt")"
+
+echo "==> graceful drain: SIGTERM must flip readiness and exit promptly"
+kill -TERM "$edge_pid"
+elapsed=0
+while kill -0 "$edge_pid" 2>/dev/null; do
+    elapsed=$((elapsed + 1))
+    if [ "$elapsed" -ge "$DEADLINE" ]; then
+        fail "standalone gateway did not drain within ${DEADLINE}s of SIGTERM"
+    fi
+    sleep 1
+done
+
+echo "smoke_gateway: OK ($frames SSE frames, $topics capacity topics via the standalone edge)"

@@ -24,8 +24,8 @@ go vet ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/... ./internal/archive/... ./internal/aqe/... ./internal/sim/..."
-go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/... ./internal/archive/... ./internal/aqe/... ./internal/sim/...
+echo "==> go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/... ./internal/archive/... ./internal/aqe/... ./internal/sim/... ./internal/gateway/... ./api/..."
+go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/... ./internal/archive/... ./internal/aqe/... ./internal/sim/... ./internal/gateway/... ./api/...
 
 # Deterministic-simulation gate: the end-to-end virtual-time scenario
 # (seeded faults, invariant checks, reproducible digest) under the race
@@ -47,9 +47,22 @@ go test -race -count=1 ./internal/sim/scenario -run TestFabricScenario
 echo "==> go test -race -count=1 ./internal/sim/scenario -run TestRetention"
 go test -race -count=1 ./internal/sim/scenario -run TestRetention
 
+# Public-edge gate: the gateway fan-out scenario (bounded send queues,
+# slow-consumer eviction, zero acked-tuple loss for well-behaved clients)
+# under the race detector. The 10k-subscriber configuration runs from
+# scripts/bench_gateway.sh.
+echo "==> go test -race -count=1 ./internal/sim/scenario -run TestGatewayScenario"
+go test -race -count=1 ./internal/sim/scenario -run TestGatewayScenario
+
 # 3-node smoke: a real apollod fabric over TCP, bounded wall time.
 echo "==> scripts/smoke_fabric.sh"
 ./scripts/smoke_fabric.sh
+
+# Public-edge smoke: apollod's embedded gateway plus a standalone
+# apollo-gateway tier over real HTTP — auth, AQE query, SSE delivery,
+# apolloctl -gateway-addr, graceful drain. Bounded wall time.
+echo "==> scripts/smoke_gateway.sh"
+./scripts/smoke_gateway.sh
 
 # Fuzz smoke: each corpus-seeded target runs briefly so the fuzz harnesses
 # and their invariants can't rot. (Long fuzz runs are manual; see README
