@@ -43,6 +43,9 @@ var (
 	WithAdaptive = core.WithAdaptive
 	// WithDelphi enables predicted values between polls.
 	WithDelphi = core.WithDelphi
+	// WithDelphiBatch enables the shared batch predictor over every
+	// Delphi-enabled metric, with n sweep workers (requires WithDelphi).
+	WithDelphiBatch = core.WithDelphiBatch
 	// WithBaseTick sets the resolution Delphi restores.
 	WithBaseTick = core.WithBaseTick
 	// WithArchiveDir persists evicted queue entries per metric.

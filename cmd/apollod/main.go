@@ -43,6 +43,7 @@ func main() {
 		storage  = flag.Int("storage", 4, "simulated storage nodes")
 		mode     = flag.String("mode", "complex-aimd", "interval mode: fixed | simple-aimd | complex-aimd")
 		delphiF  = flag.String("delphi", "", "path to a trained Delphi model (see delphi-train); empty disables prediction")
+		delphiB  = flag.Int("delphi-batch", 0, "sweep workers for the shared batch predictor over all Delphi metrics (requires -delphi; 0 disables)")
 		duration = flag.Duration("duration", 0, "exit after this long (0 = run until signal)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		shards   = flag.Int("shards", 0, "broker topic-map shard count (0 = default)")
@@ -93,13 +94,20 @@ func main() {
 	default:
 		log.Fatalf("apollod: unknown mode %q", *mode)
 	}
+	if *delphiF == "" && *delphiB != 0 {
+		log.Fatal("apollod: -delphi-batch requires -delphi")
+	}
 	if *delphiF != "" {
 		m, err := apollo.LoadDelphi(*delphiF)
 		if err != nil {
 			log.Fatalf("apollod: loading delphi model: %v", err)
 		}
 		cfg.Delphi = m
+		cfg.DelphiBatch = *delphiB
 		log.Printf("delphi model loaded from %s", *delphiF)
+		if *delphiB > 0 {
+			log.Printf("delphi batch predictor enabled: %d sweep workers", *delphiB)
+		}
 	}
 
 	gwTokenMap, err := parseTokens(*gwTokens)
@@ -114,6 +122,7 @@ func main() {
 	svc := core.New(core.Config{
 		Mode:             core.IntervalMode(cfg.Mode),
 		Delphi:           cfg.Delphi,
+		DelphiBatch:      cfg.DelphiBatch,
 		BaseTick:         *baseTick,
 		Retention:        *streamR,
 		HistorySize:      *history,

@@ -78,6 +78,14 @@ type Config struct {
 	Adaptive adaptive.Config
 	// Delphi, if non-nil, enables predicted values between polls.
 	Delphi *delphi.Model
+	// DelphiBatch, if > 0 while Delphi is set, runs a shared batch predictor
+	// over every Delphi-enabled metric with this many sweep workers: the
+	// metrics' windows are evaluated through one fused ForwardBatch pass per
+	// sweep (Service.PredictAll) instead of one model walk per metric. All
+	// metrics of a service share one model, i.e. one device class — the
+	// fleet-scale per-class sharding precursor. 0 keeps per-vertex
+	// prediction only.
+	DelphiBatch int
 	// BaseTick is the target resolution Delphi restores (default 1s).
 	BaseTick time.Duration
 	// ArchiveDir, if set, persists evicted queue entries per metric.
@@ -147,6 +155,12 @@ type Service struct {
 	bus    *busSwitch
 
 	compactor *archive.Compactor
+
+	batch *delphi.BatchPredictor // shared device-class predictor, nil unless DelphiBatch > 0
+
+	predMu      sync.Mutex
+	predMetrics []telemetry.MetricID     // slot index -> metric
+	predScratch []delphi.BatchPrediction // reusable PredictAll sweep buffer
 
 	mu        sync.Mutex
 	archives  []*archive.Log
@@ -248,6 +262,14 @@ func New(cfg Config) *Service {
 	s.broker.Instrument(s.obs)
 	s.engine = aqe.NewEngine(aqe.GraphResolver{Graph: s.graph}, aqe.WithPlanCache(cfg.PlanCache))
 	s.engine.Instrument(s.obs)
+	if cfg.Delphi != nil && cfg.DelphiBatch > 0 {
+		// Untrained models are tolerated the same way NewOnline tolerates
+		// them: the batch lane just stays off and per-vertex fallback rules.
+		if bp, err := delphi.NewBatchPredictor(cfg.Delphi, cfg.DelphiBatch); err == nil {
+			bp.Instrument(s.obs, "default")
+			s.batch = bp
+		}
+	}
 	return s
 }
 
@@ -360,6 +382,14 @@ func (s *Service) RegisterMetric(hook score.Hook, opts ...MetricOption) (*score.
 	if err := s.graph.RegisterFact(v); err != nil {
 		return nil, err
 	}
+	// After opts, so WithoutDelphi keeps the metric out of the batch sweep.
+	if fc.Delphi != nil && s.batch != nil {
+		if _, err := s.batch.Register(fc.Delphi); err == nil {
+			s.predMu.Lock()
+			s.predMetrics = append(s.predMetrics, hook.Metric())
+			s.predMu.Unlock()
+		}
+	}
 	if s.isStarted() {
 		if err := v.Start(); err != nil {
 			return nil, err
@@ -459,6 +489,9 @@ func (s *Service) Stop() {
 	s.broker.Close()
 	for _, a := range archives {
 		a.Close()
+	}
+	if s.batch != nil {
+		s.batch.Close()
 	}
 }
 
@@ -598,6 +631,40 @@ func (s *Service) Obs() *obs.Registry { return s.obs }
 // the service's obs registry — the programmatic companion to the /metrics
 // endpoint, surfaced next to Health on the facade.
 func (s *Service) Metrics() obs.Snapshot { return s.obs.Snapshot() }
+
+// BatchResult is one metric's forecast from a PredictAll sweep. OK mirrors
+// Online.Predict: false means the window is not yet full and Value is a
+// last-value-hold fallback (or 0 with no observations at all).
+type BatchResult struct {
+	Metric telemetry.MetricID
+	Value  float64
+	OK     bool
+}
+
+// BatchPredictor exposes the shared device-class batch predictor, or nil when
+// Config.DelphiBatch is unset (or the model was untrained). Fleet drivers
+// that feed windows directly (bypassing vertices) use it with their own
+// Online instances.
+func (s *Service) BatchPredictor() *delphi.BatchPredictor { return s.batch }
+
+// PredictAll runs one fused batched sweep over every Delphi-enabled metric
+// registered on the service and returns a forecast per metric, bit-identical
+// to what each vertex's own Online.Predict would return at this instant. It
+// returns nil when batching is disabled. Sweeps are serialized internally;
+// vertices keep observing concurrently.
+func (s *Service) PredictAll() []BatchResult {
+	if s.batch == nil {
+		return nil
+	}
+	s.predMu.Lock()
+	defer s.predMu.Unlock()
+	s.predScratch = s.batch.PredictAll(s.predScratch[:0])
+	out := make([]BatchResult, len(s.predScratch))
+	for i, p := range s.predScratch {
+		out[i] = BatchResult{Metric: s.predMetrics[p.Slot], Value: p.Value, OK: p.OK}
+	}
+	return out
+}
 
 // Degraded reports whether any registered vertex (or, in a fabric, any
 // locally-led replicated topic) is not HealthOK.

@@ -51,6 +51,10 @@ func WithAdaptive(a adaptive.Config) Option { return func(cfg *Config) { cfg.Ada
 // WithDelphi enables predicted values between polls.
 func WithDelphi(m *delphi.Model) Option { return func(cfg *Config) { cfg.Delphi = m } }
 
+// WithDelphiBatch enables the shared batch predictor over every
+// Delphi-enabled metric, with n sweep workers (requires WithDelphi).
+func WithDelphiBatch(n int) Option { return func(cfg *Config) { cfg.DelphiBatch = n } }
+
 // WithBaseTick sets the target resolution Delphi restores.
 func WithBaseTick(d time.Duration) Option { return func(cfg *Config) { cfg.BaseTick = d } }
 

@@ -32,6 +32,7 @@ func TestOptionsCoverConfig(t *testing.T) {
 		{"Mode", WithMode(IntervalComplexAIMD), IntervalComplexAIMD},
 		{"Adaptive", WithAdaptive(adaptive.Config{Initial: time.Minute}), adaptive.Config{Initial: time.Minute}},
 		{"Delphi", WithDelphi(model), model},
+		{"DelphiBatch", WithDelphiBatch(8), 8},
 		{"BaseTick", WithBaseTick(2 * time.Second), 2 * time.Second},
 		{"ArchiveDir", WithArchiveDir("/tmp/a"), "/tmp/a"},
 		{"ArchiveRetention", WithArchiveRetention(archive.Retention{Raw: time.Hour}), archive.Retention{Raw: time.Hour}},

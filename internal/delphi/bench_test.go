@@ -1,0 +1,129 @@
+package delphi
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+)
+
+var (
+	benchOnce  sync.Once
+	benchModel *Model
+	benchErr   error
+)
+
+// benchTrained caches one trained model across all benchmarks (training cost
+// would otherwise dominate -bench runs).
+func benchTrained(b *testing.B) *Model {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchModel, benchErr = Train(TrainOptions{Seed: 1, Epochs: 5, SeriesPerFeature: 2, SeriesLen: 100})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchModel
+}
+
+// BenchmarkOnlinePredict measures the fused single-metric predict — the
+// steady-state hot path of one Fact Vertex.
+func BenchmarkOnlinePredict(b *testing.B) {
+	o := NewOnline(benchTrained(b))
+	observeSeries(o, 1, WindowSize+2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := o.Predict(); !ok {
+			b.Fatal("not ready")
+		}
+	}
+}
+
+// BenchmarkOnlinePredictUnfused measures the legacy layer-by-layer path —
+// the BENCH_9 baseline the fast lane is gated against.
+func BenchmarkOnlinePredictUnfused(b *testing.B) {
+	m := benchTrained(b)
+	w := []float64{1, 2, 3, 4, 5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PredictUnfused(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlinePredictTicks measures the vertex fill path: one predict plus
+// interpolation into a reused buffer.
+func BenchmarkOnlinePredictTicks(b *testing.B) {
+	o := NewOnline(benchTrained(b))
+	observeSeries(o, 1, WindowSize+2)
+	out := make([]float64, 0, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = o.PredictTicksInto(out[:0], 9)
+	}
+}
+
+func benchmarkBatchPredict(b *testing.B, n, workers int) {
+	m := benchTrained(b)
+	bp, err := NewBatchPredictor(m, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bp.Close()
+	for i := 0; i < n; i++ {
+		o := NewOnline(m)
+		observeSeries(o, int64(i), WindowSize+2)
+		if _, err := bp.Register(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dst := bp.PredictAll(nil) // warm arenas
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = bp.PredictAll(dst[:0])
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/pred")
+}
+
+// The fleet sweeps: one device class, n metrics, fused batched prediction.
+// Workers auto-size to min(DefaultBatchWorkers, GOMAXPROCS) — the production
+// default.
+func BenchmarkBatchPredict100(b *testing.B)  { benchmarkBatchPredict(b, 100, 0) }
+func BenchmarkBatchPredict1000(b *testing.B) { benchmarkBatchPredict(b, 1000, 0) }
+func BenchmarkBatchPredict10k(b *testing.B)  { benchmarkBatchPredict(b, 10000, 0) }
+
+// TestBench9Gate asserts the committed BENCH_9.json (produced by
+// scripts/bench_delphi.sh) meets the fast-lane acceptance bar: batched
+// multi-device prediction at 1k metrics is >= 5x single-scalar unfused
+// throughput, and the steady-state predict paths do not allocate.
+func TestBench9Gate(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_9.json")
+	if err != nil {
+		t.Fatalf("BENCH_9.json must be committed (run scripts/bench_delphi.sh): %v", err)
+	}
+	var doc struct {
+		Summary struct {
+			SpeedupBatch1kVsUnfused float64 `json:"speedup_batch1k_vs_unfused"`
+			OnlineAllocsPerOp       float64 `json:"online_allocs_per_op"`
+			Batch1kAllocsPerOp      float64 `json:"batch1k_allocs_per_op"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("parsing BENCH_9.json: %v", err)
+	}
+	if s := doc.Summary.SpeedupBatch1kVsUnfused; s < 5 {
+		t.Fatalf("batched speedup vs unfused = %.2fx, want >= 5x", s)
+	}
+	if a := doc.Summary.OnlineAllocsPerOp; a != 0 {
+		t.Fatalf("Online.Predict allocs/op = %v, want 0", a)
+	}
+	if a := doc.Summary.Batch1kAllocsPerOp; a != 0 {
+		t.Fatalf("BatchPredict1000 allocs/op = %v, want 0", a)
+	}
+}

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sync"
 
 	"repro/internal/nn"
+	"repro/internal/nn/inference"
 )
 
 // NumStacked is how many pre-trained feature models are stacked under the
@@ -35,6 +37,10 @@ func StackedFeatures() []Feature {
 type Model struct {
 	features []*nn.Dense // frozen Dense(WindowSize,1) models
 	combiner *nn.Dense   // trainable Dense(combinerInputs,1)
+
+	engOnce sync.Once
+	eng     *inference.Engine
+	engErr  error
 }
 
 // ErrNotTrained is returned by Load/Predict paths on malformed models.
@@ -145,9 +151,46 @@ func (m *Model) combinerInput(norm []float64) []float64 {
 	return in
 }
 
+// Engine returns the fused zero-allocation inference engine compiled (once,
+// lazily) from the frozen stack. The engine snapshots the weights, so it must
+// be taken after training/loading completes; it is safe for concurrent use
+// with caller-owned scratch, unlike the layered path whose Dense layers
+// mutate training caches on every Forward.
+func (m *Model) Engine() (*inference.Engine, error) {
+	m.engOnce.Do(func() {
+		if len(m.features) != NumStacked || m.combiner == nil {
+			m.engErr = ErrNotTrained
+			return
+		}
+		m.eng, m.engErr = inference.NewEngine(m.features, m.combiner)
+	})
+	return m.eng, m.engErr
+}
+
 // Predict forecasts the next value of a metric from its last WindowSize
-// measurements (raw units; normalization is handled internally).
+// measurements (raw units; normalization is handled internally). It runs on
+// the fused engine with stack scratch — no heap allocation, safe for
+// concurrent callers — and is bit-identical to PredictUnfused.
 func (m *Model) Predict(window []float64) (float64, error) {
+	if len(window) != WindowSize {
+		return 0, fmt.Errorf("delphi: window size %d, want %d", len(window), WindowSize)
+	}
+	eng, err := m.Engine()
+	if err != nil {
+		return 0, err
+	}
+	var norm [WindowSize]float64
+	var scratch [NumStacked]float64
+	loc, scale := NormalizeInto(norm[:], window)
+	return eng.Forward(norm[:], scratch[:])*scale + loc, nil
+}
+
+// PredictUnfused is the original layer-by-layer prediction path (normalize,
+// per-feature Dense.Forward, combiner Dense.Forward, denormalize). It
+// allocates per call and mutates the layers' training caches, so it is not
+// safe for concurrent use — it survives as the golden reference the
+// equivalence tests and the BENCH_9 baseline compare the fast lane against.
+func (m *Model) PredictUnfused(window []float64) (float64, error) {
 	if len(window) != WindowSize {
 		return 0, fmt.Errorf("delphi: window size %d, want %d", len(window), WindowSize)
 	}

@@ -125,7 +125,7 @@ var (
 	cachedleast error
 )
 
-func trained(t *testing.T) *Model {
+func trained(t testing.TB) *Model {
 	t.Helper()
 	trainOnce.Do(func() {
 		cachedModel, cachedleast = Train(TrainOptions{Seed: 1, Epochs: 25, SeriesPerFeature: 4, SeriesLen: 200})

@@ -1,40 +1,88 @@
 package delphi
 
+import (
+	"sync"
+
+	"repro/internal/nn/inference"
+)
+
 // Online wraps a trained Model for streaming use inside a Monitor Hook or
 // Insight Builder: it keeps the last WindowSize measured values of one
 // metric and forecasts values between polls. Until enough history exists it
 // falls back to last-value-hold, which is what a non-Delphi Apollo reports
 // implicitly between polls anyway.
 //
-// Online is not safe for concurrent use; each vertex owns its own instance
-// (vertices are single-goroutine actors).
+// The hot path is allocation-free: observations land in a mirrored ring
+// buffer (two stores, no shifting), prediction normalizes in place and runs
+// the model's fused inference engine with instance-owned scratch. A small
+// mutex makes Online safe for concurrent use, so a BatchPredictor can sweep
+// vertex-owned instances while their vertices keep observing.
 type Online struct {
-	model  *Model
-	window [WindowSize]float64
-	n      int
+	mu    sync.Mutex
+	model *Model
+	eng   *inference.Engine // nil without a trained model: always fall back
+
+	// buf is a mirrored ring: every observation is written at pos and
+	// pos+WindowSize, so the last WindowSize values are always contiguous at
+	// buf[pos : pos+WindowSize] without ever shifting the window.
+	buf [2 * WindowSize]float64
+	pos int // next write slot, in [0, WindowSize)
+	n   int // observations recorded, saturating at WindowSize
+
+	norm    [WindowSize]float64     // normalized-window scratch
+	scratch [NumStacked]float64     // engine head scratch
+	ahead   [4 * WindowSize]float64 // PredictAheadInto sliding window scratch
 }
 
-// NewOnline wraps model (which may be nil; then Predict always falls back).
-func NewOnline(model *Model) *Online { return &Online{model: model} }
+// NewOnline wraps model (which may be nil or untrained; then Predict always
+// falls back to last-value-hold).
+func NewOnline(model *Model) *Online {
+	o := &Online{model: model}
+	if model != nil {
+		if eng, err := model.Engine(); err == nil {
+			o.eng = eng
+		}
+	}
+	return o
+}
 
 // Observe records a measured value.
 func (o *Online) Observe(v float64) {
-	if o.n < WindowSize {
-		o.window[o.n] = v
-		o.n++
-		return
+	o.mu.Lock()
+	o.buf[o.pos] = v
+	o.buf[o.pos+WindowSize] = v
+	o.pos++
+	if o.pos == WindowSize {
+		o.pos = 0
 	}
-	copy(o.window[:], o.window[1:])
-	o.window[WindowSize-1] = v
+	if o.n < WindowSize {
+		o.n++
+	}
+	o.mu.Unlock()
 }
 
-// Ready reports whether a full window of measurements exists.
-func (o *Online) Ready() bool { return o.n == WindowSize && o.model != nil }
+// Ready reports whether a full window of measurements and a usable model
+// exist.
+func (o *Online) Ready() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.n == WindowSize && o.eng != nil
+}
 
 // Observed reports how many values the window currently holds (saturating at
 // WindowSize). A restarted vertex uses it to decide whether to backfill the
 // window from retained history.
-func (o *Online) Observed() int { return o.n }
+func (o *Online) Observed() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.n
+}
+
+// lastLocked returns the most recent observation. Callers hold o.mu and have
+// checked o.n > 0.
+func (o *Online) lastLocked() float64 {
+	return o.buf[(o.pos+WindowSize-1)%WindowSize]
+}
 
 // Predict forecasts the next value. Before the window fills (or without a
 // model) it returns the last observed value and ok=false; with no
@@ -45,23 +93,28 @@ func (o *Online) Observed() int { return o.n }
 // and the clamp keeps closed-loop use (feeding predictions back as
 // pseudo-observations) from diverging.
 func (o *Online) Predict() (v float64, ok bool) {
-	if !o.Ready() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.predictLocked()
+}
+
+func (o *Online) predictLocked() (float64, bool) {
+	if o.n < WindowSize || o.eng == nil {
 		if o.n == 0 {
 			return 0, false
 		}
-		return o.window[o.n-1], false
+		return o.lastLocked(), false
 	}
-	p, err := o.model.Predict(o.window[:])
-	if err != nil {
-		return o.window[WindowSize-1], false
-	}
-	lo, hi := o.window[0], o.window[0]
-	for _, w := range o.window[1:] {
-		if w < lo {
-			lo = w
+	w := o.buf[o.pos : o.pos+WindowSize]
+	loc, scale := NormalizeInto(o.norm[:], w)
+	p := o.eng.Forward(o.norm[:], o.scratch[:])*scale + loc
+	lo, hi := w[0], w[0]
+	for _, v := range w[1:] {
+		if v < lo {
+			lo = v
 		}
-		if w > hi {
-			hi = w
+		if v > hi {
+			hi = v
 		}
 	}
 	span := hi - lo
@@ -77,27 +130,48 @@ func (o *Online) Predict() (v float64, ok bool) {
 // PredictAhead forecasts steps values into the future by feeding predictions
 // back as pseudo-observations (the window itself is not mutated).
 func (o *Online) PredictAhead(steps int) []float64 {
-	out := make([]float64, 0, steps)
+	if steps < 1 {
+		return []float64{}
+	}
+	return o.PredictAheadInto(make([]float64, 0, steps), steps)
+}
+
+// PredictAheadInto appends steps closed-loop forecasts to out and returns
+// it. The rollout slides over a fixed scratch buffer — the window is copied
+// once per 3×WindowSize steps when the view wraps, not once per step — and
+// the per-step predict is the fused engine, so a caller reusing out predicts
+// ahead without allocating.
+func (o *Online) PredictAheadInto(out []float64, steps int) []float64 {
 	if steps < 1 {
 		return out
 	}
-	if !o.Ready() {
-		v, _ := o.Predict()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.n < WindowSize || o.eng == nil {
+		var v float64
+		if o.n > 0 {
+			v = o.lastLocked()
+		}
 		for i := 0; i < steps; i++ {
 			out = append(out, v)
 		}
 		return out
 	}
-	var w [WindowSize]float64
-	copy(w[:], o.window[:])
+	copy(o.ahead[:WindowSize], o.buf[o.pos:o.pos+WindowSize])
+	idx := 0
 	for i := 0; i < steps; i++ {
-		p, err := o.model.Predict(w[:])
-		if err != nil {
-			p = w[WindowSize-1]
-		}
+		w := o.ahead[idx : idx+WindowSize]
+		loc, scale := NormalizeInto(o.norm[:], w)
+		p := o.eng.Forward(o.norm[:], o.scratch[:])*scale + loc
 		out = append(out, p)
-		copy(w[:], w[1:])
-		w[WindowSize-1] = p
+		if idx+WindowSize == len(o.ahead) {
+			copy(o.ahead[:WindowSize-1], o.ahead[idx+1:])
+			o.ahead[WindowSize-1] = p
+			idx = 0
+		} else {
+			o.ahead[idx+WindowSize] = p
+			idx++
+		}
 	}
 	return out
 }
@@ -109,14 +183,25 @@ func (o *Online) PredictAhead(steps int) []float64 {
 // model's poll-cadence trajectory directly to base ticks would replay the
 // whole inter-poll change at every tick.)
 func (o *Online) PredictTicks(steps int) []float64 {
-	out := make([]float64, 0, steps)
+	if steps < 1 {
+		return []float64{}
+	}
+	return o.PredictTicksInto(make([]float64, 0, steps), steps)
+}
+
+// PredictTicksInto is PredictTicks appending into a caller-reused buffer:
+// one fused predict, then interpolation — the steady-state fill path of a
+// Fact Vertex does zero heap allocations.
+func (o *Online) PredictTicksInto(out []float64, steps int) []float64 {
 	if steps < 1 {
 		return out
 	}
-	next, ok := o.Predict()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	next, ok := o.predictLocked()
 	var last float64
 	if o.n > 0 {
-		last = o.window[minInt(o.n, WindowSize)-1]
+		last = o.lastLocked()
 	}
 	if !ok {
 		for i := 0; i < steps; i++ {
@@ -131,12 +216,10 @@ func (o *Online) PredictTicks(steps int) []float64 {
 	return out
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // Reset clears observation history.
-func (o *Online) Reset() { o.n = 0 }
+func (o *Online) Reset() {
+	o.mu.Lock()
+	o.n = 0
+	o.pos = 0
+	o.mu.Unlock()
+}

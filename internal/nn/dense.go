@@ -38,23 +38,37 @@ func NewDense(in, out int, act Activation, seed int64) *Dense {
 	return d
 }
 
-// Forward implements Layer.
+// Forward implements Layer. It caches input and output for Backward and
+// returns a fresh slice; inference hot paths that need neither should call
+// ForwardInto instead.
 func (d *Dense) Forward(x []float64) []float64 {
+	d.x = x
+	d.ForwardInto(d.y, x)
+	out := make([]float64, d.Out)
+	copy(out, d.y)
+	return out
+}
+
+// ForwardInto computes y = act(Wx + b) into dst without allocating and
+// without touching the training caches, so it is safe for concurrent
+// read-only inference over a frozen layer. dst must have length Out and may
+// not alias x. The accumulation order is identical to Forward, so outputs
+// are bit-identical.
+func (d *Dense) ForwardInto(dst, x []float64) {
 	if len(x) != d.In {
 		panic(errDimension("dense input", len(x), d.In))
 	}
-	d.x = x
+	if len(dst) != d.Out {
+		panic(errDimension("dense output", len(dst), d.Out))
+	}
 	for o := 0; o < d.Out; o++ {
 		sum := d.B[o]
 		row := d.W[o*d.In : (o+1)*d.In]
 		for i, xi := range x {
 			sum += row[i] * xi
 		}
-		d.y[o] = d.Act.Apply(sum)
+		dst[o] = d.Act.Apply(sum)
 	}
-	out := make([]float64, d.Out)
-	copy(out, d.y)
-	return out
 }
 
 // Backward implements Layer.

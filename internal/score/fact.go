@@ -75,8 +75,19 @@ type FactVertex struct {
 	stats   Stats
 	pub     *BufferedPublisher
 
-	obsTuplesIn  *obs.Counter // tuples built from successful polls
-	obsTuplesOut *obs.Counter // tuples accepted by the publish path
+	obsTuplesIn    *obs.Counter   // tuples built from successful polls
+	obsTuplesOut   *obs.Counter   // tuples accepted by the publish path
+	obsPredictSec  *obs.Histogram // Delphi fill-path compute latency
+	obsPredBatch   *obs.Histogram // predicted tuples per fill batch
+	obsPredictions *obs.Counter   // predicted tuples published
+
+	// Prediction fill-path buffers, reused across polls so the steady-state
+	// predict-and-publish cycle allocates nothing. Only the vertex goroutine
+	// touches them.
+	predBuf      []float64
+	predInfos    []telemetry.Info
+	predPayloads [][]byte
+	predBlob     []byte
 
 	mu      sync.Mutex
 	last    float64
@@ -115,6 +126,12 @@ func NewFactVertex(cfg FactConfig) (*FactVertex, error) {
 		m := string(v.metric)
 		v.obsTuplesIn = r.Counter(obs.Name("score_tuples_in_total", "metric", m))
 		v.obsTuplesOut = r.Counter(obs.Name("score_tuples_out_total", "metric", m))
+		if cfg.Delphi != nil {
+			v.obsPredictSec = r.Histogram(obs.Name("delphi_predict_seconds", "metric", m))
+			v.obsPredBatch = r.Histogram(obs.Name("delphi_batch_size", "metric", m),
+				1, 2, 4, 8, 16, 32, 64, 128)
+			v.obsPredictions = r.Counter(obs.Name("delphi_predictions_total", "metric", m))
+		}
 		v.pub.instrument(r, m)
 		v.history.Instrument(
 			r.Counter(obs.Name("queue_history_evictions_total", "metric", m)),
@@ -285,19 +302,24 @@ func (v *FactVertex) pollOnce(ctx context.Context, current time.Duration) time.D
 	// Delphi fills the base-tick instants the relaxed interval will skip
 	// with predicted Facts (§3.4.2). The whole run of predictions goes out
 	// as one batch — encoded into a single contiguous buffer and appended
-	// under one broker lock — instead of tuple-at-a-time.
+	// under one broker lock — instead of tuple-at-a-time, and every buffer
+	// (the forecast run, the tuple slice, the payload views, the encode
+	// blob) is reused across polls: the steady-state fill path of a vertex
+	// allocates nothing.
 	if v.cfg.Delphi != nil && next > v.cfg.BaseTick {
 		steps := int(next/v.cfg.BaseTick) - 1
 		if steps > 0 && v.cfg.Delphi.Ready() {
-			preds := v.cfg.Delphi.PredictTicks(steps)
-			infos := make([]telemetry.Info, 0, len(preds))
-			payloads := make([][]byte, 0, len(preds))
-			var blob []byte
+			p0 := time.Now()
+			preds := v.cfg.Delphi.PredictTicksInto(v.predBuf[:0], steps)
+			v.predBuf = preds
+			infos := v.predInfos[:0]
+			payloads := v.predPayloads[:0]
+			blob := v.predBlob[:0]
 			for i, p := range preds {
 				pts := ts + int64(v.cfg.BaseTick)*int64(i+1)
 				pinfo := telemetry.NewPredictedFact(v.metric, pts, p)
-				if blob == nil {
-					blob = make([]byte, 0, pinfo.EncodedSize()*len(preds))
+				if need := pinfo.EncodedSize() * len(preds); cap(blob) < need {
+					blob = make([]byte, 0, need)
 				}
 				off := len(blob)
 				grown, err := pinfo.AppendBinary(blob)
@@ -308,12 +330,16 @@ func (v *FactVertex) pollOnce(ctx context.Context, current time.Duration) time.D
 				payloads = append(payloads, blob[off:len(blob):len(blob)])
 				infos = append(infos, pinfo)
 			}
+			v.predInfos, v.predPayloads, v.predBlob = infos, payloads, blob
+			v.obsPredictSec.ObserveDuration(time.Since(p0))
 			if len(payloads) > 0 && v.pub.publishBatch(ctx, payloads) {
 				for _, pinfo := range infos {
 					v.history.Append(pinfo)
 					v.stats.predicted.Add(1)
 					v.obsTuplesOut.Inc()
 				}
+				v.obsPredBatch.Observe(float64(len(infos)))
+				v.obsPredictions.Add(uint64(len(infos)))
 			}
 		}
 	}

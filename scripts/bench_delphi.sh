@@ -1,0 +1,89 @@
+#!/usr/bin/env sh
+# Runs the Delphi inference fast-lane benchmark suite — fused single predict
+# vs the legacy layered path, and batched multi-device sweeps at 100/1k/10k
+# metrics — and writes a BENCH_<n>.json snapshot so the prediction perf
+# trajectory is tracked across PRs. Fails if the batched sweep at 1k metrics
+# is below 5x single-scalar unfused throughput, or if a steady-state predict
+# path allocates.
+# Usage: scripts/bench_delphi.sh [n]   (default n=9)
+set -eu
+
+cd "$(dirname "$0")/.."
+N="${1:-9}"
+OUT="BENCH_${N}.json"
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run xxx \
+    -bench 'BenchmarkOnlinePredict$|BenchmarkOnlinePredictUnfused|BenchmarkOnlinePredictTicks|BenchmarkBatchPredict' \
+    -benchmem -benchtime 2000x ./internal/delphi/ | tee "$RAW"
+
+python3 - "$RAW" "$OUT" <<'EOF'
+import json, re, subprocess, sys
+
+raw, out = sys.argv[1], sys.argv[2]
+results = {}
+cpu = goos = ""
+for line in open(raw):
+    if line.startswith("cpu:"):
+        cpu = line.split(":", 1)[1].strip()
+    if line.startswith("goos:"):
+        goos = line.split(":", 1)[1].strip()
+    m = re.match(r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)", line)
+    if not m:
+        continue
+    name, iters, ns, rest = m.group(1), int(m.group(2)), float(m.group(3)), m.group(4)
+    entry = {"iterations": iters, "ns_per_op": ns}
+    v = re.search(r"([\d.]+) ns/pred", rest)
+    if v:
+        entry["ns_per_prediction"] = float(v.group(1))
+    v = re.search(r"(\d+) allocs/op", rest)
+    if v:
+        entry["allocs_per_op"] = int(v.group(1))
+    v = re.search(r"(\d+) B/op", rest)
+    if v:
+        entry["bytes_per_op"] = int(v.group(1))
+    results[name] = entry
+
+online = results.get("BenchmarkOnlinePredict", {})
+unfused = results.get("BenchmarkOnlinePredictUnfused", {})
+batch1k = results.get("BenchmarkBatchPredict1000", {})
+batch10k = results.get("BenchmarkBatchPredict10k", {})
+
+summary = {}
+if unfused.get("ns_per_op") and online.get("ns_per_op"):
+    summary["speedup_fused_vs_unfused"] = round(unfused["ns_per_op"] / online["ns_per_op"], 2)
+if unfused.get("ns_per_op") and batch1k.get("ns_per_prediction"):
+    summary["speedup_batch1k_vs_unfused"] = round(
+        unfused["ns_per_op"] / batch1k["ns_per_prediction"], 2)
+if batch1k.get("ns_per_prediction"):
+    summary["batch1k_predictions_per_sec"] = round(1e9 / batch1k["ns_per_prediction"])
+if batch10k.get("ns_per_prediction"):
+    summary["batch10k_predictions_per_sec"] = round(1e9 / batch10k["ns_per_prediction"])
+if "allocs_per_op" in online:
+    summary["online_allocs_per_op"] = online["allocs_per_op"]
+if "allocs_per_op" in batch1k:
+    summary["batch1k_allocs_per_op"] = batch1k["allocs_per_op"]
+if "allocs_per_op" in unfused:
+    summary["unfused_allocs_per_op"] = unfused["allocs_per_op"]
+
+go_version = subprocess.run(["go", "version"], capture_output=True, text=True).stdout.strip()
+doc = {
+    "bench": "Delphi inference fast lane: fused zero-alloc forward, batched multi-device sweeps (internal/delphi, internal/nn/inference)",
+    "go": go_version,
+    "goos": goos,
+    "cpu": cpu,
+    "results": results,
+    "summary": summary,
+}
+json.dump(doc, open(out, "w"), indent=2)
+print(f"wrote {out}: {summary}")
+
+speedup = summary.get("speedup_batch1k_vs_unfused", 0)
+if speedup < 5:
+    sys.exit(f"batched speedup {speedup}x at 1k metrics is below the 5x gate")
+if summary.get("online_allocs_per_op", 1) != 0:
+    sys.exit("Online.Predict allocates on the steady-state path")
+if summary.get("batch1k_allocs_per_op", 1) != 0:
+    sys.exit("BatchPredictor sweep allocates on the steady-state path")
+EOF

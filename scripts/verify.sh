@@ -24,8 +24,8 @@ go vet ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/... ./internal/archive/... ./internal/aqe/... ./internal/sim/... ./internal/gateway/... ./api/..."
-go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/... ./internal/archive/... ./internal/aqe/... ./internal/sim/... ./internal/gateway/... ./api/...
+echo "==> go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/... ./internal/archive/... ./internal/aqe/... ./internal/sim/... ./internal/gateway/... ./internal/delphi/... ./internal/nn/... ./api/..."
+go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./internal/sched/... ./internal/obs/... ./internal/archive/... ./internal/aqe/... ./internal/sim/... ./internal/gateway/... ./internal/delphi/... ./internal/nn/... ./api/...
 
 # Deterministic-simulation gate: the end-to-end virtual-time scenario
 # (seeded faults, invariant checks, reproducible digest) under the race
@@ -82,11 +82,20 @@ done
 
 # Benchmark smoke: one iteration of the hot-path suites so the benchmarks
 # themselves can't rot. (The full-length runs are scripts/bench_batch.sh,
-# scripts/bench_query.sh, and scripts/bench_archive.sh, which write
-# BENCH_<n>.json.)
+# scripts/bench_query.sh, scripts/bench_archive.sh, and
+# scripts/bench_delphi.sh, which write BENCH_<n>.json.)
 echo "==> go test -run xxx -bench . -benchtime 1x ./internal/stream/..."
 go test -run xxx -bench . -benchtime 1x ./internal/stream/...
 echo "==> go test -run xxx -bench . -benchtime 1x ./internal/aqe/... ./internal/queue/... ./internal/archive/..."
 go test -run xxx -bench . -benchtime 1x ./internal/aqe/... ./internal/queue/... ./internal/archive/...
+echo "==> go test -run xxx -bench . -benchtime 1x ./internal/delphi/ ./internal/nn/inference/"
+go test -run xxx -bench . -benchtime 1x ./internal/delphi/ ./internal/nn/inference/
+
+# Delphi fast-lane gate: the committed BENCH_9.json must clear the 5x batched
+# speedup and zero-alloc thresholds (TestBench9Gate re-asserts the committed
+# numbers; regenerating the snapshot is scripts/bench_delphi.sh, which
+# re-measures and applies the same gate).
+echo "==> go test -run TestBench9Gate -count=1 ./internal/delphi/"
+go test -run TestBench9Gate -count=1 ./internal/delphi/
 
 echo "verify: OK"
