@@ -190,6 +190,11 @@ type (
 	DelphiModel = delphi.Model
 	// DelphiTrainOptions controls training.
 	DelphiTrainOptions = delphi.TrainOptions
+	// DelphiDriftConfig tunes the per-metric drift detectors
+	// (Config.DelphiDrift / WithDelphiDrift).
+	DelphiDriftConfig = delphi.DriftConfig
+	// DelphiRetrainConfig parameterizes incremental combiner retraining.
+	DelphiRetrainConfig = delphi.RetrainConfig
 )
 
 // Query types.

@@ -46,6 +46,14 @@ var (
 	// WithDelphiBatch enables the shared batch predictor over every
 	// Delphi-enabled metric, with n sweep workers (requires WithDelphi).
 	WithDelphiBatch = core.WithDelphiBatch
+	// WithDelphiRegistry shards metrics into device classes served from the
+	// versioned model store rooted at dir.
+	WithDelphiRegistry = core.WithDelphiRegistry
+	// WithDelphiRetrain arms drift detectors and (with WithDelphiRegistry)
+	// runs the background retrainer at this cadence.
+	WithDelphiRetrain = core.WithDelphiRetrain
+	// WithDelphiDrift tunes the drift detectors armed by WithDelphiRetrain.
+	WithDelphiDrift = core.WithDelphiDrift
 	// WithBaseTick sets the resolution Delphi restores.
 	WithBaseTick = core.WithBaseTick
 	// WithArchiveDir persists evicted queue entries per metric.

@@ -43,7 +43,9 @@ func main() {
 		storage  = flag.Int("storage", 4, "simulated storage nodes")
 		mode     = flag.String("mode", "complex-aimd", "interval mode: fixed | simple-aimd | complex-aimd")
 		delphiF  = flag.String("delphi", "", "path to a trained Delphi model (see delphi-train); empty disables prediction")
-		delphiB  = flag.Int("delphi-batch", 0, "sweep workers for the shared batch predictor over all Delphi metrics (requires -delphi; 0 disables)")
+		delphiB  = flag.Int("delphi-batch", 0, "sweep workers for the shared batch predictor over all Delphi metrics (requires -delphi or -delphi-registry; 0 disables)")
+		delphiR  = flag.String("delphi-registry", "", "directory of the versioned per-device-class model registry; empty keeps the single shared model")
+		delphiRT = flag.Duration("delphi-retrain", 0, "arm drift detectors and retrain drifted device classes at this cadence (requires -delphi-registry; 0 disables)")
 		duration = flag.Duration("duration", 0, "exit after this long (0 = run until signal)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		shards   = flag.Int("shards", 0, "broker topic-map shard count (0 = default)")
@@ -94,8 +96,11 @@ func main() {
 	default:
 		log.Fatalf("apollod: unknown mode %q", *mode)
 	}
-	if *delphiF == "" && *delphiB != 0 {
-		log.Fatal("apollod: -delphi-batch requires -delphi")
+	if *delphiF == "" && *delphiR == "" && *delphiB != 0 {
+		log.Fatal("apollod: -delphi-batch requires -delphi or -delphi-registry")
+	}
+	if *delphiR == "" && *delphiRT != 0 {
+		log.Fatal("apollod: -delphi-retrain requires -delphi-registry")
 	}
 	if *delphiF != "" {
 		m, err := apollo.LoadDelphi(*delphiF)
@@ -103,12 +108,16 @@ func main() {
 			log.Fatalf("apollod: loading delphi model: %v", err)
 		}
 		cfg.Delphi = m
-		cfg.DelphiBatch = *delphiB
 		log.Printf("delphi model loaded from %s", *delphiF)
+	}
+	if *delphiF != "" || *delphiR != "" {
+		cfg.DelphiBatch = *delphiB
 		if *delphiB > 0 {
 			log.Printf("delphi batch predictor enabled: %d sweep workers", *delphiB)
 		}
 	}
+	cfg.DelphiRegistry = *delphiR
+	cfg.DelphiRetrain = *delphiRT
 
 	gwTokenMap, err := parseTokens(*gwTokens)
 	if err != nil {
@@ -123,6 +132,8 @@ func main() {
 		Mode:             core.IntervalMode(cfg.Mode),
 		Delphi:           cfg.Delphi,
 		DelphiBatch:      cfg.DelphiBatch,
+		DelphiRegistry:   cfg.DelphiRegistry,
+		DelphiRetrain:    cfg.DelphiRetrain,
 		BaseTick:         *baseTick,
 		Retention:        *streamR,
 		HistorySize:      *history,
@@ -176,6 +187,13 @@ func main() {
 			auth = fmt.Sprintf("%d bearer tokens", len(gwTokenMap))
 		}
 		log.Printf("gateway on http://%s/api/v1 (%s)", ga, auth)
+	}
+	if *delphiR != "" {
+		if *delphiRT > 0 {
+			log.Printf("delphi registry at %s, drift-gated retraining every %s", *delphiR, *delphiRT)
+		} else {
+			log.Printf("delphi registry at %s (retraining off)", *delphiR)
+		}
 	}
 	if *archDir != "" {
 		if retention.IsZero() {

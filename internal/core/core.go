@@ -86,6 +86,21 @@ type Config struct {
 	// fleet-scale per-class sharding precursor. 0 keeps per-vertex
 	// prediction only.
 	DelphiBatch int
+	// DelphiRegistry, if set, is the directory of the versioned per-class
+	// model store: metrics shard into device classes (DeviceClass), each
+	// class serves the registry's active model version (falling back to
+	// Delphi for classes with no lineage yet), and promotions/rollbacks land
+	// atomically. Empty keeps the single shared-model behavior.
+	DelphiRegistry string
+	// DelphiRetrain, if > 0, arms per-metric drift detectors on every
+	// Delphi-enabled vertex and — when DelphiRegistry is also set — runs the
+	// background retrainer at this cadence: tripped classes fall back to
+	// measured-only, retrain off the hot path, and are promoted only when a
+	// candidate beats the serving model on held-out live data.
+	DelphiRetrain time.Duration
+	// DelphiDrift tunes the drift detectors (zero value: defaults). Only
+	// meaningful with DelphiRetrain set.
+	DelphiDrift delphi.DriftConfig
 	// BaseTick is the target resolution Delphi restores (default 1s).
 	BaseTick time.Duration
 	// ArchiveDir, if set, persists evicted queue entries per metric.
@@ -157,6 +172,9 @@ type Service struct {
 	compactor *archive.Compactor
 
 	batch *delphi.BatchPredictor // shared device-class predictor, nil unless DelphiBatch > 0
+
+	fleet    *delphiFleet // per-device-class sharding, nil unless DelphiRegistry is set
+	fleetErr error        // deferred to Start: New cannot return an error
 
 	predMu      sync.Mutex
 	predMetrics []telemetry.MetricID     // slot index -> metric
@@ -262,7 +280,12 @@ func New(cfg Config) *Service {
 	s.broker.Instrument(s.obs)
 	s.engine = aqe.NewEngine(aqe.GraphResolver{Graph: s.graph}, aqe.WithPlanCache(cfg.PlanCache))
 	s.engine.Instrument(s.obs)
-	if cfg.Delphi != nil && cfg.DelphiBatch > 0 {
+	if cfg.DelphiRegistry != "" {
+		// Fleet mode: per-device-class models, batch predictors, and the
+		// drift/retrain loop live in the fleet layer; the single shared
+		// "default"-class predictor stays off.
+		s.fleet, s.fleetErr = newDelphiFleet(cfg, s.obs)
+	} else if cfg.Delphi != nil && cfg.DelphiBatch > 0 {
 		// Untrained models are tolerated the same way NewOnline tolerates
 		// them: the batch lane just stays off and per-vertex fallback rules.
 		if bp, err := delphi.NewBatchPredictor(cfg.Delphi, cfg.DelphiBatch); err == nil {
@@ -351,7 +374,11 @@ func (s *Service) RegisterMetric(hook score.Hook, opts ...MetricOption) (*score.
 		BaseTick:    s.cfg.BaseTick,
 		Obs:         s.obs,
 	}
-	if s.cfg.Delphi != nil {
+	var cls *deviceClass
+	if s.fleet != nil {
+		cls = s.fleet.classFor(hook.Metric())
+		fc.Delphi = cls.newOnline()
+	} else if s.cfg.Delphi != nil {
 		fc.Delphi = delphi.NewOnline(s.cfg.Delphi)
 	}
 	if s.cfg.ArchiveDir != "" {
@@ -368,6 +395,16 @@ func (s *Service) RegisterMetric(hook score.Hook, opts ...MetricOption) (*score.
 	for _, o := range opts {
 		o(&fc)
 	}
+	// After opts, so WithoutDelphi leaves no dangling drift machinery.
+	var det *delphi.Detector
+	if fc.Delphi != nil && s.cfg.DelphiRetrain > 0 {
+		det = delphi.NewDetector(s.cfg.DelphiDrift)
+		fc.Drift = det
+		if s.fleet != nil && s.fleet.trainer != nil {
+			class := DeviceClass(hook.Metric())
+			fc.OnDrift = func(telemetry.MetricID) { s.fleet.trainer.Enqueue(class) }
+		}
+	}
 	if fc.Archive != nil && s.compactor != nil {
 		policy := s.cfg.ArchiveRetention
 		if fc.Retention != nil {
@@ -383,11 +420,15 @@ func (s *Service) RegisterMetric(hook score.Hook, opts ...MetricOption) (*score.
 		return nil, err
 	}
 	// After opts, so WithoutDelphi keeps the metric out of the batch sweep.
-	if fc.Delphi != nil && s.batch != nil {
-		if _, err := s.batch.Register(fc.Delphi); err == nil {
-			s.predMu.Lock()
-			s.predMetrics = append(s.predMetrics, hook.Metric())
-			s.predMu.Unlock()
+	if fc.Delphi != nil {
+		if cls != nil {
+			cls.attach(hook.Metric(), fc.Delphi, det, v)
+		} else if s.batch != nil {
+			if _, err := s.batch.Register(fc.Delphi); err == nil {
+				s.predMu.Lock()
+				s.predMetrics = append(s.predMetrics, hook.Metric())
+				s.predMu.Unlock()
+			}
 		}
 	}
 	if s.isStarted() {
@@ -442,6 +483,12 @@ func (s *Service) Start() error {
 	}
 	s.started = true
 	s.mu.Unlock()
+	if s.fleetErr != nil {
+		return fmt.Errorf("core: delphi registry: %w", s.fleetErr)
+	}
+	if s.fleet != nil {
+		s.fleet.start()
+	}
 	if s.compactor != nil {
 		s.compactor.Start()
 	}
@@ -492,6 +539,9 @@ func (s *Service) Stop() {
 	}
 	if s.batch != nil {
 		s.batch.Close()
+	}
+	if s.fleet != nil {
+		s.fleet.stop()
 	}
 }
 
@@ -653,6 +703,9 @@ func (s *Service) BatchPredictor() *delphi.BatchPredictor { return s.batch }
 // returns nil when batching is disabled. Sweeps are serialized internally;
 // vertices keep observing concurrently.
 func (s *Service) PredictAll() []BatchResult {
+	if s.fleet != nil {
+		return s.fleet.predictAll()
+	}
 	if s.batch == nil {
 		return nil
 	}

@@ -55,6 +55,23 @@ func WithDelphi(m *delphi.Model) Option { return func(cfg *Config) { cfg.Delphi 
 // Delphi-enabled metric, with n sweep workers (requires WithDelphi).
 func WithDelphiBatch(n int) Option { return func(cfg *Config) { cfg.DelphiBatch = n } }
 
+// WithDelphiRegistry shards metrics into device classes served from the
+// versioned model store rooted at dir.
+func WithDelphiRegistry(dir string) Option {
+	return func(cfg *Config) { cfg.DelphiRegistry = dir }
+}
+
+// WithDelphiRetrain arms drift detectors on every Delphi-enabled vertex and
+// (with WithDelphiRegistry) runs the background retrainer at this cadence.
+func WithDelphiRetrain(d time.Duration) Option {
+	return func(cfg *Config) { cfg.DelphiRetrain = d }
+}
+
+// WithDelphiDrift tunes the drift detectors armed by WithDelphiRetrain.
+func WithDelphiDrift(dc delphi.DriftConfig) Option {
+	return func(cfg *Config) { cfg.DelphiDrift = dc }
+}
+
 // WithBaseTick sets the target resolution Delphi restores.
 func WithBaseTick(d time.Duration) Option { return func(cfg *Config) { cfg.BaseTick = d } }
 

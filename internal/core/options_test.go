@@ -33,6 +33,9 @@ func TestOptionsCoverConfig(t *testing.T) {
 		{"Adaptive", WithAdaptive(adaptive.Config{Initial: time.Minute}), adaptive.Config{Initial: time.Minute}},
 		{"Delphi", WithDelphi(model), model},
 		{"DelphiBatch", WithDelphiBatch(8), 8},
+		{"DelphiRegistry", WithDelphiRegistry("/tmp/reg"), "/tmp/reg"},
+		{"DelphiRetrain", WithDelphiRetrain(time.Minute), time.Minute},
+		{"DelphiDrift", WithDelphiDrift(delphi.DriftConfig{Threshold: 2}), delphi.DriftConfig{Threshold: 2}},
 		{"BaseTick", WithBaseTick(2 * time.Second), 2 * time.Second},
 		{"ArchiveDir", WithArchiveDir("/tmp/a"), "/tmp/a"},
 		{"ArchiveRetention", WithArchiveRetention(archive.Retention{Raw: time.Hour}), archive.Retention{Raw: time.Hour}},

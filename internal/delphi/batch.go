@@ -223,7 +223,7 @@ func (bp *BatchPredictor) runChunk(lo, hi int) int {
 	for s := lo; s < hi; s++ {
 		o := bp.slots[s]
 		o.mu.Lock()
-		if o.n == WindowSize && o.eng != nil {
+		if o.n == WindowSize && o.eng != nil && !o.fallback {
 			row := lo + k
 			w := o.buf[o.pos : o.pos+WindowSize]
 			bp.locs[row], bp.scales[row] = NormalizeInto(bp.xs[row*WindowSize:(row+1)*WindowSize], w)
@@ -267,6 +267,33 @@ func (bp *BatchPredictor) runChunk(lo, hi int) int {
 		bp.dst[s] = BatchPrediction{Slot: s, Value: p, OK: true}
 	}
 	return k
+}
+
+// SwapModel atomically replaces the device class's model — the promotion
+// path. The engine is compiled before the sweep lock is taken, so in-flight
+// PredictAll sweeps (which hold the read lock end to end) finish on the old
+// engine and the very next sweep runs the new one; every registered Online
+// instance is swapped under the same write lock, so a sweep can never mix
+// engines. Observers are only ever blocked for the pointer swaps.
+func (bp *BatchPredictor) SwapModel(m *Model) error {
+	if m == nil {
+		return ErrNotTrained
+	}
+	eng, err := m.Engine()
+	if err != nil {
+		return err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.model = m
+	bp.eng = eng
+	for _, o := range bp.slots {
+		o.mu.Lock()
+		o.model = m
+		o.eng = eng
+		o.mu.Unlock()
+	}
+	return nil
 }
 
 // Close stops the worker pool. The predictor must not be used after Close.

@@ -1,0 +1,137 @@
+package delphi
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// BenchmarkRetrainCombiner measures one full off-hot-path retrain pass —
+// dataset windowing, combiner fit, and holdout validation — the wall cost a
+// trainer worker pays per drifted device class.
+func BenchmarkRetrainCombiner(b *testing.B) {
+	base := benchTrained(b)
+	segs := squareSegments(256, 40, 60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RetrainCombiner(base, segs, RetrainConfig{Seed: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlinePredictDuringSwap measures the steady-state predict path
+// with model promotions landing every 64 predictions. The swap compiles
+// nothing under the instance lock (engines are cached per model), so the
+// interleaved path must stay allocation-free — the BENCH_10 gate asserts
+// allocs/op == 0 here.
+func BenchmarkOnlinePredictDuringSwap(b *testing.B) {
+	m1 := benchTrained(b)
+	m2, err := Train(TrainOptions{Seed: 2, Epochs: 5, SeriesPerFeature: 2, SeriesLen: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-compile both engines so the steady state never pays first-use cost.
+	if _, err := m2.Engine(); err != nil {
+		b.Fatal(err)
+	}
+	o := NewOnline(m1)
+	observeSeries(o, 1, WindowSize+2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 {
+			m := m1
+			if i%128 == 0 {
+				m = m2
+			}
+			if err := o.SwapModel(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, ok := o.Predict(); !ok {
+			b.Fatal("not ready")
+		}
+	}
+}
+
+// BenchmarkBatchPredictDuringSwap is the fleet variant: 1k-metric sweeps with
+// a promotion landing between every 8th sweep, gated allocation-free like the
+// plain sweep.
+func BenchmarkBatchPredictDuringSwap(b *testing.B) {
+	m1 := benchTrained(b)
+	m2, err := Train(TrainOptions{Seed: 2, Epochs: 5, SeriesPerFeature: 2, SeriesLen: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m2.Engine(); err != nil {
+		b.Fatal(err)
+	}
+	bp, err := NewBatchPredictor(m1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bp.Close()
+	for i := 0; i < 1000; i++ {
+		o := NewOnline(m1)
+		observeSeries(o, int64(i), WindowSize+2)
+		if _, err := bp.Register(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dst := bp.PredictAll(nil) // warm arenas
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%8 == 0 {
+			m := m1
+			if i%16 == 0 {
+				m = m2
+			}
+			if err := bp.SwapModel(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		dst = bp.PredictAll(dst[:0])
+	}
+}
+
+// TestBench10Gate asserts the committed BENCH_10.json (produced by
+// scripts/bench_drift.sh) meets the continuous-accuracy acceptance bar: the
+// drift scenario's post-promotion error recovers below the drifted error,
+// and the predict paths stay allocation-free while promotions land.
+func TestBench10Gate(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_10.json")
+	if err != nil {
+		t.Fatalf("BENCH_10.json must be committed (run scripts/bench_drift.sh): %v", err)
+	}
+	var doc struct {
+		Summary struct {
+			RetrainMsPerPass        float64 `json:"retrain_ms_per_pass"`
+			SwapPredictAllocsPerOp  float64 `json:"swap_predict_allocs_per_op"`
+			SwapBatchAllocsPerSweep float64 `json:"swap_batch_allocs_per_sweep"`
+			DriftPreErr             float64 `json:"drift_pre_err"`
+			DriftShiftErr           float64 `json:"drift_shift_err"`
+			DriftRecoveredErr       float64 `json:"drift_recovered_err"`
+			Recovered               bool    `json:"recovered"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("parsing BENCH_10.json: %v", err)
+	}
+	s := doc.Summary
+	if s.RetrainMsPerPass <= 0 {
+		t.Fatalf("retrain_ms_per_pass = %v, want > 0 (bench missing?)", s.RetrainMsPerPass)
+	}
+	if s.SwapPredictAllocsPerOp != 0 {
+		t.Fatalf("predict-during-swap allocs/op = %v, want 0", s.SwapPredictAllocsPerOp)
+	}
+	if s.SwapBatchAllocsPerSweep != 0 {
+		t.Fatalf("batch-sweep-during-swap allocs/op = %v, want 0", s.SwapBatchAllocsPerSweep)
+	}
+	if !s.Recovered || !(s.DriftRecoveredErr < s.DriftShiftErr) {
+		t.Fatalf("drift scenario did not recover: pre=%v shift=%v recovered=%v",
+			s.DriftPreErr, s.DriftShiftErr, s.DriftRecoveredErr)
+	}
+}

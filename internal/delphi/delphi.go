@@ -278,32 +278,29 @@ type denseJSON struct {
 	B []float64 `json:"b"`
 }
 
-// Save writes the model to a JSON file.
-func (m *Model) Save(path string) error {
+// EncodeJSON serializes the model to its canonical JSON form. Go's float64
+// encoding uses the shortest representation that round-trips exactly, so
+// decode→re-encode is byte-stable and loaded weights are bit-identical to
+// the saved ones — the model registry's CRC framing and its round-trip gate
+// build on both properties.
+func (m *Model) EncodeJSON() ([]byte, error) {
 	if len(m.features) != NumStacked || m.combiner == nil {
-		return ErrNotTrained
+		return nil, ErrNotTrained
 	}
 	var mj modelJSON
 	for _, f := range m.features {
 		mj.Features = append(mj.Features, denseJSON{W: f.W, B: f.B})
 	}
 	mj.Combiner = denseJSON{W: m.combiner.W, B: m.combiner.B}
-	b, err := json.Marshal(mj)
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, b, 0o644)
+	return json.Marshal(mj)
 }
 
-// Load reads a model saved with Save.
-func Load(path string) (*Model, error) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
+// DecodeJSON rebuilds a model from EncodeJSON output. Malformed payloads
+// return errors wrapping ErrNotTrained; the decoder never panics.
+func DecodeJSON(b []byte) (*Model, error) {
 	var mj modelJSON
 	if err := json.Unmarshal(b, &mj); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrNotTrained, err)
 	}
 	if len(mj.Features) != NumStacked {
 		return nil, fmt.Errorf("%w: expected %d feature models, found %d", ErrNotTrained, NumStacked, len(mj.Features))
@@ -326,4 +323,22 @@ func Load(path string) (*Model, error) {
 	copy(m.combiner.W, mj.Combiner.W)
 	copy(m.combiner.B, mj.Combiner.B)
 	return m, nil
+}
+
+// Save writes the model to a JSON file.
+func (m *Model) Save(path string) error {
+	b, err := m.EncodeJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Load reads a model saved with Save.
+func Load(path string) (*Model, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeJSON(b)
 }

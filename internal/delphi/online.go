@@ -18,9 +18,10 @@ import (
 // mutex makes Online safe for concurrent use, so a BatchPredictor can sweep
 // vertex-owned instances while their vertices keep observing.
 type Online struct {
-	mu    sync.Mutex
-	model *Model
-	eng   *inference.Engine // nil without a trained model: always fall back
+	mu       sync.Mutex
+	model    *Model
+	eng      *inference.Engine // nil without a trained model: always fall back
+	fallback bool              // measured-only mode: drift tripped, model distrusted
 
 	// buf is a mirrored ring: every observation is written at pos and
 	// pos+WindowSize, so the last WindowSize values are always contiguous at
@@ -61,12 +62,54 @@ func (o *Online) Observe(v float64) {
 	o.mu.Unlock()
 }
 
-// Ready reports whether a full window of measurements and a usable model
-// exist.
+// Ready reports whether a full window of measurements and a usable, trusted
+// model exist. In measured-only fallback (SetFallback) it reports false, so
+// vertices stop publishing predictions without any extra branching.
 func (o *Online) Ready() bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return o.n == WindowSize && o.eng != nil
+	return o.n == WindowSize && o.eng != nil && !o.fallback
+}
+
+// SetFallback flips measured-only mode: while on, Predict and the fill paths
+// behave as if no model existed (last-value-hold, ok=false), so callers fall
+// back to measured values only. Drift detectors flip it on when the model's
+// error distribution shifts; the retrainer flips it off after promoting a
+// model that validates on live data. Observations keep accumulating either
+// way, so recovery is instant.
+func (o *Online) SetFallback(on bool) {
+	o.mu.Lock()
+	o.fallback = on
+	o.mu.Unlock()
+}
+
+// InFallback reports whether measured-only mode is active.
+func (o *Online) InFallback() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.fallback
+}
+
+// SwapModel atomically replaces the model this instance predicts with — the
+// promotion path of the model registry. The observation window survives the
+// swap, so the next Predict runs the new model on the same live history. The
+// engine is compiled (once per model, cached) before the instance lock is
+// taken, so concurrent Predict/Observe callers are blocked only for the
+// pointer swap itself — promotion never stalls the steady-state predict
+// path, and the swap allocates nothing on it.
+func (o *Online) SwapModel(m *Model) error {
+	if m == nil {
+		return ErrNotTrained
+	}
+	eng, err := m.Engine()
+	if err != nil {
+		return err
+	}
+	o.mu.Lock()
+	o.model = m
+	o.eng = eng
+	o.mu.Unlock()
+	return nil
 }
 
 // Observed reports how many values the window currently holds (saturating at
@@ -95,15 +138,26 @@ func (o *Online) lastLocked() float64 {
 func (o *Online) Predict() (v float64, ok bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	p, _, ok := o.predictLocked()
+	return p, ok
+}
+
+// PredictState is Predict returning additionally the window's normalization
+// scale (max absolute deviation from the window mean). Drift detectors
+// normalize the eventual residual by it, so prediction error is tracked in
+// the same unit-free space the model predicts in.
+func (o *Online) PredictState() (v, scale float64, ok bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	return o.predictLocked()
 }
 
-func (o *Online) predictLocked() (float64, bool) {
-	if o.n < WindowSize || o.eng == nil {
+func (o *Online) predictLocked() (float64, float64, bool) {
+	if o.n < WindowSize || o.eng == nil || o.fallback {
 		if o.n == 0 {
-			return 0, false
+			return 0, 0, false
 		}
-		return o.lastLocked(), false
+		return o.lastLocked(), 0, false
 	}
 	w := o.buf[o.pos : o.pos+WindowSize]
 	loc, scale := NormalizeInto(o.norm[:], w)
@@ -124,7 +178,7 @@ func (o *Online) predictLocked() (float64, bool) {
 	if p < lo-span {
 		p = lo - span
 	}
-	return p, true
+	return p, scale, true
 }
 
 // PredictAhead forecasts steps values into the future by feeding predictions
@@ -147,7 +201,7 @@ func (o *Online) PredictAheadInto(out []float64, steps int) []float64 {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if o.n < WindowSize || o.eng == nil {
+	if o.n < WindowSize || o.eng == nil || o.fallback {
 		var v float64
 		if o.n > 0 {
 			v = o.lastLocked()
@@ -198,7 +252,7 @@ func (o *Online) PredictTicksInto(out []float64, steps int) []float64 {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	next, ok := o.predictLocked()
+	next, _, ok := o.predictLocked()
 	var last float64
 	if o.n > 0 {
 		last = o.lastLocked()

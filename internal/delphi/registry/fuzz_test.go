@@ -1,0 +1,53 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzRegistryDecode hammers the model-frame decoder: arbitrary bytes must
+// never panic, every rejection must map onto one of the package's typed
+// errors, and anything accepted must be a canonical fixed point — re-encode
+// decodes back to a byte-identical frame (the property the registry's
+// bit-identical promotion gate stands on).
+func FuzzRegistryDecode(f *testing.F) {
+	valid, err := EncodeModel(quickModel(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])                        // torn tail
+	f.Add(append(append([]byte{}, valid...), 0xAB))    // trailing garbage
+	f.Add(flip(valid, headerSize+1))                   // corrupt payload
+	f.Add(flip(valid, 0))                              // corrupt magic
+	f.Add([]byte{})                                    // empty
+	f.Add([]byte(magic))                               // header cut short
+	f.Add(appendFrame(nil, []byte(`{"features":[]}`))) // intact frame, bad model
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeModel(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrTruncated) &&
+				!errors.Is(err, ErrChecksum) && !errors.Is(err, ErrBadModel) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		re, err := EncodeModel(m)
+		if err != nil {
+			t.Fatalf("accepted model fails re-encode: %v", err)
+		}
+		m2, err := DecodeModel(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame fails decode: %v", err)
+		}
+		re2, err := EncodeModel(m2)
+		if err != nil {
+			t.Fatalf("second re-encode: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatal("canonical re-encode is not a fixed point")
+		}
+	})
+}

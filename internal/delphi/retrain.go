@@ -1,0 +1,183 @@
+package delphi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+)
+
+// ErrInsufficientData is returned by RetrainCombiner when the live series do
+// not carry enough windows to train and validate a candidate.
+var ErrInsufficientData = errors.New("delphi: insufficient data to retrain")
+
+// RetrainConfig tunes incremental combiner retraining against live
+// telemetry. Zero-valued fields take defaults.
+type RetrainConfig struct {
+	// MinSamples is the minimum number of training windows required across
+	// all segments (default 64); below it RetrainCombiner returns
+	// ErrInsufficientData rather than fit a combiner to noise.
+	MinSamples int
+	// MaxSamples keeps only the most recent n values of each segment
+	// (default 512, 0 keeps everything): retraining should chase the live
+	// distribution, not re-memorize ancient history.
+	MaxSamples int
+	// HoldoutFrac is the trailing fraction of each segment held out of
+	// training and used to score base vs candidate (default 0.25). Trailing,
+	// because the most recent data is the distribution the promoted model
+	// must serve.
+	HoldoutFrac float64
+	// Epochs, BatchSize, LearningRate parameterize the combiner fit
+	// (defaults 30, 32, 0.01).
+	Epochs       int
+	BatchSize    int
+	LearningRate float64
+	// MinImprovement is how much lower (fractionally) the candidate's
+	// holdout RMSE must be than the base model's to be declared improved
+	// (default 0.05): promotion churn on statistical ties helps nobody.
+	MinImprovement float64
+	// Seed makes the fit deterministic (shuffle order, weight init).
+	Seed int64
+}
+
+func (c *RetrainConfig) fill() {
+	if c.MinSamples <= 0 {
+		c.MinSamples = 64
+	}
+	if c.MaxSamples < 0 {
+		c.MaxSamples = 0
+	}
+	if c.MaxSamples == 0 {
+		c.MaxSamples = 512
+	}
+	if c.HoldoutFrac <= 0 || c.HoldoutFrac >= 1 {
+		c.HoldoutFrac = 0.25
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 30
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.01
+	}
+	if c.MinImprovement <= 0 {
+		c.MinImprovement = 0.05
+	}
+}
+
+// RetrainReport describes one retraining attempt. RMSEs are in normalized
+// window space (unit-free), measured on the holdout slice both models never
+// trained on.
+type RetrainReport struct {
+	TrainWindows   int
+	HoldoutWindows int
+	BaseRMSE       float64
+	CandidateRMSE  float64
+	// Improved is true when the candidate beat the base model by at least
+	// MinImprovement on the holdout — the promotion criterion.
+	Improved bool
+}
+
+// RetrainCombiner trains a candidate model against live telemetry: the
+// frozen per-feature heads are kept (deep-copied, so training caches never
+// touch layers a live engine's source model shares) and only the 14-parameter
+// combiner is refit on windows drawn from the given measured series segments
+// (one segment per metric of the device class — windows never straddle
+// segment boundaries). The trailing HoldoutFrac of every segment is held
+// out; the candidate and the base model are both scored on it, and
+// Report.Improved says whether the candidate earned promotion.
+//
+// The whole call runs off the hot path: it allocates freely, touches only
+// private copies plus the base model's read-only fused engine, and is safe
+// to run while the base model keeps serving predictions concurrently.
+func RetrainCombiner(base *Model, segments [][]float64, cfg RetrainConfig) (*Model, RetrainReport, error) {
+	cfg.fill()
+	var rep RetrainReport
+	if base == nil || len(base.features) != NumStacked || base.combiner == nil {
+		return nil, rep, ErrNotTrained
+	}
+	baseEng, err := base.Engine()
+	if err != nil {
+		return nil, rep, err
+	}
+
+	var trainX, holdX [][]float64
+	var trainY, holdY []float64
+	for _, seg := range segments {
+		if cfg.MaxSamples > 0 && len(seg) > cfg.MaxSamples {
+			seg = seg[len(seg)-cfg.MaxSamples:]
+		}
+		xs, ys := Windows(seg, WindowSize)
+		if len(xs) == 0 {
+			continue
+		}
+		cut := len(xs) - int(math.Round(float64(len(xs))*cfg.HoldoutFrac))
+		if cut < 1 {
+			cut = 1
+		}
+		if cut > len(xs) {
+			cut = len(xs)
+		}
+		trainX = append(trainX, xs[:cut]...)
+		trainY = append(trainY, ys[:cut]...)
+		holdX = append(holdX, xs[cut:]...)
+		holdY = append(holdY, ys[cut:]...)
+	}
+	if len(trainX) < cfg.MinSamples || len(holdX) == 0 {
+		return nil, rep, fmt.Errorf("%w: %d train / %d holdout windows, need >= %d / 1",
+			ErrInsufficientData, len(trainX), len(holdX), cfg.MinSamples)
+	}
+	rep.TrainWindows = len(trainX)
+	rep.HoldoutWindows = len(holdX)
+
+	// Candidate: private frozen-head copies under a freshly initialized
+	// combiner. The copies matter twice over — Dense.Forward mutates training
+	// caches, and the candidate must stay valid even if the base model is
+	// swapped out from under us mid-train.
+	cand := &Model{features: make([]*nn.Dense, NumStacked)}
+	for i, f := range base.features {
+		d := nn.NewDense(WindowSize, 1, f.Act, 0)
+		copy(d.W, f.W)
+		copy(d.B, f.B)
+		d.Frozen = true
+		cand.features[i] = d
+	}
+	cand.combiner = nn.NewDense(combinerInputs, 1, nn.Identity, cfg.Seed+101)
+
+	cx := make([][]float64, len(trainX))
+	for i, w := range trainX {
+		cx[i] = cand.combinerInput(w)
+	}
+	seq := nn.NewSequential(cand.combiner)
+	if _, err := seq.Fit(cx, toTargets(trainY), nn.FitOptions{
+		Epochs: cfg.Epochs, BatchSize: cfg.BatchSize,
+		Optimizer: nn.NewAdam(cfg.LearningRate), Shuffle: true, Seed: cfg.Seed,
+	}); err != nil {
+		return nil, rep, fmt.Errorf("delphi: retraining combiner: %w", err)
+	}
+
+	candEng, err := cand.Engine()
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.BaseRMSE = holdoutRMSE(baseEng, holdX, holdY)
+	rep.CandidateRMSE = holdoutRMSE(candEng, holdX, holdY)
+	rep.Improved = rep.CandidateRMSE < rep.BaseRMSE*(1-cfg.MinImprovement)
+	return cand, rep, nil
+}
+
+// holdoutRMSE scores a fused engine on normalized (window, target) pairs.
+func holdoutRMSE(eng interface {
+	Forward(x, scratch []float64) float64
+}, xs [][]float64, ys []float64) float64 {
+	var scratch [NumStacked]float64
+	var sse float64
+	for i, w := range xs {
+		d := eng.Forward(w, scratch[:]) - ys[i]
+		sse += d * d
+	}
+	return math.Sqrt(sse / float64(len(xs)))
+}

@@ -42,6 +42,16 @@ type FactConfig struct {
 	// Delphi, if non-nil, publishes predicted Facts for the base-tick
 	// instants the relaxed polling interval skips.
 	Delphi *delphi.Online
+	// Drift, if non-nil (and Delphi is set), tracks the model's one-step
+	// prediction error against each measured poll. When it trips, the vertex
+	// flips its Delphi instance to measured-only fallback — predictions stop
+	// publishing until a retrained model is promoted — and reports the trip
+	// through OnDrift.
+	Drift *delphi.Detector
+	// OnDrift, if non-nil, is called (on the vertex goroutine) when Drift
+	// trips; the fleet layer uses it to enqueue a retrain for the metric's
+	// device class.
+	OnDrift func(telemetry.MetricID)
 	// BaseTick is the reference resolution Delphi fills in (default 1s).
 	BaseTick time.Duration
 	// PublishUnchanged disables the only-if-changed filter (§3.2.1); used
@@ -80,6 +90,14 @@ type FactVertex struct {
 	obsPredictSec  *obs.Histogram // Delphi fill-path compute latency
 	obsPredBatch   *obs.Histogram // predicted tuples per fill batch
 	obsPredictions *obs.Counter   // predicted tuples published
+	obsDriftTrips  *obs.Counter   // drift-detector trips
+	obsFallback    *obs.Gauge     // 1 while in measured-only fallback
+
+	// One-step-ahead forecast made at the previous poll, compared against the
+	// value measured now to feed the drift detector. Vertex goroutine only.
+	lastForecast  float64
+	forecastScale float64
+	hasForecast   bool
 
 	// Prediction fill-path buffers, reused across polls so the steady-state
 	// predict-and-publish cycle allocates nothing. Only the vertex goroutine
@@ -131,6 +149,10 @@ func NewFactVertex(cfg FactConfig) (*FactVertex, error) {
 			v.obsPredBatch = r.Histogram(obs.Name("delphi_batch_size", "metric", m),
 				1, 2, 4, 8, 16, 32, 64, 128)
 			v.obsPredictions = r.Counter(obs.Name("delphi_predictions_total", "metric", m))
+		}
+		if cfg.Drift != nil {
+			v.obsDriftTrips = r.Counter(obs.Name("delphi_drift_trips_total", "metric", m))
+			v.obsFallback = r.Gauge(obs.Name("delphi_fallback", "metric", m))
 		}
 		v.pub.instrument(r, m)
 		v.history.Instrument(
@@ -295,7 +317,30 @@ func (v *FactVertex) pollOnce(ctx context.Context, current time.Duration) time.D
 
 	v.setLast(value)
 	if v.cfg.Delphi != nil {
+		// Continuous accuracy: score the forecast made at the previous poll
+		// against the value just measured, before this value enters the
+		// window. A tripped detector latches the vertex into measured-only
+		// fallback; with Ready() then false, PredictState stops producing
+		// forecasts, so the detector starves (stays latched, no churn) until
+		// the promotion path resets both.
+		if v.hasForecast && v.cfg.Drift != nil {
+			if v.cfg.Drift.Observe(value-v.lastForecast, v.forecastScale) {
+				v.cfg.Delphi.SetFallback(true)
+				v.obsDriftTrips.Inc()
+				if v.cfg.OnDrift != nil {
+					v.cfg.OnDrift(v.metric)
+				}
+			}
+		}
 		v.cfg.Delphi.Observe(value)
+		v.lastForecast, v.forecastScale, v.hasForecast = v.cfg.Delphi.PredictState()
+		if v.obsFallback != nil {
+			if v.cfg.Delphi.InFallback() {
+				v.obsFallback.Set(1)
+			} else {
+				v.obsFallback.Set(0)
+			}
+		}
 	}
 	next := v.cfg.Controller.Next(value)
 
@@ -365,6 +410,11 @@ func (v *FactVertex) setLast(x float64) {
 	v.hasLast = true
 	v.mu.Unlock()
 }
+
+// History exposes the vertex's in-memory ring — the background retrainer
+// rebuilds per-class datasets from it via the zero-copy scans, without going
+// through the query path.
+func (v *FactVertex) History() *queue.History { return v.history }
 
 // Latest implements Executor.
 func (v *FactVertex) Latest() (telemetry.Info, bool) { return v.history.Latest() }

@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/delphi"
+)
+
+// driftQuickModel is trained once per test binary so all drift runs share it.
+var driftQuickModel *delphi.Model
+
+func driftModel(t *testing.T) *delphi.Model {
+	t.Helper()
+	if driftQuickModel == nil {
+		m, err := TrainDriftModel(7)
+		if err != nil {
+			t.Fatalf("training drift model: %v", err)
+		}
+		driftQuickModel = m
+	}
+	return driftQuickModel
+}
+
+// TestDriftScenarioReproducible is the acceptance gate for the continuous-
+// accuracy harness: regime shift → detector trip → measured-only fallback →
+// synchronous retrain → promotion → error recovery, byte-for-byte
+// reproducible across two runs of the same seed on virtual time.
+func TestDriftScenarioReproducible(t *testing.T) {
+	cfg := DriftConfig{Seed: *simSeed, Model: driftModel(t)}
+
+	wall0 := time.Now()
+	a, err := RunDrift(cfg)
+	if err != nil {
+		t.Fatalf("run A: %v\ntranscript:\n%s", err, a.Transcript)
+	}
+	b, err := RunDrift(cfg)
+	if err != nil {
+		t.Fatalf("run B: %v\ntranscript:\n%s", err, b.Transcript)
+	}
+	wall := time.Since(wall0)
+
+	if a.Digest != b.Digest || a.Transcript != b.Transcript {
+		t.Fatalf("same seed diverged: %s vs %s\n--- A ---\n%s\n--- B ---\n%s",
+			a.Digest, b.Digest, a.Transcript, b.Transcript)
+	}
+	if a.TripPoll < 48 {
+		t.Fatalf("trip poll %d, want inside the shifted phase (>= 48)", a.TripPoll)
+	}
+	if a.PromotedVersion != 1 {
+		t.Fatalf("promoted version %d, want 1", a.PromotedVersion)
+	}
+	if a.Suppressed == 0 {
+		t.Fatal("fallback never suppressed a forecast")
+	}
+	if !(a.RecoveredErr < a.ShiftErr) {
+		t.Fatalf("no recovery: shift=%.4f recovered=%.4f", a.ShiftErr, a.RecoveredErr)
+	}
+	t.Logf("seed=%d digest=%s trip=%d pre=%.4f shift=%.4f recovered=%.4f wall=%v",
+		cfg.Seed, a.Digest, a.TripPoll, a.PreShiftErr, a.ShiftErr, a.RecoveredErr, wall)
+}
+
+// TestDriftScenarioSeedsDiverge guards against the workload ignoring the
+// seed: different seeds must produce different transcripts.
+func TestDriftScenarioSeedsDiverge(t *testing.T) {
+	m := driftModel(t)
+	a, err := RunDrift(DriftConfig{Seed: 11, Model: m})
+	if err != nil {
+		t.Fatalf("seed 11: %v\n%s", err, a.Transcript)
+	}
+	b, err := RunDrift(DriftConfig{Seed: 12, Model: m})
+	if err != nil {
+		t.Fatalf("seed 12: %v\n%s", err, b.Transcript)
+	}
+	if a.Digest == b.Digest {
+		t.Fatalf("seeds 11 and 12 produced identical transcripts (digest %s)", a.Digest)
+	}
+}
+
+// TestDriftScenarioTranscript spot-checks the transcript narrative and that
+// no filesystem path leaks into it (the digest must not depend on temp dirs).
+func TestDriftScenarioTranscript(t *testing.T) {
+	rep, err := RunDrift(DriftConfig{Seed: *simSeed, Model: driftModel(t)})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, rep.Transcript)
+	}
+	for _, want := range []string{"drift trip poll=", "retrain class=cap", "improved=true", "pred=suppressed"} {
+		if !strings.Contains(rep.Transcript, want) {
+			t.Fatalf("transcript missing %q:\n%s", want, rep.Transcript)
+		}
+	}
+	for _, leak := range []string{"/tmp", "apollo-drift"} {
+		if strings.Contains(rep.Transcript, leak) {
+			t.Fatalf("transcript leaks a path (%q):\n%s", leak, rep.Transcript)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env sh
+# Runs the continuous-accuracy suite — retrain pass wall cost, predict
+# throughput while model promotions land, and the deterministic drift
+# scenario (shift -> trip -> fallback -> retrain -> promote -> recover) —
+# and writes a BENCH_<n>.json snapshot so the online-learning trajectory is
+# tracked across PRs. Fails if a promotion-interleaved predict path
+# allocates, or if the scenario's post-promotion error does not recover
+# below the drifted error.
+# Usage: scripts/bench_drift.sh [n]   (default n=10)
+set -eu
+
+cd "$(dirname "$0")/.."
+N="${1:-10}"
+OUT="BENCH_${N}.json"
+RAW=$(mktemp)
+SCEN=$(mktemp)
+trap 'rm -f "$RAW" "$SCEN"' EXIT
+
+go test -run xxx \
+    -bench 'BenchmarkRetrainCombiner|BenchmarkOnlinePredictDuringSwap|BenchmarkBatchPredictDuringSwap' \
+    -benchmem -benchtime 1000x ./internal/delphi/ | tee "$RAW"
+
+go test -count=1 -v ./internal/sim/scenario -run 'TestDriftScenarioReproducible$' | tee "$SCEN"
+
+python3 - "$RAW" "$SCEN" "$OUT" <<'EOF'
+import json, re, subprocess, sys
+
+raw, scen, out = sys.argv[1], sys.argv[2], sys.argv[3]
+results = {}
+cpu = goos = ""
+for line in open(raw):
+    if line.startswith("cpu:"):
+        cpu = line.split(":", 1)[1].strip()
+    if line.startswith("goos:"):
+        goos = line.split(":", 1)[1].strip()
+    m = re.match(r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)", line)
+    if not m:
+        continue
+    name, iters, ns, rest = m.group(1), int(m.group(2)), float(m.group(3)), m.group(4)
+    entry = {"iterations": iters, "ns_per_op": ns}
+    v = re.search(r"(\d+) allocs/op", rest)
+    if v:
+        entry["allocs_per_op"] = int(v.group(1))
+    v = re.search(r"(\d+) B/op", rest)
+    if v:
+        entry["bytes_per_op"] = int(v.group(1))
+    results[name] = entry
+
+drift = {}
+for line in open(scen):
+    m = re.search(
+        r"seed=(\d+) digest=([0-9a-f]+) trip=(\d+) pre=([\d.]+) shift=([\d.]+) "
+        r"recovered=([\d.]+)", line)
+    if m:
+        drift = {
+            "seed": int(m.group(1)),
+            "digest": m.group(2),
+            "trip_poll": int(m.group(3)),
+            "pre_err": float(m.group(4)),
+            "shift_err": float(m.group(5)),
+            "recovered_err": float(m.group(6)),
+        }
+if not drift:
+    sys.exit("drift scenario log line not found (did TestDriftScenarioReproducible run?)")
+results["DriftScenario"] = drift
+
+retrain = results.get("BenchmarkRetrainCombiner", {})
+swap_online = results.get("BenchmarkOnlinePredictDuringSwap", {})
+swap_batch = results.get("BenchmarkBatchPredictDuringSwap", {})
+
+summary = {}
+if retrain.get("ns_per_op"):
+    summary["retrain_ms_per_pass"] = round(retrain["ns_per_op"] / 1e6, 3)
+if swap_online.get("ns_per_op") is not None:
+    summary["swap_predict_ns_per_op"] = swap_online["ns_per_op"]
+    summary["swap_predict_allocs_per_op"] = swap_online.get("allocs_per_op", -1)
+if swap_batch.get("ns_per_op") is not None:
+    summary["swap_batch_allocs_per_sweep"] = swap_batch.get("allocs_per_op", -1)
+summary["drift_pre_err"] = drift["pre_err"]
+summary["drift_shift_err"] = drift["shift_err"]
+summary["drift_recovered_err"] = drift["recovered_err"]
+summary["recovered"] = drift["recovered_err"] < drift["shift_err"]
+
+go_version = subprocess.run(["go", "version"], capture_output=True, text=True).stdout.strip()
+doc = {
+    "bench": "Delphi continuous accuracy: retrain pass cost, promotion-interleaved predict paths, deterministic drift scenario (internal/delphi, internal/delphi/registry, internal/sim/scenario)",
+    "go": go_version,
+    "goos": goos,
+    "cpu": cpu,
+    "results": results,
+    "summary": summary,
+}
+json.dump(doc, open(out, "w"), indent=2)
+print(f"wrote {out}: {summary}")
+
+if summary.get("swap_predict_allocs_per_op", 1) != 0:
+    sys.exit("Online.Predict allocates while promotions land")
+if summary.get("swap_batch_allocs_per_sweep", 1) != 0:
+    sys.exit("BatchPredictor sweep allocates while promotions land")
+if not summary["recovered"]:
+    sys.exit("drift scenario error did not recover below the drifted level")
+EOF

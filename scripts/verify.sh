@@ -34,6 +34,13 @@ go test -race ./internal/stream/... ./internal/score/... ./internal/queue/... ./
 echo "==> go test -race -count=1 ./internal/sim/scenario -run TestScenario"
 go test -race -count=1 ./internal/sim/scenario -run TestScenario
 
+# Continuous-accuracy gate: the drift scenario (seeded regime shift ->
+# detector trip -> measured-only fallback -> retrain -> promotion -> error
+# recovery) must reproduce byte-for-byte under the race detector. Replay a
+# failing seed with -sim.seed=N.
+echo "==> go test -race -count=1 ./internal/sim/scenario -run TestDriftScenario"
+go test -race -count=1 ./internal/sim/scenario -run TestDriftScenario
+
 # Replicated-fabric gate: the seeded failover matrix (leader kill with an
 # in-flight batch, leader/follower partition, epoch-fencing probe, double
 # failover, chaos schedule) must prove zero acked-tuple loss with a
@@ -74,7 +81,8 @@ for target in \
     "./internal/stream FuzzDecodeEntries" \
     "./internal/archive FuzzSegmentReplay" \
     "./internal/archive FuzzBlockDecode" \
-    "./internal/aqe FuzzPrepare"; do
+    "./internal/aqe FuzzPrepare" \
+    "./internal/delphi/registry FuzzRegistryDecode"; do
     set -- $target
     echo "==> go test $1 -run ^\$ -fuzz ^$2\$ -fuzztime 10s"
     go test "$1" -run '^$' -fuzz "^$2\$" -fuzztime 10s
@@ -91,11 +99,13 @@ go test -run xxx -bench . -benchtime 1x ./internal/aqe/... ./internal/queue/... 
 echo "==> go test -run xxx -bench . -benchtime 1x ./internal/delphi/ ./internal/nn/inference/"
 go test -run xxx -bench . -benchtime 1x ./internal/delphi/ ./internal/nn/inference/
 
-# Delphi fast-lane gate: the committed BENCH_9.json must clear the 5x batched
-# speedup and zero-alloc thresholds (TestBench9Gate re-asserts the committed
-# numbers; regenerating the snapshot is scripts/bench_delphi.sh, which
-# re-measures and applies the same gate).
-echo "==> go test -run TestBench9Gate -count=1 ./internal/delphi/"
-go test -run TestBench9Gate -count=1 ./internal/delphi/
+# Delphi fast-lane + continuous-accuracy gates: the committed BENCH_9.json
+# must clear the 5x batched speedup and zero-alloc thresholds, and the
+# committed BENCH_10.json must show promotion-interleaved predict paths
+# allocation-free and the drift scenario's error recovering below the
+# drifted level (regenerate with scripts/bench_delphi.sh and
+# scripts/bench_drift.sh, which re-measure and apply the same gates).
+echo "==> go test -run 'TestBench9Gate|TestBench10Gate' -count=1 ./internal/delphi/"
+go test -run 'TestBench9Gate|TestBench10Gate' -count=1 ./internal/delphi/
 
 echo "verify: OK"
